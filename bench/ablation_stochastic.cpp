@@ -1,0 +1,191 @@
+// Ablations on the stochastic-arithmetic design choices DESIGN.md calls out:
+//
+//   1. Squaring decorrelation — the paper's literal V⊗V vs our
+//      regeneration-based square. The literal form always yields 1.
+//   2. Bernoulli mask precision (mask_bits) — bias floor of the selection
+//      masks vs cost.
+//   3. Binary-search iteration count for sqrt — convergence vs cost.
+//   4. Faithful in-hyperspace HOG vs the decode-shortcut mode — end-to-end
+//      accuracy and host time.
+//   5. Bundling strategy — uniform vs value-weighted sparse superposition
+//      (the capacity/cross-talk effect).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "hog/hd_hog.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+using namespace hdface;
+}
+
+int main() {
+  bench::print_header("Ablations — stochastic arithmetic design choices",
+                      "DESIGN.md §2 decisions (supports paper §4)");
+
+  // --- 1. squaring decorrelation ------------------------------------------
+  {
+    core::StochasticContext ctx(8192, 1);
+    util::Table t({"a", "a^2 true", "naive V*V", "regenerated square"});
+    for (double a : {0.2, 0.5, 0.8}) {
+      const auto v = ctx.construct(a);
+      t.add_row({util::Table::num(a, 2), util::Table::num(a * a, 3),
+                 util::Table::num(ctx.decode(ctx.multiply(v, v)), 3),
+                 util::Table::num(ctx.decode(ctx.square(v)), 3)});
+    }
+    std::printf("\n1) squaring decorrelation (D=8192):\n%s", t.to_string().c_str());
+    std::printf("the paper's literal V*V collapses to 1.0 for every value;\n"
+                "regeneration recovers a^2 (DESIGN.md §2).\n");
+  }
+
+  // --- 2. mask precision ----------------------------------------------------
+  {
+    util::Table t({"mask_bits", "worst-case bias", "measured |bias| (p=0.37)"});
+    for (int bits : {4, 8, 12, 16}) {
+      core::StochasticConfig cfg;
+      cfg.dim = 16384;
+      cfg.seed = 2;
+      cfg.mask_bits = bits;
+      core::StochasticContext ctx(cfg);
+      double mean = 0.0;
+      const int trials = 64;
+      for (int i = 0; i < trials; ++i) {
+        mean += static_cast<double>(ctx.bernoulli_mask(0.37).popcount()) / 16384.0;
+      }
+      mean /= trials;
+      t.add_row({std::to_string(bits),
+                 util::Table::num(std::exp2(-bits - 1), 6),
+                 util::Table::num(std::fabs(mean - 0.37), 6)});
+    }
+    std::printf("\n2) Bernoulli-mask precision:\n%s", t.to_string().c_str());
+  }
+
+  // --- 3. sqrt search iterations --------------------------------------------
+  {
+    util::Table t({"iters", "RMS error of sqrt over [0.04..0.81]"});
+    for (int iters : {2, 4, 8, 12, 16}) {
+      core::StochasticConfig cfg;
+      cfg.dim = 8192;
+      cfg.seed = 3;
+      cfg.search_iters = iters;
+      core::StochasticContext ctx(cfg);
+      double sq = 0.0;
+      int n = 0;
+      for (double a : {0.04, 0.16, 0.36, 0.64, 0.81}) {
+        for (int trial = 0; trial < 8; ++trial) {
+          const double got = ctx.decode(ctx.sqrt(ctx.construct(a)));
+          sq += (got - std::sqrt(a)) * (got - std::sqrt(a));
+          ++n;
+        }
+      }
+      t.add_row({std::to_string(iters), util::Table::num(std::sqrt(sq / n), 4)});
+    }
+    std::printf("\n3) sqrt binary-search iterations (D=8192):\n%s",
+                t.to_string().c_str());
+    std::printf("error floors at the ~1/sqrt(D) stochastic noise once the\n"
+                "interval term 2^-iters drops below it.\n");
+  }
+
+  // --- 3b. selection-mask pool ------------------------------------------------
+  {
+    util::Table t({"mask source", "multiply RMS err", "host us/avg-op"});
+    for (const std::size_t pool : {0u, 16u, 64u, 256u}) {
+      core::StochasticConfig cfg;
+      cfg.dim = 4096;
+      cfg.seed = 0x900;
+      cfg.mask_pool = pool;
+      core::StochasticContext ctx(cfg);
+      // Accuracy: multiplication expectation over a grid.
+      double sq = 0.0;
+      int n = 0;
+      for (double a : {-0.7, -0.2, 0.4, 0.8}) {
+        for (double b : {-0.5, 0.3, 0.9}) {
+          for (int trial = 0; trial < 8; ++trial) {
+            const double got =
+                ctx.decode(ctx.multiply(ctx.construct(a), ctx.construct(b)));
+            sq += (got - a * b) * (got - a * b);
+            ++n;
+          }
+        }
+      }
+      // Host cost of the weighted average (the mask-bound operation).
+      const auto x = ctx.construct(0.5);
+      const auto y = ctx.construct(-0.5);
+      util::Stopwatch sw;
+      for (int i = 0; i < 2000; ++i) (void)ctx.weighted_average(x, y, 0.37);
+      t.add_row({pool == 0 ? "fresh (RNG chain)" : "pool " + std::to_string(pool),
+                 util::Table::num(std::sqrt(sq / n), 4),
+                 util::Table::num(sw.seconds() / 2000.0 * 1e6, 2)});
+    }
+    std::printf("\n3b) selection-mask pool (D=4096):\n%s", t.to_string().c_str());
+    std::printf("pooled masks (rotation-decorrelated) keep the expectations\n"
+                "unbiased while removing the per-op RNG chain — the software\n"
+                "analogue of the LFSR banks a hardware datapath would use.\n");
+  }
+
+  // --- 4. faithful vs decode-shortcut HD-HOG --------------------------------
+  {
+    auto w = bench::make_face2(150, 80);
+    const std::size_t n = w.image_size();
+    util::Table t({"extractor mode", "accuracy", "host s/img"});
+    for (const bool faithful : {true, false}) {
+      auto cfg = bench::hdface_config(4096, pipeline::HdFaceMode::kHdHog,
+                                      faithful ? hog::HdHogMode::kFaithful
+                                               : hog::HdHogMode::kDecodeShortcut);
+      pipeline::HdFacePipeline pipe(cfg, n, n, w.classes());
+      util::Stopwatch sw;
+      pipe.fit(w.train);
+      const double per_img = sw.seconds() / static_cast<double>(w.train.size());
+      const double acc = pipe.evaluate(w.test);
+      t.add_row({faithful ? "faithful (paper §4.3)" : "decode shortcut",
+                 util::Table::percent(acc), util::Table::num(per_img, 3)});
+    }
+    std::printf("\n4) faithful vs decode-shortcut HD-HOG (FACE2, D=4k):\n%s",
+                t.to_string().c_str());
+    std::printf("the fully in-hyperspace chain costs more host time for the\n"
+                "same detection quality (its value is robustness + bitwise\n"
+                "hardware mapping, not host speed).\n");
+  }
+
+  // --- 5. bundling strategy --------------------------------------------------
+  {
+    auto w = bench::make_face2(200, 100);
+    const std::size_t n = w.image_size();
+    core::StochasticContext ctx(4096, 5);
+    hog::HdHogConfig hcfg;
+    hcfg.hog.cell_size = 4;
+    hcfg.hog.bins = 8;
+    hcfg.mode = hog::HdHogMode::kDecodeShortcut;
+    hog::HdHogExtractor hd(ctx, hcfg, n, n);
+    hog::FeatureBundler bundler(ctx, hd.cells_x(), hd.cells_y(), hcfg.hog.bins);
+
+    auto run = [&](bool weighted) {
+      auto encode = [&](const image::Image& img) {
+        const auto record = hd.slot_record(img);
+        return weighted ? bundler.bundle_weighted(record.hvs, record.values, 0.02)
+                        : bundler.bundle(record.hvs);
+      };
+      std::vector<core::Hypervector> train_f;
+      std::vector<core::Hypervector> test_f;
+      for (const auto& img : w.train.images) train_f.push_back(encode(img));
+      for (const auto& img : w.test.images) test_f.push_back(encode(img));
+      learn::HdcConfig hc;
+      hc.dim = 4096;
+      hc.classes = w.classes();
+      hc.epochs = 10;
+      learn::HdcClassifier model(hc);
+      model.fit(train_f, w.train.labels);
+      return model.evaluate(test_f, w.test.labels);
+    };
+    util::Table t({"bundling", "accuracy"});
+    t.add_row({"uniform (every slot, equal vote)", util::Table::percent(run(false))});
+    t.add_row({"value-weighted sparse (default)", util::Table::percent(run(true))});
+    std::printf("\n5) feature bundling strategy (FACE2, D=4k):\n%s",
+                t.to_string().c_str());
+    std::printf("uniform bundling buries the informative minority of slots\n"
+                "under identical near-zero content (superposition cross-talk).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+#pragma once
+
+// Shared workload definitions for the benchmark harness: Table-1-shaped
+// datasets (sizes calibrated for a single-core machine; see DESIGN.md §3) and
+// the standard pipeline configurations used across figures.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+#include "dataset/emotion_generator.hpp"
+#include "dataset/face_generator.hpp"
+#include "pipeline/dnn_pipeline.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+#include "pipeline/svm_pipeline.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace hdface::bench {
+
+struct Workload {
+  std::string name;
+  dataset::Dataset train;
+  dataset::Dataset test;
+
+  std::size_t image_size() const { return train.images.front().width(); }
+  std::size_t classes() const { return train.num_classes(); }
+};
+
+inline Workload make_emotion(std::size_t n_train, std::size_t n_test,
+                             std::uint64_t seed = 7) {
+  dataset::EmotionDatasetConfig c;
+  c.image_size = 48;  // Table 1 resolution
+  c.num_samples = n_train;
+  c.seed = seed;
+  Workload w;
+  w.name = "EMOTION";
+  w.train = make_emotion_dataset(c);
+  c.num_samples = n_test;
+  c.seed = core::mix64(seed, 0x7e57);
+  w.test = make_emotion_dataset(c);
+  return w;
+}
+
+inline Workload make_face1(std::size_t n_train, std::size_t n_test,
+                           std::uint64_t seed = 42) {
+  auto c = dataset::face1_config(n_train, seed);
+  Workload w;
+  w.name = "FACE1";
+  w.train = make_face_dataset(c);
+  c.num_samples = n_test;
+  c.seed = core::mix64(c.seed, 0x7e57);
+  w.test = make_face_dataset(c);
+  return w;
+}
+
+inline Workload make_face2(std::size_t n_train, std::size_t n_test,
+                           std::uint64_t seed = 42) {
+  auto c = dataset::face2_config(n_train, seed);
+  Workload w;
+  w.name = "FACE2";
+  w.train = make_face_dataset(c);
+  c.num_samples = n_test;
+  c.seed = core::mix64(c.seed, 0x7e57);
+  w.test = make_face_dataset(c);
+  return w;
+}
+
+// Standard HDFace configuration (paper's best: D = 4k unless overridden).
+inline pipeline::HdFaceConfig hdface_config(
+    std::size_t dim = 4096,
+    pipeline::HdFaceMode mode = pipeline::HdFaceMode::kHdHog,
+    hog::HdHogMode hd_mode = hog::HdHogMode::kFaithful) {
+  pipeline::HdFaceConfig c;
+  c.dim = dim;
+  c.mode = mode;
+  c.hd_hog_mode = hd_mode;
+  c.hog.cell_size = 4;
+  c.hog.bins = 8;
+  c.epochs = 10;
+  return c;
+}
+
+// Standard DNN configuration (paper's best: 1024×1024 hidden; scaled-down
+// hidden sizes are near-equivalent on the scaled datasets, see Fig 5b).
+inline pipeline::DnnConfig dnn_config(std::vector<std::size_t> hidden = {128, 128}) {
+  pipeline::DnnConfig c;
+  c.hog.cell_size = 4;
+  c.hog.bins = 8;
+  c.hidden = std::move(hidden);
+  c.epochs = 30;
+  return c;
+}
+
+inline pipeline::SvmPipelineConfig svm_config() {
+  pipeline::SvmPipelineConfig c;
+  c.hog.cell_size = 4;
+  c.hog.bins = 8;
+  c.epochs = 40;
+  return c;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::filesystem::create_directories("bench_out");  // csv/ppm output dir
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace hdface::bench

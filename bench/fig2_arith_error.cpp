@@ -1,0 +1,111 @@
+// Fig 2 — relative error of stochastic construction, weighted average and
+// multiplication as a function of hypervector dimensionality.
+//
+// The paper reports that relative error shrinks as D grows (binomial noise
+// ~1/√D); this bench regenerates the three panels plus the derived sqrt and
+// divide operations, and prints RMS relative error per dimensionality.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/stochastic.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using hdface::core::StochasticContext;
+
+constexpr double kValues[] = {-0.9, -0.6, -0.3, -0.1, 0.1, 0.3, 0.6, 0.9};
+constexpr int kTrials = 12;
+
+double rel_err(double got, double want) {
+  return std::fabs(got - want) / std::max(0.05, std::fabs(want));
+}
+
+struct ErrRow {
+  double construct = 0;
+  double average = 0;
+  double multiply = 0;
+  double sqrt_ = 0;
+  double divide = 0;
+};
+
+ErrRow measure(std::size_t dim) {
+  ErrRow row;
+  int nc = 0;
+  int na = 0;
+  int nm = 0;
+  int ns = 0;
+  int nd = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    StochasticContext ctx(dim, 0x0F16 + static_cast<std::uint64_t>(t));
+    for (double a : kValues) {
+      const double e = rel_err(ctx.decode(ctx.construct(a)), a);
+      row.construct += e * e;
+      ++nc;
+      if (a > 0) {
+        const double s =
+            rel_err(ctx.decode(ctx.sqrt(ctx.construct(a))), std::sqrt(a));
+        row.sqrt_ += s * s;
+        ++ns;
+      }
+      for (double b : kValues) {
+        const double avg = rel_err(
+            ctx.decode(ctx.weighted_average(ctx.construct(a), ctx.construct(b), 0.5)),
+            (a + b) / 2.0);
+        row.average += avg * avg;
+        ++na;
+        const double mul = rel_err(
+            ctx.decode(ctx.multiply(ctx.construct(a), ctx.construct(b))), a * b);
+        row.multiply += mul * mul;
+        ++nm;
+        if (std::fabs(a) <= std::fabs(b)) {
+          const double div = rel_err(
+              ctx.decode(ctx.divide(ctx.construct(a), ctx.construct(b))), a / b);
+          row.divide += div * div;
+          ++nd;
+        }
+      }
+    }
+  }
+  row.construct = std::sqrt(row.construct / nc);
+  row.average = std::sqrt(row.average / na);
+  row.multiply = std::sqrt(row.multiply / nm);
+  row.sqrt_ = std::sqrt(row.sqrt_ / ns);
+  row.divide = std::sqrt(row.divide / nd);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  hdface::bench::print_header(
+      "Fig 2 — stochastic arithmetic relative error vs dimensionality",
+      "HDFace (DAC'22) Figure 2 (a) construction, (b) average, (c) multiplication"
+      " — plus the derived sqrt/divide");
+
+  hdface::util::Table table(
+      {"D", "construct", "average", "multiply", "sqrt", "divide"});
+  hdface::util::CsvWriter csv("bench_out/fig2_arith_error.csv",
+                              {"dim", "construct", "average", "multiply", "sqrt",
+                               "divide"});
+  for (const std::size_t dim : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+    const ErrRow row = measure(dim);
+    table.add_row({std::to_string(dim), hdface::util::Table::num(row.construct, 4),
+                   hdface::util::Table::num(row.average, 4),
+                   hdface::util::Table::num(row.multiply, 4),
+                   hdface::util::Table::num(row.sqrt_, 4),
+                   hdface::util::Table::num(row.divide, 4)});
+    csv.add_row({std::to_string(dim), std::to_string(row.construct),
+                 std::to_string(row.average), std::to_string(row.multiply),
+                 std::to_string(row.sqrt_), std::to_string(row.divide)});
+    std::printf("D=%zu done\n", dim);
+  }
+  std::printf("\nRMS relative error (trials x value grid):\n%s",
+              table.to_string().c_str());
+  std::printf("expected shape: every column shrinks ~1/sqrt(D) as in Fig 2.\n");
+  std::printf("csv written: bench_out/fig2_arith_error.csv\n");
+  return 0;
+}

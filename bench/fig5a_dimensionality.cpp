@@ -1,0 +1,75 @@
+// Fig 5a — impact of hypervector dimensionality on HDFace accuracy and
+// training performance.
+//
+// Sweeps D from 1k to 10k for both pre-processing (HD-HOG) and learning, and
+// reports test accuracy plus measured wall-clock training time per epoch
+// (the paper's heatmap series). Expected shape: accuracy rises with D and
+// saturates, training cost grows linearly with D.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+using namespace hdface;
+}
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto n_train = static_cast<std::size_t>(args.get_int("train", 250));
+  const auto n_test = static_cast<std::size_t>(args.get_int("test", 120));
+
+  bench::print_header(
+      "Fig 5a — dimensionality vs HDFace accuracy & training time",
+      "HDFace (DAC'22) Figure 5a (accuracy curve + training-time heatmap row)");
+
+  // FACE2 runs the fully faithful hyperspace pipeline; EMOTION (7-way, more
+  // samples needed) uses the decode-shortcut extractor so the sweep fits a
+  // single-core box — its D-dependence (gradient decode noise, level
+  // resolution, learner capacity) is preserved.
+  auto face = bench::make_face2(n_train, n_test);
+  auto emotion = bench::make_emotion(350, n_test);
+
+  util::Table table({"dataset", "D", "accuracy", "feature s/img", "train s/epoch"});
+  util::CsvWriter csv("bench_out/fig5a_dimensionality.csv",
+                      {"dataset", "dim", "accuracy", "feature_s_per_img",
+                       "train_s_per_epoch"});
+
+  for (const std::size_t dim : {1024u, 2048u, 4096u, 8192u, 10240u}) {
+    for (const auto* wp : {&face, &emotion}) {
+      const auto& w = *wp;
+      const bool faithful = (wp == &face);
+      auto cfg = bench::hdface_config(dim, pipeline::HdFaceMode::kHdHog,
+                                      faithful ? hog::HdHogMode::kFaithful
+                                               : hog::HdHogMode::kDecodeShortcut);
+      const std::size_t n = w.image_size();
+      pipeline::HdFacePipeline pipe(cfg, n, n, w.classes());
+
+      util::Stopwatch sw;
+      const auto train_features = pipe.encode_dataset(w.train);
+      const double feat_s = sw.seconds() / static_cast<double>(w.train.size());
+
+      sw.reset();
+      pipe.fit_features(train_features, w.train.labels);
+      const double train_s =
+          sw.seconds() / static_cast<double>(cfg.epochs) +
+          feat_s * static_cast<double>(w.train.size()) /
+              static_cast<double>(cfg.epochs);
+
+      const double acc = pipe.evaluate(w.test);
+      table.add_row({w.name, std::to_string(dim), util::Table::percent(acc),
+                     util::Table::num(feat_s, 3), util::Table::num(train_s, 2)});
+      csv.add_row({w.name, std::to_string(dim), std::to_string(acc),
+                   std::to_string(feat_s), std::to_string(train_s)});
+      std::printf("  %s D=%zu acc=%.3f\n", w.name.c_str(), dim, acc);
+    }
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf(
+      "paper shape: accuracy increases with D and saturates (paper: at ~4k;\n"
+      "measured saturation point may sit at 4k-10k on the synthetic data);\n"
+      "training time grows ~linearly with D.\ncsv written: bench_out/fig5a_dimensionality.csv\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Fig 6 — visual impact of dimensionality.
+//
+// (a) Face detection: a sliding window moves over a composed scene in an
+//     overlapping manner; windows HDFace classifies as "face" are tinted
+//     blue. At low D spurious detections appear; at D >= 4k the map is clean.
+//     Outputs: ASCII maps here + PPM overlays under bench_out/.
+// (b) Emotion detection: canonical windows of each class are classified at
+//     each dimensionality; low D mispredicts some expressions.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common.hpp"
+#include "dataset/background_generator.hpp"
+#include "image/transform.hpp"
+#include "pipeline/sliding_window.hpp"
+
+namespace {
+
+using namespace hdface;
+
+struct Scene {
+  image::Image img;
+  // Top-left corners (in window-step units) of planted faces.
+  std::vector<std::pair<std::size_t, std::size_t>> face_steps;
+};
+
+Scene compose_scene(std::size_t window, std::size_t stride) {
+  Scene scene{image::Image(3 * window, 2 * window, 0.5f), {}};
+  core::Rng rng(0x5CE2E);
+  dataset::render_background(scene.img, dataset::BackgroundKind::kMixed, rng);
+  // Two faces at step-aligned positions.
+  const auto f1 = dataset::render_face_window(window, 11);
+  const auto f2 = dataset::render_face_window(window, 23);
+  image::paste(scene.img, f1, 0, 0);
+  image::paste(scene.img, f2,
+               static_cast<std::ptrdiff_t>(2 * window),
+               static_cast<std::ptrdiff_t>(window));
+  scene.face_steps.push_back({0, 0});
+  scene.face_steps.push_back({2 * window / stride, window / stride});
+  return scene;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto n_train = static_cast<std::size_t>(args.get_int("train", 150));
+
+  bench::print_header("Fig 6 — dimensionality vs detection quality (visual)",
+                      "HDFace (DAC'22) Figure 6 (a) face maps, (b) emotion grid");
+  std::filesystem::create_directories("bench_out");
+
+  const std::size_t window = 48;
+  const std::size_t stride = 24;
+  const Scene scene = compose_scene(window, stride);
+
+  auto face_data = bench::make_face2(n_train, 10);
+
+  util::Table summary({"D", "face windows hit", "false positives", "map"});
+  for (const std::size_t dim : {1024u, 4096u, 10240u}) {
+    auto cfg = bench::hdface_config(dim);
+    pipeline::HdFacePipeline pipe(cfg, window, window, 2);
+    pipe.fit(face_data.train);
+    pipeline::SlidingWindowDetector det(pipe, window, stride);
+    const auto map = det.detect(scene.img);
+
+    std::string ascii;
+    std::size_t hits = 0;
+    std::size_t false_pos = 0;
+    for (std::size_t sy = 0; sy < map.steps_y; ++sy) {
+      for (std::size_t sx = 0; sx < map.steps_x; ++sx) {
+        const bool face_here = [&] {
+          for (auto [fx, fy] : scene.face_steps) {
+            if (sx == fx && sy == fy) return true;
+          }
+          return false;
+        }();
+        const bool detected = map.prediction_at(sx, sy) == 1;
+        if (detected && face_here) ++hits;
+        if (detected && !face_here) ++false_pos;
+        ascii += detected ? 'F' : '.';
+      }
+      ascii += '/';
+    }
+    const auto overlay = det.render_overlay(scene.img, map);
+    const std::string path = "bench_out/fig6_face_d" + std::to_string(dim) + ".ppm";
+    image::write_ppm(overlay, path);
+    summary.add_row({std::to_string(dim),
+                     std::to_string(hits) + "/" + std::to_string(scene.face_steps.size()),
+                     std::to_string(false_pos), ascii});
+    std::printf("  D=%zu detection map written: %s\n", dim, path.c_str());
+  }
+  std::printf("\nFig 6a — sliding-window face detection (F = window classified "
+              "face,\nrows separated by '/'):\n%s",
+              summary.to_string().c_str());
+
+  // --- Fig 6b: emotion windows across dimensionality -----------------------
+  auto emotion = bench::make_emotion(350, 10);
+  util::Table emo_table({"D", "angry", "disgust", "fear", "happy", "neutral",
+                         "sad", "surprise", "correct"});
+  for (const std::size_t dim : {1024u, 4096u, 10240u}) {
+    auto cfg = bench::hdface_config(dim, pipeline::HdFaceMode::kHdHog,
+                                    hog::HdHogMode::kDecodeShortcut);
+    pipeline::HdFacePipeline pipe(cfg, 48, 48, 7);
+    pipe.fit(emotion.train);
+    std::vector<std::string> row = {std::to_string(dim)};
+    int correct = 0;
+    for (int c = 0; c < dataset::kNumEmotions; ++c) {
+      const auto img = dataset::render_emotion_window(
+          48, static_cast<dataset::Emotion>(c), 0xF16B + static_cast<unsigned>(c));
+      const int pred = pipe.predict(img);
+      row.push_back(dataset::emotion_name(static_cast<dataset::Emotion>(pred)));
+      if (pred == c) ++correct;
+    }
+    row.push_back(std::to_string(correct) + "/7");
+    emo_table.add_row(row);
+  }
+  std::printf("\nFig 6b — predicted emotion per canonical window:\n%s",
+              emo_table.to_string().c_str());
+  std::printf(
+      "paper shape: low D (1k) mispredicts windows/expressions; D >= 4k is\n"
+      "clean. Overlays in bench_out/ show the blue-tinted detections.\n");
+  return 0;
+}

@@ -1,0 +1,301 @@
+// Fig 7 — speedup and energy efficiency of HDFace vs the DNN on the ARM A53
+// CPU and the Kintex-7 FPGA, for training and inference.
+//
+// The pipelines are instrumented with exact operation counts (core/op_counter)
+// and the counts are mapped through the platform cost models in src/perf —
+// the offline substitution for the authors' Raspberry Pi + power meter and
+// Vivado testbed (DESIGN.md §3).
+//
+// Accounting conventions:
+//  * train/epoch = one training epoch per image INCLUDING feature extraction
+//    (the paper's own Fig 5 heatmap compares epochs this way: 0.9 s vs 5.4 s,
+//    a 6:1 ratio matching its Fig 7 train speedup);
+//  * train total = feature extraction once + all learning epochs (DNN: 30
+//    epochs of fwd/bwd/update on cached features; HDFace: 10 adaptive HDC
+//    passes) — the deployment-relevant total;
+//  * inference = feature extraction + classification (DNN forward pass;
+//    HDFace binary Hamming similarity search);
+//  * results are reported at bench scale (Table-1-shaped 48x48 windows) and
+//    extrapolated to the paper's 512x512 FACE2 scale, where pixel-dependent
+//    costs grow with the image area and the DNN input layer grows with the
+//    HOG descriptor length. Ratios are per image, platform-model based.
+//
+// Also reproduces the §2 motivation: HOG's share of a classical HDC training
+// pipeline (feature extraction + HDC learning).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "perf/cycle_sim.hpp"
+#include "perf/platform.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace hdface;
+using core::OpCounter;
+using core::OpKind;
+
+constexpr std::size_t kDnnEpochs = 30;
+constexpr std::size_t kHdcEpochs = 10;
+
+// Analytic MLP op counts (avoids materializing paper-scale weight matrices).
+OpCounter mlp_forward_ops(const std::vector<std::size_t>& layers) {
+  OpCounter c;
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    const auto macs = static_cast<std::uint64_t>(layers[l]) * layers[l + 1];
+    c.add(OpKind::kFloatMul, macs);
+    c.add(OpKind::kFloatAdd, macs + layers[l + 1]);
+    c.add(OpKind::kFloatCmp, layers[l + 1]);
+  }
+  c.add(OpKind::kFloatTrig, layers.back());
+  return c;
+}
+
+OpCounter mlp_train_step_ops(const std::vector<std::size_t>& layers) {
+  OpCounter c = mlp_forward_ops(layers);
+  std::uint64_t params = 0;
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    const auto macs = static_cast<std::uint64_t>(layers[l]) * layers[l + 1];
+    c.add(OpKind::kFloatMul, 2 * macs);
+    c.add(OpKind::kFloatAdd, 2 * macs);
+    params += macs + layers[l + 1];
+  }
+  c.add(OpKind::kFloatMul, 2 * params);
+  c.add(OpKind::kFloatAdd, 2 * params);
+  return c;
+}
+
+OpCounter scaled(const OpCounter& c, double factor) {
+  OpCounter out;
+  for (std::size_t k = 0; k < core::kOpKindCount; ++k) {
+    out.counts[k] = static_cast<std::uint64_t>(
+        static_cast<double>(c.counts[k]) * factor);
+  }
+  return out;
+}
+
+struct MeasuredCosts {
+  OpCounter hd_feature;   // HD-HOG hyperspace extraction, per image
+  OpCounter hdc_update;   // adaptive HDC update, per image per epoch
+  OpCounter hog_float;    // classical HOG, per image
+  std::size_t hog_dim = 0;
+  std::size_t classes = 0;
+  std::size_t dim = 0;
+};
+
+MeasuredCosts measure(const bench::Workload& w, std::size_t dim,
+                      std::size_t probe) {
+  MeasuredCosts m;
+  m.classes = w.classes();
+  m.dim = dim;
+  const std::size_t n = w.image_size();
+
+  auto cfg = bench::hdface_config(dim);
+  pipeline::HdFacePipeline pipe(cfg, n, n, w.classes());
+  OpCounter features;
+  OpCounter learning;
+  pipe.set_counters(&features, &learning);
+  dataset::Dataset sample;
+  sample.name = w.train.name;
+  sample.class_names = w.train.class_names;
+  for (std::size_t i = 0; i < probe; ++i) {
+    sample.images.push_back(w.train.images[i]);
+    sample.labels.push_back(w.train.labels[i]);
+  }
+  const auto encoded = pipe.encode_dataset(sample);
+  m.hd_feature = scaled(features, 1.0 / static_cast<double>(probe));
+  learning.reset();
+  pipe.fit_features(encoded, sample.labels);
+  m.hdc_update =
+      scaled(learning, 1.0 / static_cast<double>(probe * cfg.epochs));
+
+  hog::HogExtractor hog(cfg.hog);
+  OpCounter hog_ops;
+  for (std::size_t i = 0; i < probe; ++i) {
+    (void)hog.extract(w.train.images[i], &hog_ops);
+  }
+  m.hog_float = scaled(hog_ops, 1.0 / static_cast<double>(probe));
+  m.hog_dim = hog.feature_size(n, n);
+  return m;
+}
+
+// Binary Hamming similarity search over the class prototypes.
+OpCounter hamming_search_ops(std::size_t dim, std::size_t classes) {
+  OpCounter c;
+  const std::uint64_t words = (dim + 63) / 64;
+  c.add(OpKind::kWordLogic, words * classes);
+  c.add(OpKind::kPopcount, words * classes);
+  return c;
+}
+
+struct PhaseCosts {
+  OpCounter hd_epoch;    // one epoch incl. extraction
+  OpCounter hd_total;    // extraction once + all HDC epochs
+  OpCounter hd_infer;
+  OpCounter dnn_epoch;
+  OpCounter dnn_total;
+  OpCounter dnn_infer;
+};
+
+// pixel_scale scales extraction costs (image area ratio); hog_dim is the
+// descriptor length at that scale (DNN input width).
+PhaseCosts compose(const MeasuredCosts& m, double pixel_scale,
+                   std::size_t hog_dim) {
+  PhaseCosts p;
+  const std::vector<std::size_t> layers = {hog_dim, 1024, 1024, m.classes};
+
+  const OpCounter hd_feat = scaled(m.hd_feature, pixel_scale);
+  const OpCounter hog = scaled(m.hog_float, pixel_scale);
+  const OpCounter dnn_step = mlp_train_step_ops(layers);
+
+  p.hd_epoch = hd_feat;
+  p.hd_epoch.merge(m.hdc_update);
+  p.hd_total = hd_feat;
+  p.hd_total.merge(scaled(m.hdc_update, static_cast<double>(kHdcEpochs)));
+  p.hd_infer = hd_feat;
+  p.hd_infer.merge(hamming_search_ops(m.dim, m.classes));
+
+  p.dnn_epoch = hog;
+  p.dnn_epoch.merge(dnn_step);
+  p.dnn_total = hog;
+  p.dnn_total.merge(scaled(dnn_step, static_cast<double>(kDnnEpochs)));
+  p.dnn_infer = hog;
+  p.dnn_infer.merge(mlp_forward_ops(layers));
+  return p;
+}
+
+double ratio(double a, double b) { return b > 0 ? a / b : 0.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto probe = static_cast<std::size_t>(args.get_int("probe", 6));
+
+  bench::print_header(
+      "Fig 7 — HDFace vs DNN efficiency on CPU and FPGA (cost model)",
+      "HDFace (DAC'22) Figure 7 (a) training, (b) inference; §2 motivation");
+
+  std::vector<bench::Workload> workloads;
+  workloads.push_back(bench::make_emotion(probe + 2, 2));
+  workloads.push_back(bench::make_face1(probe + 2, 2));
+  workloads.push_back(bench::make_face2(probe + 2, 2));
+
+  const auto& cpu = perf::arm_a53();
+  const auto& fpga = perf::kintex7_fpga();
+
+  util::Table table({"dataset", "scale", "phase", "platform", "speedup (x)",
+                     "energy eff (x)"});
+  util::CsvWriter csv("bench_out/fig7_efficiency.csv",
+                      {"dataset", "scale", "phase", "platform", "speedup",
+                       "energy_eff"});
+  double sums[3][2] = {};
+  double esums[3][2] = {};
+  std::size_t count_rows = 0;
+
+  for (const auto& w : workloads) {
+    const MeasuredCosts m = measure(w, 4096, probe);
+
+    // §2 motivation: share of HOG in a classical "HOG + HDC learning"
+    // training pipeline (per image: float HOG + kHdcEpochs HDC updates).
+    {
+      OpCounter hdc_learn_total =
+          scaled(m.hdc_update, static_cast<double>(kHdcEpochs));
+      const double hog_s = cpu.estimate(m.hog_float).seconds;
+      const double learn_s = cpu.estimate(hdc_learn_total).seconds;
+      // At the paper's image sizes the HOG term scales with pixel count
+      // while the HDC learning term does not — that is where §2's ~85%
+      // figure comes from.
+      const double n_now = static_cast<double>(w.image_size());
+      const double paper_edge = (w.name == "EMOTION") ? 48.0
+                                : (w.name == "FACE1") ? 1024.0
+                                                      : 512.0;
+      const double scale_up = (paper_edge * paper_edge) / (n_now * n_now);
+      std::printf(
+          "  [%s] HOG share of classical HOG+HDC training: %.0f%% at bench "
+          "scale, %.0f%% at paper scale\n",
+          w.name.c_str(), 100.0 * hog_s / (hog_s + learn_s),
+          100.0 * hog_s * scale_up / (hog_s * scale_up + learn_s));
+    }
+
+    // Bench scale and paper-scale extrapolation.
+    const std::size_t n = w.image_size();
+    const double paper_n = (w.name == "EMOTION") ? 48.0
+                           : (w.name == "FACE1") ? 1024.0
+                                                 : 512.0;
+    const double area_ratio = (paper_n * paper_n) / static_cast<double>(n * n);
+    const auto paper_hog_dim = static_cast<std::size_t>(
+        static_cast<double>(m.hog_dim) * area_ratio);
+    const struct {
+      const char* name;
+      double pixel_scale;
+      std::size_t hog_dim;
+    } scales[] = {{"bench", 1.0, m.hog_dim},
+                  {"paper", area_ratio, paper_hog_dim}};
+
+    for (const auto& s : scales) {
+      const PhaseCosts p = compose(m, s.pixel_scale, s.hog_dim);
+      const OpCounter* hd_phase[3] = {&p.hd_epoch, &p.hd_total, &p.hd_infer};
+      const OpCounter* dnn_phase[3] = {&p.dnn_epoch, &p.dnn_total, &p.dnn_infer};
+      const char* phase_name[3] = {"train/epoch", "train total", "inference"};
+      const perf::PlatformModel* platforms[2] = {&cpu, &fpga};
+      const char* platform_name[2] = {"CPU", "FPGA"};
+      for (int ph = 0; ph < 3; ++ph) {
+        for (int pl = 0; pl < 2; ++pl) {
+          const auto hd_cost = platforms[pl]->estimate(*hd_phase[ph]);
+          const auto dnn_cost = platforms[pl]->estimate(*dnn_phase[ph]);
+          const double speedup = ratio(dnn_cost.seconds, hd_cost.seconds);
+          const double energy =
+              ratio(dnn_cost.micro_joules, hd_cost.micro_joules);
+          if (std::string(s.name) == "paper") {
+            sums[ph][pl] += speedup;
+            esums[ph][pl] += energy;
+          }
+          table.add_row({w.name, s.name, phase_name[ph], platform_name[pl],
+                         util::Table::num(speedup, 2),
+                         util::Table::num(energy, 2)});
+          csv.add_row({w.name, s.name, phase_name[ph], platform_name[pl],
+                       std::to_string(speedup), std::to_string(energy)});
+        }
+      }
+    }
+    ++count_rows;
+  }
+  const double nw = static_cast<double>(count_rows);
+  const char* avg_phase_name[3] = {"train/epoch", "train total", "inference"};
+  for (int ph = 0; ph < 3; ++ph) {
+    for (int pl = 0; pl < 2; ++pl) {
+      table.add_row({"AVERAGE", "paper", avg_phase_name[ph],
+                     pl == 0 ? "CPU" : "FPGA",
+                     util::Table::num(sums[ph][pl] / nw, 2),
+                     util::Table::num(esums[ph][pl] / nw, 2)});
+    }
+  }
+  std::printf("\n%s", table.to_string().c_str());
+
+  // Cycle-level FPGA classification latency (the paper's "cycle-accurate
+  // simulator" role): one window through the pipelined datapath.
+  {
+    util::Table sim_table({"window", "D", "cycles", "us @200MHz", "bottleneck"});
+    const auto& dp = perf::kintex7_reference_datapath();
+    for (const std::size_t d : {1024u, 4096u, 10240u}) {
+      const auto sim = perf::make_classification_pipeline(dp, d, 48, 4, 8, 2);
+      const auto rep = sim.run(dp.device().clock_hz);
+      sim_table.add_row({"48x48", std::to_string(d),
+                         std::to_string(rep.total_cycles),
+                         util::Table::num(rep.seconds * 1e6, 1),
+                         rep.bottleneck});
+    }
+    std::printf("\ncycle-level FPGA window classification (pipeline simulator):\n%s",
+                sim_table.to_string().c_str());
+  }
+
+  std::printf(
+      "paper: train 6.1x/3.0x (CPU), 4.6x/12.1x (FPGA); inference 1.4x/1.7x\n"
+      "(CPU), 2.9x/2.6x (FPGA); training HOG share ~85%% (§2). Shape to check\n"
+      "at paper scale: HDFace wins training clearly on both platforms, wins\n"
+      "or ties inference, and the FPGA energy ratio is the largest gain.\n"
+      "csv written: bench_out/fig7_efficiency.csv\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Microkernel benchmarks (google-benchmark) for the HDC substrate: the raw
+// host-side throughput of the primitives behind every other experiment.
+
+#include <benchmark/benchmark.h>
+
+#include "core/accumulator.hpp"
+#include "core/item_memory.hpp"
+#include "core/stochastic.hpp"
+#include "hog/hd_hog.hpp"
+#include "image/image.hpp"
+#include "learn/hdc_model.hpp"
+
+namespace {
+
+using namespace hdface;
+
+void BM_Bind(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(1);
+  const auto a = core::Hypervector::random(dim, rng);
+  const auto b = core::Hypervector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a ^ b);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Bind)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Similarity(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(2);
+  const auto a = core::Hypervector::random(dim, rng);
+  const auto b = core::Hypervector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::similarity(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Similarity)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Construct(benchmark::State& state) {
+  core::StochasticContext ctx(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.construct(0.37));
+  }
+}
+BENCHMARK(BM_Construct)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_WeightedAverage(benchmark::State& state) {
+  core::StochasticContext ctx(static_cast<std::size_t>(state.range(0)), 4);
+  const auto a = ctx.construct(0.5);
+  const auto b = ctx.construct(-0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.weighted_average(a, b, 0.5));
+  }
+}
+BENCHMARK(BM_WeightedAverage)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Multiply(benchmark::State& state) {
+  core::StochasticContext ctx(static_cast<std::size_t>(state.range(0)), 5);
+  const auto a = ctx.construct(0.5);
+  const auto b = ctx.construct(-0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.multiply(a, b));
+  }
+}
+BENCHMARK(BM_Multiply)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Sqrt(benchmark::State& state) {
+  core::StochasticContext ctx(static_cast<std::size_t>(state.range(0)), 6);
+  const auto v = ctx.construct(0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.sqrt(v));
+  }
+}
+BENCHMARK(BM_Sqrt)->Arg(1024)->Arg(4096);
+
+void BM_Divide(benchmark::State& state) {
+  core::StochasticContext ctx(static_cast<std::size_t>(state.range(0)), 7);
+  const auto a = ctx.construct(0.3);
+  const auto b = ctx.construct(0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.divide(a, b));
+  }
+}
+BENCHMARK(BM_Divide)->Arg(1024)->Arg(4096);
+
+void BM_AccumulatorBundle(benchmark::State& state) {
+  const std::size_t dim = 4096;
+  core::Rng rng(8);
+  std::vector<core::Hypervector> items;
+  for (int i = 0; i < 64; ++i) items.push_back(core::Hypervector::random(dim, rng));
+  for (auto _ : state) {
+    core::Accumulator acc(dim);
+    for (const auto& v : items) acc.add(v);
+    core::Rng tie(9);
+    benchmark::DoNotOptimize(acc.threshold(tie));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_AccumulatorBundle);
+
+void BM_ItemMemoryLookup(benchmark::State& state) {
+  core::StochasticContext ctx(4096, 10);
+  core::LevelItemMemory mem(ctx, 256, 0.0, 1.0);
+  double v = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.at_value(v));
+    v += 0.001;
+    if (v > 1.0) v = 0.0;
+  }
+}
+BENCHMARK(BM_ItemMemoryLookup);
+
+void BM_HdHogPixel(benchmark::State& state) {
+  core::StochasticContext ctx(static_cast<std::size_t>(state.range(0)), 11);
+  hog::HdHogConfig cfg;
+  cfg.hog.cell_size = 4;
+  hog::HdHogExtractor hd(ctx, cfg, 16, 16);
+  image::Image img(16, 16, 0.5f);
+  core::Rng rng(12);
+  for (auto& p : img.pixels()) p = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    auto g = hd.pixel_gradient(img, 8, 8);
+    benchmark::DoNotOptimize(hd.pixel_magnitude(g));
+    benchmark::DoNotOptimize(hd.pixel_bin(g));
+  }
+}
+BENCHMARK(BM_HdHogPixel)->Arg(1024)->Arg(4096);
+
+void BM_HdcPredict(benchmark::State& state) {
+  const std::size_t dim = 4096;
+  learn::HdcConfig cfg;
+  cfg.dim = dim;
+  cfg.classes = 7;
+  learn::HdcClassifier model(cfg);
+  core::Rng rng(13);
+  std::vector<core::Hypervector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 35; ++i) {
+    features.push_back(core::Hypervector::random(dim, rng));
+    labels.push_back(i % 7);
+  }
+  model.fit(features, labels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(features[0]));
+  }
+}
+BENCHMARK(BM_HdcPredict);
+
+void BM_HdcPredictBinary(benchmark::State& state) {
+  const std::size_t dim = 4096;
+  learn::HdcConfig cfg;
+  cfg.dim = dim;
+  cfg.classes = 7;
+  learn::HdcClassifier model(cfg);
+  core::Rng rng(14);
+  std::vector<core::Hypervector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 35; ++i) {
+    features.push_back(core::Hypervector::random(dim, rng));
+    labels.push_back(i % 7);
+  }
+  model.fit(features, labels);
+  const auto protos = model.binary_prototypes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        learn::HdcClassifier::predict_binary(protos, features[0]));
+  }
+}
+BENCHMARK(BM_HdcPredictBinary);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,174 @@
+// Table 2 — robustness of the DNN (16/8/4-bit weights) and HDFace (both
+// configurations, D in {1k, 4k, 10k}) to random bit errors.
+//
+// Error model per paper §6.6:
+//   DNN            — flips in the quantized weight memory.
+//   HDFace+HoG+Learn — the fully hyperspace pipeline stores only binary
+//                      hypervectors; flips land in the feature hypervectors
+//                      and the binarized class prototypes.
+//   HDFace+Learn   — HOG runs on the original float representation; flips
+//                      land in the float descriptor words before encoding
+//                      (the configuration that loses all robustness).
+// Cells report quality LOSS relative to the family's best clean accuracy,
+// matching the paper's table convention.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "learn/quantized_mlp.hpp"
+#include "pipeline/features.hpp"
+#include "pipeline/robustness.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace hdface;
+
+constexpr double kRates[] = {0.0, 0.01, 0.02, 0.04, 0.08, 0.12, 0.14};
+constexpr std::uint64_t kSeeds[] = {11, 22, 33};
+
+std::vector<std::string> loss_row(const std::string& name,
+                                  const std::vector<double>& accs,
+                                  double reference, util::CsvWriter& csv) {
+  std::vector<std::string> row = {name};
+  std::vector<std::string> csv_row = {name};
+  for (double a : accs) {
+    const double loss = std::max(0.0, reference - a);
+    row.push_back(util::Table::percent(loss));
+    csv_row.push_back(std::to_string(loss));
+  }
+  csv.add_row(csv_row);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto n_train = static_cast<std::size_t>(args.get_int("train", 300));
+  const auto n_test = static_cast<std::size_t>(args.get_int("test", 150));
+
+  bench::print_header("Table 2 — robustness to random bit errors",
+                      "HDFace (DAC'22) Table 2");
+
+  auto w = bench::make_face2(n_train, n_test);
+  const std::size_t n = w.image_size();
+
+  util::Table table({"method", "0%", "1%", "2%", "4%", "8%", "12%", "14%"});
+  util::CsvWriter csv("bench_out/table2_robustness.csv",
+                      {"method", "r0", "r1", "r2", "r4", "r8", "r12", "r14"});
+
+  // ---- DNN at three precisions -------------------------------------------
+  {
+    auto cfg = bench::dnn_config();
+    pipeline::DnnPipeline dnn(cfg, n, n, w.classes());
+    const auto train_f = dnn.extract_features(w.train);
+    const auto test_f = dnn.extract_features(w.test);
+    dnn.fit_features(train_f, w.train.labels);
+    const double float_acc = dnn.evaluate_features(test_f, w.test.labels);
+    std::printf("  DNN float accuracy: %.3f\n", float_acc);
+    for (int bits : {16, 8, 4}) {
+      learn::QuantizedMlp q(dnn.mutable_mlp(), bits);
+      std::vector<double> accs;
+      for (double rate : kRates) {
+        double acc = 0.0;
+        for (auto seed : kSeeds) {
+          acc += pipeline::dnn_accuracy_under_errors(q, test_f, w.test.labels,
+                                                     rate, seed);
+        }
+        accs.push_back(acc / std::size(kSeeds));
+      }
+      table.add_row(loss_row("DNN " + std::to_string(bits) + "-bit", accs,
+                             float_acc, csv));
+      std::printf("  DNN %d-bit swept\n", bits);
+    }
+  }
+
+  // ---- HDFace, fully hyperspace (HD-HOG + HDC learning) -------------------
+  {
+    // Reference = family best clean accuracy (paper: D=10k/4k rows at 0%).
+    std::vector<std::vector<double>> all_accs;
+    std::vector<std::size_t> dims = {10240, 4096, 1024};
+    double best_clean = 0.0;
+    for (auto dim : dims) {
+      auto cfg = bench::hdface_config(dim, pipeline::HdFaceMode::kHdHog,
+                                      hog::HdHogMode::kDecodeShortcut);
+      pipeline::HdFacePipeline pipe(cfg, n, n, w.classes());
+      pipe.fit(w.train);
+      const auto test_features = pipe.encode_dataset(w.test);
+      std::vector<double> accs;
+      for (double rate : kRates) {
+        double acc = 0.0;
+        for (auto seed : kSeeds) {
+          acc += pipeline::hdc_binary_accuracy_under_errors(
+              pipe.classifier(), test_features, w.test.labels, rate, seed);
+        }
+        accs.push_back(acc / std::size(kSeeds));
+      }
+      best_clean = std::max(best_clean, accs.front());
+      all_accs.push_back(std::move(accs));
+      std::printf("  HDFace+HoG+Learn D=%zu swept\n", dim);
+    }
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      table.add_row(loss_row("HDFace+HoG+Learn D=" + std::to_string(dims[i]),
+                             all_accs[i], best_clean, csv));
+    }
+  }
+
+  // ---- HDFace with HOG on the original representation ---------------------
+  {
+    hog::HogConfig hog_cfg;
+    hog_cfg.cell_size = 4;
+    hog_cfg.bins = 8;
+    hog::HogExtractor hog(hog_cfg);
+    const auto train_f = pipeline::extract_hog_features(w.train, hog);
+    const auto test_f = pipeline::extract_hog_features(w.test, hog);
+
+    std::vector<std::vector<double>> all_accs;
+    std::vector<std::size_t> dims = {10240, 4096, 1024};
+    double best_clean = 0.0;
+    for (auto dim : dims) {
+      learn::EncoderConfig ec;
+      ec.dim = dim;
+      ec.input_dim = train_f.front().size();
+      ec.gamma = 1.0;
+      learn::NonlinearEncoder encoder(ec);
+      encoder.calibrate(train_f);
+      std::vector<core::Hypervector> encoded;
+      encoded.reserve(train_f.size());
+      for (const auto& f : train_f) encoded.push_back(encoder.encode(f));
+      learn::HdcConfig hc;
+      hc.dim = dim;
+      hc.classes = w.classes();
+      hc.epochs = 10;
+      learn::HdcClassifier model(hc);
+      model.fit(encoded, w.train.labels);
+
+      std::vector<double> accs;
+      for (double rate : kRates) {
+        double acc = 0.0;
+        for (auto seed : kSeeds) {
+          acc += pipeline::hdc_orig_rep_accuracy_under_errors(
+              model, encoder, test_f, w.test.labels, rate, seed);
+        }
+        accs.push_back(acc / std::size(kSeeds));
+      }
+      best_clean = std::max(best_clean, accs.front());
+      all_accs.push_back(std::move(accs));
+      std::printf("  HDFace+Learn (orig HOG) D=%zu swept\n", dim);
+    }
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      table.add_row(loss_row("HDFace+Learn D=" + std::to_string(dims[i]),
+                             all_accs[i], best_clean, csv));
+    }
+  }
+
+  std::printf("\nquality loss vs family-best clean accuracy:\n%s",
+              table.to_string().c_str());
+  std::printf(
+      "paper shape: HDFace+HoG+Learn stays within ~2%% loss through 14%% bit\n"
+      "error (larger D = more robust); the DNN and the original-representation\n"
+      "HOG configuration degrade by an order of magnitude more.\n"
+      "csv written: bench_out/table2_robustness.csv\n");
+  return 0;
+}

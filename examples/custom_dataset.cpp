@@ -1,0 +1,52 @@
+// Using HDFace with your own data: datasets are directories of 8-bit PGM
+// files plus a labels.txt manifest. This example writes a synthetic dataset
+// to disk in that layout, loads it back (exactly what you would do with real
+// face crops), and trains on the loaded copy.
+//
+// Usage:
+//   ./build/examples/custom_dataset [--dir ./my_dataset] [--samples 160]
+//
+// To use real data: fill a directory with same-size grayscale PGMs plus
+//   labels.txt:  "# classes no-face face" header, then "<file> <label>" rows.
+
+#include <cstdio>
+
+#include "dataset/face_generator.hpp"
+#include "dataset/loader.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdface;
+  const util::Args args(argc, argv);
+  const std::string dir = args.get("dir", "./custom_dataset_demo");
+  const auto samples = static_cast<std::size_t>(args.get_int("samples", 160));
+
+  // 1. Write a dataset in the on-disk layout (stand-in for your own data).
+  dataset::FaceDatasetConfig cfg;
+  cfg.image_size = 32;
+  cfg.num_samples = samples;
+  const auto generated = dataset::make_face_dataset(cfg);
+  dataset::save_dataset(generated, dir);
+  std::printf("wrote %zu PGMs + labels.txt under %s\n", generated.size(),
+              dir.c_str());
+
+  // 2. Load it back — this is the entry point for real datasets.
+  const auto loaded = dataset::load_dataset(dir);
+  std::printf("loaded dataset '%s': %zu images, %zu classes\n",
+              loaded.name.c_str(), loaded.size(), loaded.num_classes());
+
+  // 3. Split, train, evaluate.
+  const auto split = dataset::split(loaded, /*test_fraction=*/0.3, /*seed=*/9);
+  pipeline::HdFaceConfig pipe_cfg;
+  pipe_cfg.dim = 4096;
+  pipe_cfg.hog.cell_size = 4;
+  pipe_cfg.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
+  pipeline::HdFacePipeline pipe(pipe_cfg, loaded.images.front().width(),
+                                loaded.images.front().height(),
+                                loaded.num_classes());
+  pipe.fit(split.train);
+  std::printf("accuracy on held-out split: %.1f%%\n",
+              100.0 * pipe.evaluate(split.test));
+  return 0;
+}

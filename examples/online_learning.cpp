@@ -1,0 +1,71 @@
+// Online on-device learning (the paper's §1/§7 claim made concrete): HDFace
+// learns from a stream one sample at a time, reports prequential accuracy,
+// and adapts through a mid-stream distribution shift (the camera moves from
+// clean, well-lit windows to noisy, blurrier ones).
+//
+// Usage:
+//   ./build/examples/online_learning [--dim 4096] [--samples 400] [--decay 0.95]
+
+#include <cstdio>
+
+#include "dataset/face_generator.hpp"
+#include "learn/online.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdface;
+  const util::Args args(argc, argv);
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 4096));
+  const auto samples = static_cast<std::size_t>(args.get_int("samples", 400));
+  const double decay = args.get_double("decay", 0.95);
+  const std::size_t window = 32;
+
+  // Two stream phases: clean capture, then a harsher sensor.
+  dataset::FaceDatasetConfig clean_cfg;
+  clean_cfg.image_size = window;
+  clean_cfg.num_samples = samples / 2;
+  clean_cfg.noise_sigma = 0.02f;
+  const auto phase1 = dataset::make_face_dataset(clean_cfg);
+  dataset::FaceDatasetConfig harsh_cfg = clean_cfg;
+  harsh_cfg.seed = 777;
+  harsh_cfg.noise_sigma = 0.08f;
+  harsh_cfg.blur_sigma = 1.2;
+  const auto phase2 = dataset::make_face_dataset(harsh_cfg);
+
+  pipeline::HdFaceConfig cfg;
+  cfg.dim = dim;
+  cfg.hog.cell_size = 4;
+  cfg.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
+  cfg.epochs = 1;
+  pipeline::HdFacePipeline pipe(cfg, window, window, 2);
+
+  // Stream through a fresh classifier using the pipeline only as an encoder.
+  learn::HdcConfig hc;
+  hc.dim = dim;
+  hc.classes = 2;
+  learn::HdcClassifier model(hc);
+  learn::OnlineConfig oc;
+  oc.accuracy_window = 50;
+  oc.decay = decay;
+  learn::OnlineTrainer trainer(model, oc);
+
+  std::printf("streaming %zu samples (one adaptive update each, decay=%.2f)\n",
+              phase1.size() + phase2.size(), decay);
+  std::size_t step = 0;
+  for (const auto* phase : {&phase1, &phase2}) {
+    for (std::size_t i = 0; i < phase->size(); ++i, ++step) {
+      trainer.observe(pipe.encode_image(phase->images[i]), phase->labels[i]);
+      if (step % 50 == 49) {
+        std::printf("  after %4zu samples: windowed accuracy %.1f%%%s\n",
+                    step + 1, 100.0 * trainer.windowed_accuracy(),
+                    phase == &phase2 && i < 60 ? "  <- after sensor change" : "");
+      }
+    }
+  }
+  std::printf("lifetime prequential accuracy: %.1f%%\n",
+              100.0 * trainer.lifetime_accuracy());
+  std::printf("single-pass online learning: no stored dataset, no epochs —\n"
+              "each image is seen exactly once (paper §1 advantage 1).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the HDFace public API in ~60 lines.
+//
+//   1. stochastic arithmetic over binary hypervectors (the paper's §4 core),
+//   2. an end-to-end face/no-face classifier trained on synthetic data.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/stochastic.hpp"
+#include "dataset/face_generator.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+
+int main() {
+  using namespace hdface;
+
+  // --- 1. stochastic hyperdimensional arithmetic ---------------------------
+  // Numbers in [-1, 1] live as binary hypervectors whose similarity to a
+  // fixed basis equals the value; arithmetic is bitwise and noise-tolerant.
+  core::StochasticContext ctx(4096, /*seed=*/42);
+  const auto a = ctx.construct(0.6);
+  const auto b = ctx.construct(-0.3);
+  std::printf("decode(0.6)            = %+.3f\n", ctx.decode(a));
+  std::printf("average(0.6, -0.3)     = %+.3f (expect +0.15)\n",
+              ctx.decode(ctx.add_halved(a, b)));
+  std::printf("multiply(0.6, -0.3)    = %+.3f (expect -0.18)\n",
+              ctx.decode(ctx.multiply(a, b)));
+  std::printf("sqrt(0.36)             = %+.3f (expect +0.60)\n",
+              ctx.decode(ctx.sqrt(ctx.construct(0.36))));
+  std::printf("divide(0.3, 0.6)       = %+.3f (expect +0.50)\n",
+              ctx.decode(ctx.divide(ctx.construct(0.3), ctx.construct(0.6))));
+
+  // --- 2. end-to-end face detection ----------------------------------------
+  // Synthetic stand-in for the paper's face datasets (see DESIGN.md §3).
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 32;
+  data_cfg.num_samples = 200;
+  const auto train = dataset::make_face_dataset(data_cfg);
+  data_cfg.seed = 999;
+  data_cfg.num_samples = 80;
+  const auto test = dataset::make_face_dataset(data_cfg);
+
+  pipeline::HdFaceConfig cfg;
+  cfg.dim = 4096;
+  cfg.mode = pipeline::HdFaceMode::kHdHog;  // HOG fully in hyperspace
+  cfg.hog.cell_size = 4;
+  pipeline::HdFacePipeline pipe(cfg, 32, 32, 2);
+
+  std::printf("\ntraining HDFace (D=%zu, HD-HOG in hyperspace) on %zu images...\n",
+              cfg.dim, train.size());
+  pipe.fit(train);
+  std::printf("test accuracy: %.1f%%\n", 100.0 * pipe.evaluate(test));
+
+  const auto face = dataset::render_face_window(32, 7);
+  const auto clutter = dataset::render_nonface_window(32, 7, false);
+  std::printf("predict(face window)    -> %s\n",
+              pipe.predict(face) == 1 ? "face" : "no-face");
+  std::printf("predict(clutter window) -> %s\n",
+              pipe.predict(clutter) == 1 ? "face" : "no-face");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Robustness demo (the paper's Table 2 story in miniature): inject random
+// bit errors into HDFace's binary hypervectors and into a quantized DNN's
+// weight memory, and watch who survives.
+//
+// Usage:
+//   ./build/examples/robustness_demo [--dim 4096] [--train 250] [--test 120]
+//                                    [--bits 16]
+
+#include <cstdio>
+
+#include "dataset/face_generator.hpp"
+#include "learn/quantized_mlp.hpp"
+#include "pipeline/dnn_pipeline.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+#include "pipeline/robustness.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdface;
+  const util::Args args(argc, argv);
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 4096));
+  const auto n_train = static_cast<std::size_t>(args.get_int("train", 250));
+  const auto n_test = static_cast<std::size_t>(args.get_int("test", 120));
+  const int bits = static_cast<int>(args.get_int("bits", 16));
+
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 32;
+  data_cfg.num_samples = n_train;
+  const auto train = dataset::make_face_dataset(data_cfg);
+  data_cfg.num_samples = n_test;
+  data_cfg.seed = 777;
+  const auto test = dataset::make_face_dataset(data_cfg);
+
+  // HDFace: binary features + binary prototypes (the all-bitwise path).
+  pipeline::HdFaceConfig hd_cfg;
+  hd_cfg.dim = dim;
+  hd_cfg.hog.cell_size = 4;
+  hd_cfg.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
+  pipeline::HdFacePipeline hd(hd_cfg, 32, 32, 2);
+  std::printf("training HDFace (D=%zu)...\n", dim);
+  hd.fit(train);
+  const auto test_features = hd.encode_dataset(test);
+
+  // DNN baseline, quantized to `bits`.
+  pipeline::DnnConfig dnn_cfg;
+  dnn_cfg.hog.cell_size = 4;
+  dnn_cfg.hidden = {64, 64};
+  pipeline::DnnPipeline dnn(dnn_cfg, 32, 32, 2);
+  std::printf("training DNN (%d-bit weights)...\n", bits);
+  const auto train_f = dnn.extract_features(train);
+  const auto test_f = dnn.extract_features(test);
+  dnn.fit_features(train_f, train.labels);
+  learn::QuantizedMlp q(dnn.mutable_mlp(), bits);
+
+  util::Table table({"bit error rate", "HDFace accuracy", "DNN accuracy"});
+  for (const double rate : {0.0, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2}) {
+    const double hd_acc = pipeline::hdc_binary_accuracy_under_errors(
+        hd.classifier(), test_features, test.labels, rate, /*seed=*/5);
+    const double dnn_acc =
+        pipeline::dnn_accuracy_under_errors(q, test_f, test.labels, rate, 5);
+    table.add_row({util::Table::percent(rate, 0), util::Table::percent(hd_acc),
+                   util::Table::percent(dnn_acc)});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("holographic representations lose ~nothing below 10%% error;\n"
+              "positional weight encodings do not (paper Table 2).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "core/accumulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdface::core {
+
+Accumulator::Accumulator(std::size_t dim) : counts_(dim, 0.0) {
+  if (dim == 0) throw std::invalid_argument("Accumulator: dim must be > 0");
+}
+
+void Accumulator::add(const Hypervector& v, double weight) {
+  if (v.dim() != counts_.size()) {
+    throw std::invalid_argument("Accumulator: dimensionality mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += weight * static_cast<double>(v.element(i));
+  }
+  if (op_counter_) op_counter_->add(OpKind::kIntAdd, counts_.size());
+}
+
+void Accumulator::reset() {
+  for (auto& c : counts_) c = 0.0;
+}
+
+void Accumulator::set_counts(std::vector<double> counts) {
+  if (counts.size() != counts_.size()) {
+    throw std::invalid_argument("Accumulator: set_counts size mismatch");
+  }
+  counts_ = std::move(counts);
+}
+
+Hypervector Accumulator::threshold(Rng& rng) const {
+  if (counts_.empty()) throw std::logic_error("Accumulator: empty");
+  Hypervector out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0.0) {
+      out.set(i, true);
+    } else if (counts_[i] == 0.0 && (rng.next() & 1ULL)) {
+      out.set(i, true);
+    }
+  }
+  return out;
+}
+
+double Accumulator::cosine(const Hypervector& v) const {
+  if (v.dim() != counts_.size()) {
+    throw std::invalid_argument("Accumulator: dimensionality mismatch");
+  }
+  double dot = 0.0;
+  double nrm = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    dot += counts_[i] * static_cast<double>(v.element(i));
+    nrm += counts_[i] * counts_[i];
+  }
+  if (op_counter_) {
+    op_counter_->add(OpKind::kFloatMul, 2 * counts_.size());
+    op_counter_->add(OpKind::kFloatAdd, 2 * counts_.size());
+  }
+  if (nrm == 0.0) return 0.0;
+  // Query norm is √D exactly for bipolar vectors.
+  return dot / (std::sqrt(nrm) * std::sqrt(static_cast<double>(counts_.size())));
+}
+
+double Accumulator::norm() const {
+  double nrm = 0.0;
+  for (auto c : counts_) nrm += c * c;
+  return std::sqrt(nrm);
+}
+
+}  // namespace hdface::core

@@ -1,0 +1,58 @@
+#pragma once
+
+// Integer bundling accumulator.
+//
+// Bundling many binary hypervectors by repeated pairwise majority loses
+// information; the standard implementation keeps a per-dimension signed
+// counter (each vote adds ±1) and thresholds once at the end. The accumulator
+// also serves as the mutable class-prototype representation for HDC learning
+// (paper §5), where adaptive updates add weighted bipolar queries.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hypervector.hpp"
+#include "core/op_counter.hpp"
+#include "core/rng.hpp"
+
+namespace hdface::core {
+
+class Accumulator {
+ public:
+  Accumulator() = default;
+  explicit Accumulator(std::size_t dim);
+
+  std::size_t dim() const { return counts_.size(); }
+  bool empty() const { return counts_.empty(); }
+
+  // Adds `weight` × bipolar(v) to the counters (weight may be negative).
+  void add(const Hypervector& v, double weight = 1.0);
+
+  void reset();
+
+  double count(std::size_t i) const { return counts_[i]; }
+  const std::vector<double>& counts() const { return counts_; }
+
+  // Replaces the counter vector (deserialization); size must match dim().
+  void set_counts(std::vector<double> counts);
+
+  // Majority threshold: dimension i becomes +1 if its counter is positive,
+  // −1 if negative; exact zeros are broken by fair coin flips from rng.
+  Hypervector threshold(Rng& rng) const;
+
+  // Cosine similarity with a bipolar view of a binary hypervector.
+  // Returns 0 for an all-zero accumulator.
+  double cosine(const Hypervector& v) const;
+
+  // L2 norm of the counter vector.
+  double norm() const;
+
+  // Optional op accounting (kIntAdd per dimension touched).
+  void set_counter(OpCounter* counter) { op_counter_ = counter; }
+
+ private:
+  std::vector<double> counts_;
+  OpCounter* op_counter_ = nullptr;
+};
+
+}  // namespace hdface::core

@@ -1,0 +1,132 @@
+#include "core/hypervector.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hdface::core {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t dim) { return (dim + kWordBits - 1) / kWordBits; }
+
+std::uint64_t tail_mask(std::size_t dim) {
+  const std::size_t rem = dim % kWordBits;
+  return rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
+}
+}  // namespace
+
+Hypervector::Hypervector(std::size_t dim) : dim_(dim), words_(words_for(dim), 0) {
+  if (dim == 0) throw std::invalid_argument("Hypervector: dim must be > 0");
+}
+
+Hypervector Hypervector::random(std::size_t dim, Rng& rng) {
+  Hypervector v(dim);
+  for (auto& w : v.words_) w = rng.next();
+  v.mask_tail();
+  return v;
+}
+
+Hypervector Hypervector::bernoulli(std::size_t dim, double p, Rng& rng) {
+  Hypervector v(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (rng.uniform() < p) v.set(i, true);
+  }
+  return v;
+}
+
+bool Hypervector::get(std::size_t i) const {
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+void Hypervector::set(std::size_t i, bool value) {
+  const std::uint64_t bit = 1ULL << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= bit;
+  } else {
+    words_[i / kWordBits] &= ~bit;
+  }
+}
+
+void Hypervector::flip(std::size_t i) { words_[i / kWordBits] ^= 1ULL << (i % kWordBits); }
+
+std::size_t Hypervector::popcount() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+void Hypervector::check_compatible(const Hypervector& o) const {
+  if (dim_ != o.dim_) {
+    throw std::invalid_argument("Hypervector: dimensionality mismatch");
+  }
+}
+
+Hypervector Hypervector::operator^(const Hypervector& o) const {
+  check_compatible(o);
+  Hypervector r(dim_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] ^ o.words_[i];
+  return r;
+}
+
+Hypervector Hypervector::operator&(const Hypervector& o) const {
+  check_compatible(o);
+  Hypervector r(dim_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] & o.words_[i];
+  return r;
+}
+
+Hypervector Hypervector::operator|(const Hypervector& o) const {
+  check_compatible(o);
+  Hypervector r(dim_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] | o.words_[i];
+  return r;
+}
+
+Hypervector Hypervector::operator~() const {
+  Hypervector r(dim_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = ~words_[i];
+  r.mask_tail();
+  return r;
+}
+
+Hypervector& Hypervector::operator^=(const Hypervector& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+Hypervector Hypervector::rotated(std::size_t k) const {
+  Hypervector r(dim_);
+  k %= dim_;
+  if (k == 0) return *this;
+  // Bit i of the result takes bit (i - k) mod dim of the source.
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const std::size_t src = (i + dim_ - k) % dim_;
+    if (get(src)) r.set(i, true);
+  }
+  return r;
+}
+
+void Hypervector::mask_tail() {
+  if (!words_.empty()) words_.back() &= tail_mask(dim_);
+}
+
+std::size_t hamming(const Hypervector& a, const Hypervector& b) {
+  if (a.dim() != b.dim()) {
+    throw std::invalid_argument("hamming: dimensionality mismatch");
+  }
+  std::size_t h = 0;
+  const auto wa = a.words();
+  const auto wb = b.words();
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    h += static_cast<std::size_t>(std::popcount(wa[i] ^ wb[i]));
+  }
+  return h;
+}
+
+double similarity(const Hypervector& a, const Hypervector& b) {
+  return 1.0 - 2.0 * static_cast<double>(hamming(a, b)) / static_cast<double>(a.dim());
+}
+
+}  // namespace hdface::core

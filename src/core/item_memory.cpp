@@ -1,0 +1,60 @@
+#include "core/item_memory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdface::core {
+
+LevelItemMemory::LevelItemMemory(StochasticContext& ctx, std::size_t levels,
+                                 double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  if (levels < 2) throw std::invalid_argument("LevelItemMemory: need >= 2 levels");
+  if (!(lo < hi) || lo < -1.0 || hi > 1.0) {
+    throw std::invalid_argument("LevelItemMemory: range must satisfy -1 <= lo < hi <= 1");
+  }
+  const std::size_t dim = ctx.dim();
+
+  // Fixed random flip order shared by all levels: level t flips the first
+  // k(t) = round((1−t)/2 · D) positions of the basis, so δ(level, V₁) = t
+  // and levels close in value share most of their flip set (correlative).
+  std::vector<std::uint32_t> order(dim);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(mix64(ctx.config().seed, 0x17e77e7));
+  for (std::size_t i = dim - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.below(i + 1)]);
+  }
+
+  table_.reserve(levels);
+  for (std::size_t i = 0; i < levels; ++i) {
+    const double t = value_of_level_impl(i, levels);
+    const auto flips = static_cast<std::size_t>(
+        std::llround((1.0 - t) / 2.0 * static_cast<double>(dim)));
+    Hypervector v = ctx.basis();
+    for (std::size_t f = 0; f < flips; ++f) v.flip(order[f]);
+    table_.push_back(std::move(v));
+  }
+}
+
+double LevelItemMemory::value_of_level_impl(std::size_t i, std::size_t levels) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(levels - 1);
+}
+
+double LevelItemMemory::value_of_level(std::size_t i) const {
+  if (i >= table_.size()) throw std::out_of_range("LevelItemMemory: level index");
+  return value_of_level_impl(i, table_.size());
+}
+
+std::size_t LevelItemMemory::index_of(double v) const {
+  v = std::clamp(v, lo_, hi_);
+  const double t = (v - lo_) / (hi_ - lo_);
+  return static_cast<std::size_t>(
+      std::llround(t * static_cast<double>(table_.size() - 1)));
+}
+
+const Hypervector& LevelItemMemory::at_value(double v) const {
+  return table_[index_of(v)];
+}
+
+}  // namespace hdface::core

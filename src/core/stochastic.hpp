@@ -1,0 +1,146 @@
+#pragma once
+
+// Stochastic arithmetic over binary hypervectors (paper §4).
+//
+// A fixed random basis hypervector V₁ represents the number 1; a hypervector
+// V_a represents a ∈ [−1, 1] iff δ(V_a, V₁) = a, i.e. V_a agrees with V₁ on a
+// (1+a)/2 fraction of dimensions. Under this representation:
+//
+//   negation        −a  :  element-wise flip                 (exact)
+//   weighted avg  pa+qb :  per-dim random select, p + q = 1  (E exact, ±σ)
+//   multiplication  ab  :  V_a ^ V_b ^ V₁                    (E exact for
+//                          independently-random operands, ±σ)
+//   decode          a   :  δ(V_a, V₁) via XOR+popcount       (exact readout)
+//   divide / sqrt       :  binary search per the paper's §4.2 algorithm
+//
+// σ ~ 1/√D is the binomial sampling noise; Fig 2 of the paper (reproduced by
+// bench/fig2_arith_error) shows how it shrinks with dimensionality.
+//
+// Independence caveat: the multiplication identity requires the two operands'
+// randomness to be independent given V₁. The paper squares gradient vectors as
+// V_G ⊗ V_G, which taken literally always yields V₁ (≡ 1). We decorrelate by
+// regeneration — decode the operand exactly and re-construct a fresh
+// representation — the standard stochastic-computing fix (see DESIGN.md §2 and
+// bench/ablation_stochastic).
+
+#include <cstdint>
+
+#include "core/hypervector.hpp"
+#include "core/op_counter.hpp"
+#include "core/rng.hpp"
+
+namespace hdface::core {
+
+struct StochasticConfig {
+  std::size_t dim = 4096;
+  std::uint64_t seed = 0x5eed;
+  // Binary-search iterations for divide / sqrt. Interval error is 2^-iters,
+  // on top of the ~1/√D stochastic noise. 0 = auto: ⌈log₂√D⌉ + 1, i.e. just
+  // past the point where the interval term sinks below the stochastic noise.
+  int search_iters = 0;
+  // Probability resolution of Bernoulli masks: 2^-mask_bits (fresh-mask mode).
+  int mask_bits = 16;
+  // Selection-mask pool: > 0 enables reuse of precomputed Bernoulli masks
+  // (pool entries per quantized probability bucket). This is how optimized
+  // software/hardware implementations supply stochastic selection bits (LFSR
+  // banks / mask ROMs) instead of running a fresh RNG chain per operation —
+  // it cuts host time and modeled cost by ~an order of magnitude. Reuse
+  // introduces a small collision probability (1/pool per operand pair, mildly
+  // correlating results); bench/ablation_stochastic quantifies the effect.
+  // 0 = always generate fresh masks. Pool mode quantizes probabilities to 8
+  // bits (matching 8-bit pixel depth).
+  std::size_t mask_pool = 64;
+};
+
+class StochasticContext {
+ public:
+  explicit StochasticContext(const StochasticConfig& config);
+  StochasticContext(std::size_t dim, std::uint64_t seed)
+      : StochasticContext(StochasticConfig{.dim = dim, .seed = seed}) {}
+
+  std::size_t dim() const { return config_.dim; }
+  const StochasticConfig& config() const { return config_; }
+
+  // The basis hypervector V₁ (represents +1). Its negation represents −1.
+  const Hypervector& basis() const { return basis_; }
+
+  // Construct a fresh representation V_a of a ∈ [−1, 1] (clamped).
+  Hypervector construct(double a);
+
+  // Exact readout: δ(v, V₁).
+  double decode(const Hypervector& v) const;
+
+  // C = p·a ⊕ (1−p)·b : per-dimension random selection (paper's ⊕).
+  Hypervector weighted_average(const Hypervector& a, const Hypervector& b,
+                               double p);
+
+  // Represents (a+b)/2 — the paper's addition (used for HOG gradients).
+  Hypervector add_halved(const Hypervector& a, const Hypervector& b) {
+    return weighted_average(a, b, 0.5);
+  }
+
+  // Represents (a−b)/2.
+  Hypervector sub_halved(const Hypervector& a, const Hypervector& b) {
+    return weighted_average(a, ~b, 0.5);
+  }
+
+  // V_{ab} = V_a ^ V_b ^ V₁. Operands must carry independent randomness.
+  Hypervector multiply(const Hypervector& a, const Hypervector& b);
+
+  // Fresh representation of the same value (decorrelation).
+  Hypervector regenerate(const Hypervector& v) { return construct(decode(v)); }
+
+  // a² with regeneration-based decorrelation.
+  Hypervector square(const Hypervector& v);
+
+  // V_{c·a} for a constant c ∈ [−1, 1]: average with a fresh zero vector.
+  Hypervector scale(const Hypervector& v, double c);
+
+  // |a| (sign read out via decode, then conditional flip).
+  Hypervector abs(const Hypervector& v);
+
+  // √a for a ∈ [0, 1] via the paper's binary-search algorithm (negative
+  // inputs, which arise only from stochastic noise around 0, clamp to 0).
+  Hypervector sqrt(const Hypervector& v);
+
+  // a/b clamped to [−1, 1], via binary search with multiply + compare.
+  Hypervector divide(const Hypervector& a, const Hypervector& b);
+
+  // Hyperspace comparison: sign of δ(0.5a ⊕ 0.5(−b), V₁) with margin eps
+  // (default 2/√D, the statistical noise floor). Returns −1, 0 or +1.
+  int compare(const Hypervector& a, const Hypervector& b, double eps = -1.0);
+
+  // Sign of the represented value, with the same margin convention.
+  int sign_of(const Hypervector& v, double eps = -1.0) const;
+
+  // Fresh representation of zero.
+  Hypervector zero() { return construct(0.0); }
+
+  // Bernoulli selection mask: each bit 1 with probability p (quantized to
+  // mask_bits of precision). Exposed for tests and the item memory.
+  Hypervector bernoulli_mask(double p);
+
+  // Optional op accounting.
+  void set_counter(OpCounter* counter) { counter_ = counter; }
+  OpCounter* counter() const { return counter_; }
+
+  // Effective binary-search iteration count (resolves the auto setting).
+  int effective_search_iters() const;
+
+ private:
+  void count(OpKind kind, std::uint64_t n) {
+    if (counter_) counter_->add(kind, n);
+  }
+  double default_eps() const;
+  Hypervector fresh_mask(double p);
+
+  StochasticConfig config_;
+  Rng rng_;
+  Hypervector basis_;
+  OpCounter* counter_ = nullptr;
+  // mask_pool_[bucket] lazily holds `mask_pool` masks for probability
+  // bucket/255.
+  std::vector<std::vector<Hypervector>> pool_;
+};
+
+}  // namespace hdface::core

@@ -1,0 +1,113 @@
+#include "dataset/background_generator.hpp"
+
+#include <cmath>
+
+#include "image/draw.hpp"
+
+namespace hdface::dataset {
+
+namespace {
+
+void stripes(image::Image& img, core::Rng& rng) {
+  img.fill(static_cast<float>(0.3 + 0.4 * rng.uniform()));
+  const double angle = rng.uniform() * 3.14159265;
+  const double spacing = 3.0 + rng.uniform() * 10.0;
+  const double diag = std::hypot(static_cast<double>(img.width()),
+                                 static_cast<double>(img.height()));
+  const float v = static_cast<float>(rng.uniform());
+  const double nx = std::cos(angle);
+  const double ny = std::sin(angle);
+  for (double off = -diag; off <= diag; off += spacing) {
+    // Line with normal (nx, ny) at signed distance `off` from the center.
+    const double cx = img.width() / 2.0 + nx * off;
+    const double cy = img.height() / 2.0 + ny * off;
+    image::draw_line(img, cx - ny * diag, cy + nx * diag, cx + ny * diag,
+                     cy - nx * diag, v, 1.0 + rng.uniform() * 2.0);
+  }
+}
+
+void blobs(image::Image& img, core::Rng& rng) {
+  img.fill(static_cast<float>(0.2 + 0.6 * rng.uniform()));
+  const int count = 4 + static_cast<int>(rng.below(10));
+  for (int i = 0; i < count; ++i) {
+    image::fill_ellipse(img, rng.uniform() * img.width(), rng.uniform() * img.height(),
+                        (0.05 + 0.25 * rng.uniform()) * img.width(),
+                        (0.05 + 0.25 * rng.uniform()) * img.height(),
+                        static_cast<float>(rng.uniform()),
+                        static_cast<float>(0.5 + 0.5 * rng.uniform()),
+                        rng.uniform() * 3.14159265);
+  }
+}
+
+void gradient(image::Image& img, core::Rng& rng) {
+  img.fill(0.5f);
+  image::add_linear_gradient(img, rng.uniform() * 6.2831853,
+                             static_cast<float>(0.3 + 0.5 * rng.uniform()));
+  image::add_gaussian_blob(img, rng.uniform() * img.width(),
+                           rng.uniform() * img.height(),
+                           0.25 * img.width() * (0.5 + rng.uniform()),
+                           static_cast<float>(0.4 * (rng.uniform() - 0.5)));
+  img.clamp();
+}
+
+void checker(image::Image& img, core::Rng& rng) {
+  const double cell_w = 4.0 + rng.uniform() * 12.0;
+  const double cell_h = 4.0 + rng.uniform() * 12.0;
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      const auto ix = static_cast<long>(x / cell_w);
+      const auto iy = static_cast<long>(y / cell_h);
+      // Hash cell id into a stable pseudo-random intensity.
+      std::uint64_t s = core::mix64(static_cast<std::uint64_t>(ix) * 1315423911u,
+                                    static_cast<std::uint64_t>(iy) + 2654435761u);
+      img.at(x, y) = static_cast<float>((s >> 40) & 0xFF) / 255.0f;
+    }
+  }
+  // Jitter overall brightness.
+  const float shift = static_cast<float>(0.2 * (rng.uniform() - 0.5));
+  for (auto& p : img.pixels()) p += shift;
+  img.clamp();
+}
+
+}  // namespace
+
+void render_background(image::Image& img, BackgroundKind kind, core::Rng& rng) {
+  switch (kind) {
+    case BackgroundKind::kValueNoise:
+      img.fill(0.5f);
+      image::add_value_noise(img, rng, 4.0 + rng.uniform() * 12.0, 3,
+                             static_cast<float>(0.4 + 0.4 * rng.uniform()));
+      break;
+    case BackgroundKind::kStripes:
+      stripes(img, rng);
+      break;
+    case BackgroundKind::kBlobs:
+      blobs(img, rng);
+      break;
+    case BackgroundKind::kGradient:
+      gradient(img, rng);
+      break;
+    case BackgroundKind::kChecker:
+      checker(img, rng);
+      break;
+    case BackgroundKind::kMixed: {
+      render_background(img, random_background_kind(rng), rng);
+      image::Image overlay(img.width(), img.height(), 0.5f);
+      render_background(overlay, random_background_kind(rng), rng);
+      const float w = static_cast<float>(0.25 + 0.5 * rng.uniform());
+      for (std::size_t i = 0; i < img.size(); ++i) {
+        img.pixels()[i] = img.pixels()[i] * (1 - w) + overlay.pixels()[i] * w;
+      }
+      break;
+    }
+  }
+}
+
+BackgroundKind random_background_kind(core::Rng& rng) {
+  constexpr BackgroundKind kinds[] = {
+      BackgroundKind::kValueNoise, BackgroundKind::kStripes,
+      BackgroundKind::kBlobs, BackgroundKind::kGradient, BackgroundKind::kChecker};
+  return kinds[rng.below(5)];
+}
+
+}  // namespace hdface::dataset

@@ -1,0 +1,27 @@
+#pragma once
+
+// Non-face background/clutter synthesis for negative samples and scene
+// canvases (Fig 6). Draws from several texture families so that negatives are
+// not separable by any single low-order statistic.
+
+#include "core/rng.hpp"
+#include "image/image.hpp"
+
+namespace hdface::dataset {
+
+enum class BackgroundKind {
+  kValueNoise,   // multi-octave smooth noise
+  kStripes,      // oriented parallel lines (strong spurious gradients)
+  kBlobs,        // scattered ellipses of random intensity
+  kGradient,     // smooth illumination ramps
+  kChecker,      // rectangular patchwork
+  kMixed,        // random mixture of the above
+};
+
+// Fills img with a procedural background of the given kind.
+void render_background(image::Image& img, BackgroundKind kind, core::Rng& rng);
+
+// Random kind (uniform over the concrete families).
+BackgroundKind random_background_kind(core::Rng& rng);
+
+}  // namespace hdface::dataset

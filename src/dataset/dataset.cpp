@@ -1,0 +1,97 @@
+#include "dataset/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace hdface::dataset {
+
+void Dataset::validate() const {
+  if (images.size() != labels.size()) {
+    throw std::logic_error("Dataset: images/labels size mismatch");
+  }
+  if (class_names.empty()) throw std::logic_error("Dataset: no classes");
+  for (auto l : labels) {
+    if (l < 0 || static_cast<std::size_t>(l) >= class_names.size()) {
+      throw std::logic_error("Dataset: label out of range");
+    }
+  }
+  if (!images.empty()) {
+    const auto w = images.front().width();
+    const auto h = images.front().height();
+    for (const auto& img : images) {
+      if (img.width() != w || img.height() != h) {
+        throw std::logic_error("Dataset: inconsistent image sizes");
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(class_names.size(), 0);
+  for (auto l : labels) hist[static_cast<std::size_t>(l)]++;
+  return hist;
+}
+
+Split split(const Dataset& data, double test_fraction, std::uint64_t seed) {
+  if (test_fraction < 0.0 || test_fraction > 1.0) {
+    throw std::invalid_argument("split: test_fraction out of range");
+  }
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  core::Rng rng(core::mix64(seed, 0x5911));
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  const auto test_count =
+      static_cast<std::size_t>(test_fraction * static_cast<double>(data.size()));
+  Split out;
+  out.train.name = data.name + "/train";
+  out.test.name = data.name + "/test";
+  out.train.class_names = out.test.class_names = data.class_names;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Dataset& dst = i < test_count ? out.test : out.train;
+    dst.images.push_back(data.images[order[i]]);
+    dst.labels.push_back(data.labels[order[i]]);
+  }
+  return out;
+}
+
+Dataset subsample(const Dataset& data, std::size_t n, std::uint64_t seed) {
+  if (n >= data.size()) return data;
+  // Stratified: walk a shuffled order, keeping per-class quotas balanced.
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  core::Rng rng(core::mix64(seed, 0x5ab5a));
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  const std::size_t classes = data.num_classes();
+  const std::size_t quota = (n + classes - 1) / classes;
+  std::vector<std::size_t> taken(classes, 0);
+  std::vector<bool> chosen(data.size(), false);
+  Dataset out;
+  out.name = data.name + "/sub";
+  out.class_names = data.class_names;
+  for (auto idx : order) {
+    if (out.size() >= n) break;
+    const auto label = static_cast<std::size_t>(data.labels[idx]);
+    if (taken[label] >= quota) continue;
+    taken[label]++;
+    chosen[idx] = true;
+    out.images.push_back(data.images[idx]);
+    out.labels.push_back(data.labels[idx]);
+  }
+  // Fill any remainder ignoring quotas (classes may be imbalanced).
+  for (auto idx : order) {
+    if (out.size() >= n) break;
+    if (chosen[idx]) continue;
+    out.images.push_back(data.images[idx]);
+    out.labels.push_back(data.labels[idx]);
+  }
+  return out;
+}
+
+}  // namespace hdface::dataset

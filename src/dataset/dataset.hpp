@@ -1,0 +1,46 @@
+#pragma once
+
+// Labeled image dataset container with deterministic splits.
+//
+// The paper evaluates on three datasets (Table 1): EMOTION (48×48, 7-way),
+// FACE1 (high-resolution face/no-face) and FACE2 (large face/no-face). The
+// public Kaggle sources are unavailable offline, so src/dataset provides
+// procedural generators with the same shape (see DESIGN.md §3); this
+// container is generator-agnostic and also loads external PGM datasets.
+
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace hdface::dataset {
+
+struct Dataset {
+  std::string name;
+  std::vector<std::string> class_names;
+  std::vector<image::Image> images;
+  std::vector<int> labels;
+
+  std::size_t size() const { return images.size(); }
+  std::size_t num_classes() const { return class_names.size(); }
+
+  // Throws std::logic_error describing the first violated invariant
+  // (size mismatch, label range, inconsistent image sizes), if any.
+  void validate() const;
+
+  // Per-class sample counts.
+  std::vector<std::size_t> class_histogram() const;
+};
+
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+// Deterministic shuffled split; test_fraction of samples go to test.
+Split split(const Dataset& data, double test_fraction, std::uint64_t seed);
+
+// Deterministic subsample of at most n samples (stratified by class).
+Dataset subsample(const Dataset& data, std::size_t n, std::uint64_t seed);
+
+}  // namespace hdface::dataset

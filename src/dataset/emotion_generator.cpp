@@ -1,0 +1,119 @@
+#include "dataset/emotion_generator.hpp"
+
+#include <stdexcept>
+
+#include "core/rng.hpp"
+#include "dataset/background_generator.hpp"
+#include "image/draw.hpp"
+#include "image/transform.hpp"
+
+namespace hdface::dataset {
+
+const char* emotion_name(Emotion e) {
+  switch (e) {
+    case Emotion::kAngry: return "angry";
+    case Emotion::kDisgust: return "disgust";
+    case Emotion::kFear: return "fear";
+    case Emotion::kHappy: return "happy";
+    case Emotion::kNeutral: return "neutral";
+    case Emotion::kSad: return "sad";
+    case Emotion::kSurprise: return "surprise";
+  }
+  throw std::invalid_argument("emotion_name: bad enum");
+}
+
+FaceParams emotion_params(Emotion e) {
+  FaceParams p;
+  // Emotion faces fill the window (FER-style tight crops).
+  p.head_rx = 0.40;
+  p.head_ry = 0.46;
+  p.center_y = 0.50;
+  switch (e) {
+    case Emotion::kAngry:
+      p.brow_angle = -0.9;   // inner ends down
+      p.brow_raise = -0.5;
+      p.eye_open = -0.4;
+      p.mouth_curve = -0.35;
+      p.mouth_width = 0.85;
+      break;
+    case Emotion::kDisgust:
+      p.nose_wrinkle = 0.9;
+      p.eye_open = -0.5;
+      p.brow_raise = -0.3;
+      p.mouth_curve = -0.5;
+      p.mouth_width = 0.75;
+      break;
+    case Emotion::kFear:
+      p.eye_open = 0.9;
+      p.brow_raise = 0.8;
+      p.brow_angle = 0.5;
+      p.mouth_open = 0.35;
+      p.mouth_width = 0.8;
+      break;
+    case Emotion::kHappy:
+      p.mouth_curve = 0.9;
+      p.mouth_width = 1.2;
+      p.eye_open = 0.1;
+      p.brow_raise = 0.2;
+      break;
+    case Emotion::kNeutral:
+      break;
+    case Emotion::kSad:
+      p.mouth_curve = -0.8;
+      p.brow_angle = 0.8;    // inner ends up
+      p.brow_raise = 0.1;
+      p.eye_open = -0.3;
+      break;
+    case Emotion::kSurprise:
+      p.eye_open = 1.0;
+      p.brow_raise = 1.0;
+      p.mouth_open = 0.9;
+      p.mouth_width = 0.75;
+      break;
+  }
+  return p;
+}
+
+namespace {
+image::Image emotion_window(std::size_t size, Emotion e, core::Rng& rng,
+                            const EmotionDatasetConfig& config) {
+  image::Image img(size, size);
+  // FER crops have mild backgrounds; keep clutter low so expression dominates.
+  img.fill(static_cast<float>(0.3 + 0.3 * rng.uniform()));
+  image::add_value_noise(img, rng, 10.0, 2, 0.2f);
+  FaceParams params = jitter_expression(
+      jitter_identity(emotion_params(e), rng, config.jitter_amount), rng,
+      config.expression_jitter);
+  render_face(img, params);
+  if (config.blur_sigma > 0.0) img = image::gaussian_blur(img, config.blur_sigma);
+  image::add_gaussian_noise(img, rng, config.noise_sigma);
+  return img;
+}
+}  // namespace
+
+Dataset make_emotion_dataset(const EmotionDatasetConfig& config) {
+  Dataset data;
+  data.name = "EMOTION";
+  data.class_names.reserve(kNumEmotions);
+  for (int c = 0; c < kNumEmotions; ++c) {
+    data.class_names.push_back(emotion_name(static_cast<Emotion>(c)));
+  }
+  data.images.reserve(config.num_samples);
+  data.labels.reserve(config.num_samples);
+  for (std::size_t i = 0; i < config.num_samples; ++i) {
+    const auto label = static_cast<int>(i % kNumEmotions);  // balanced
+    core::Rng rng(core::mix64(config.seed, i));
+    data.images.push_back(emotion_window(config.image_size,
+                                         static_cast<Emotion>(label), rng, config));
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+image::Image render_emotion_window(std::size_t size, Emotion e, std::uint64_t seed) {
+  core::Rng rng(core::mix64(seed, 0xE307));
+  EmotionDatasetConfig config;
+  return emotion_window(size, e, rng, config);
+}
+
+}  // namespace hdface::dataset

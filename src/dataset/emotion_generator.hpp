@@ -1,0 +1,49 @@
+#pragma once
+
+// 7-class facial-emotion dataset synthesis (stand-in for the paper's EMOTION
+// dataset — FER-2013-shaped: 48×48 grayscale, 7 classes).
+
+#include <cstdint>
+
+#include "dataset/dataset.hpp"
+#include "dataset/face_render.hpp"
+
+namespace hdface::dataset {
+
+// FER-2013 class order.
+enum class Emotion : int {
+  kAngry = 0,
+  kDisgust,
+  kFear,
+  kHappy,
+  kNeutral,
+  kSad,
+  kSurprise,
+};
+
+constexpr int kNumEmotions = 7;
+
+const char* emotion_name(Emotion e);
+
+// Canonical expression parameters for a class (before identity jitter).
+FaceParams emotion_params(Emotion e);
+
+struct EmotionDatasetConfig {
+  std::size_t image_size = 48;
+  std::size_t num_samples = 700;  // balanced across the 7 classes
+  std::uint64_t seed = 7;
+  float noise_sigma = 0.03f;
+  double blur_sigma = 0.5;
+  // Identity (head geometry / tone) jitter — class-independent variation.
+  double jitter_amount = 0.55;
+  // Expression jitter around the class prototype; raising it makes classes
+  // overlap (as real FER classes do).
+  double expression_jitter = 0.25;
+};
+
+Dataset make_emotion_dataset(const EmotionDatasetConfig& config);
+
+// One rendered sample (exposed for the Fig 6 emotion visualization).
+image::Image render_emotion_window(std::size_t size, Emotion e, std::uint64_t seed);
+
+}  // namespace hdface::dataset

@@ -1,0 +1,133 @@
+#include "dataset/face_generator.hpp"
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "dataset/background_generator.hpp"
+#include "dataset/face_render.hpp"
+#include "image/draw.hpp"
+#include "image/transform.hpp"
+
+namespace hdface::dataset {
+
+namespace {
+
+image::Image face_window(std::size_t size, core::Rng& rng, float noise_sigma,
+                         double blur_sigma, double masked_fraction = 0.0) {
+  image::Image img(size, size);
+  render_background(img, random_background_kind(rng), rng);
+  FaceParams params = jitter_face(FaceParams{}, rng);
+  params.mask_on = rng.uniform() < masked_fraction;
+  if (params.mask_on) {
+    params.mask_tone = static_cast<float>(0.6 + 0.35 * rng.uniform());
+  }
+  render_face(img, params);
+  if (blur_sigma > 0.0) img = image::gaussian_blur(img, blur_sigma);
+  image::add_gaussian_noise(img, rng, noise_sigma);
+  return img;
+}
+
+// Hard negatives: face-like *part* arrangements that defeat trivial cues —
+// two dark blobs without the rest of the facial geometry, or a bare head
+// outline without features.
+image::Image hard_negative_window(std::size_t size, core::Rng& rng,
+                                  float noise_sigma, double blur_sigma) {
+  image::Image img(size, size);
+  render_background(img, random_background_kind(rng), rng);
+  const double W = static_cast<double>(size);
+  if (rng.uniform() < 0.5) {
+    // Eye-pair-like blobs at a random (non-face) spacing and height.
+    const double cy = (0.2 + 0.6 * rng.uniform()) * W;
+    const double cx = (0.3 + 0.4 * rng.uniform()) * W;
+    const double gap = (0.1 + 0.5 * rng.uniform()) * W;
+    for (const double side : {-0.5, 0.5}) {
+      image::fill_ellipse(img, cx + side * gap, cy, 0.05 * W, 0.04 * W, 0.12f);
+    }
+  } else {
+    // Featureless head-like ellipse.
+    image::fill_ellipse(img, 0.5 * W, 0.5 * W, (0.25 + 0.15 * rng.uniform()) * W,
+                        (0.3 + 0.15 * rng.uniform()) * W,
+                        static_cast<float>(0.5 + 0.3 * rng.uniform()));
+  }
+  if (blur_sigma > 0.0) img = image::gaussian_blur(img, blur_sigma);
+  image::add_gaussian_noise(img, rng, noise_sigma);
+  return img;
+}
+
+image::Image easy_negative_window(std::size_t size, core::Rng& rng,
+                                  float noise_sigma, double blur_sigma) {
+  image::Image img(size, size);
+  render_background(img, random_background_kind(rng), rng);
+  if (blur_sigma > 0.0) img = image::gaussian_blur(img, blur_sigma);
+  image::add_gaussian_noise(img, rng, noise_sigma);
+  return img;
+}
+
+}  // namespace
+
+Dataset make_face_dataset(const FaceDatasetConfig& config) {
+  Dataset data;
+  data.name = config.name;
+  data.class_names = {"no-face", "face"};
+  data.images.reserve(config.num_samples);
+  data.labels.reserve(config.num_samples);
+  for (std::size_t i = 0; i < config.num_samples; ++i) {
+    core::Rng rng(core::mix64(config.seed, i));
+    const bool positive = (i % 2) == 1;  // balanced, deterministic
+    if (positive) {
+      data.images.push_back(face_window(config.image_size, rng,
+                                        config.noise_sigma, config.blur_sigma,
+                                        config.masked_fraction));
+      data.labels.push_back(1);
+    } else {
+      const bool hard = rng.uniform() < config.hard_negative_fraction;
+      data.images.push_back(
+          hard ? hard_negative_window(config.image_size, rng, config.noise_sigma,
+                                      config.blur_sigma)
+               : easy_negative_window(config.image_size, rng, config.noise_sigma,
+                                      config.blur_sigma));
+      data.labels.push_back(0);
+    }
+  }
+  return data;
+}
+
+FaceDatasetConfig face1_config(std::size_t num_samples, std::uint64_t seed,
+                               bool paper_scale) {
+  FaceDatasetConfig c;
+  c.name = "FACE1";
+  c.image_size = paper_scale ? 1024 : 64;
+  c.num_samples = num_samples;
+  c.seed = seed;
+  c.noise_sigma = 0.02f;  // FACE1 is the "clean, high-res" dataset
+  c.blur_sigma = 0.5;
+  c.hard_negative_fraction = 0.2;
+  c.masked_fraction = 0.5;  // Face-Mask-Lite: masked and unmasked faces
+  return c;
+}
+
+FaceDatasetConfig face2_config(std::size_t num_samples, std::uint64_t seed,
+                               bool paper_scale) {
+  FaceDatasetConfig c;
+  c.name = "FACE2";
+  c.image_size = paper_scale ? 512 : 48;
+  c.num_samples = num_samples;
+  c.seed = core::mix64(seed, 0xFACE2);
+  c.noise_sigma = 0.045f;  // harder: noisier, more hard negatives
+  c.blur_sigma = 0.8;
+  c.hard_negative_fraction = 0.35;
+  return c;
+}
+
+image::Image render_face_window(std::size_t size, std::uint64_t seed) {
+  core::Rng rng(core::mix64(seed, 0xFACE));
+  return face_window(size, rng, 0.03f, 0.6);
+}
+
+image::Image render_nonface_window(std::size_t size, std::uint64_t seed, bool hard) {
+  core::Rng rng(core::mix64(seed, 0x0FF));
+  return hard ? hard_negative_window(size, rng, 0.03f, 0.6)
+              : easy_negative_window(size, rng, 0.03f, 0.6);
+}
+
+}  // namespace hdface::dataset

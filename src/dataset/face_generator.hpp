@@ -1,0 +1,44 @@
+#pragma once
+
+// Face / no-face dataset synthesis (stand-ins for the paper's FACE1 and FACE2
+// datasets, Table 1). Positives are jittered procedural faces over clutter;
+// negatives are clutter-only windows plus "hard" negatives (face-adjacent
+// crops and part-like blob arrangements).
+
+#include <cstdint>
+
+#include "dataset/dataset.hpp"
+
+namespace hdface::dataset {
+
+struct FaceDatasetConfig {
+  std::size_t image_size = 48;   // square windows (paper: 1024 / 512; see DESIGN.md)
+  std::size_t num_samples = 600; // total (balanced)
+  std::uint64_t seed = 42;
+  float noise_sigma = 0.03f;     // sensor noise
+  double blur_sigma = 0.6;       // optics blur
+  double hard_negative_fraction = 0.25;
+  // Fraction of positive faces wearing a mask (FACE1's source is the
+  // Face-Mask-Lite dataset).
+  double masked_fraction = 0.0;
+  std::string name = "FACE";
+};
+
+// Balanced two-class dataset; label 0 = no-face, 1 = face.
+Dataset make_face_dataset(const FaceDatasetConfig& config);
+
+// Table-1-shaped presets (sizes scaled for a laptop-class run; pass
+// paper_scale = true for the original resolutions).
+FaceDatasetConfig face1_config(std::size_t num_samples, std::uint64_t seed,
+                               bool paper_scale = false);
+FaceDatasetConfig face2_config(std::size_t num_samples, std::uint64_t seed,
+                               bool paper_scale = false);
+
+// One positive face window (exposed for the Fig 6 scene composer).
+image::Image render_face_window(std::size_t size, std::uint64_t seed);
+
+// One negative window.
+image::Image render_nonface_window(std::size_t size, std::uint64_t seed,
+                                   bool hard);
+
+}  // namespace hdface::dataset

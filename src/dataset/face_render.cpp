@@ -1,0 +1,149 @@
+#include "dataset/face_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/draw.hpp"
+
+namespace hdface::dataset {
+
+using image::draw_arc;
+using image::draw_line;
+using image::fill_ellipse;
+
+void render_face(image::Image& img, const FaceParams& p) {
+  const double W = static_cast<double>(img.width());
+  const double H = static_cast<double>(img.height());
+  const double cx = p.center_x * W;
+  const double cy = p.center_y * H;
+  const double rx = p.head_rx * W;
+  const double ry = p.head_ry * H;
+
+  // Head.
+  fill_ellipse(img, cx, cy, rx, ry, p.skin, 1.0f, p.tilt);
+  // Simple shading: slightly darker left cheek, lighter forehead.
+  fill_ellipse(img, cx - 0.45 * rx, cy + 0.15 * ry, 0.5 * rx, 0.55 * ry,
+               p.skin * 0.88f, 0.5f, p.tilt);
+  fill_ellipse(img, cx, cy - 0.55 * ry, 0.7 * rx, 0.35 * ry, p.skin * 1.12f,
+               0.4f, p.tilt);
+
+  // Hair cap.
+  if (p.hair_on) {
+    fill_ellipse(img, cx, cy - 0.72 * ry, 0.95 * rx, 0.45 * ry, p.hair, 1.0f,
+                 p.tilt);
+    // Re-draw the upper forehead so hair does not swallow the whole brow zone.
+    fill_ellipse(img, cx, cy - 0.30 * ry, 0.80 * rx, 0.38 * ry, p.skin, 0.9f,
+                 p.tilt);
+  }
+
+  const double ca = std::cos(p.tilt);
+  const double sa = std::sin(p.tilt);
+  // Face-local coordinates (u right, v down in head units) → image.
+  auto fx = [&](double u, double v) { return cx + (u * ca - v * sa) * rx; };
+  auto fy = [&](double u, double v) { return cy + (u * sa + v * ca) * ry; };
+
+  // Eyes.
+  const double eye_v = -0.18;
+  const double eye_u = 0.38;
+  const double eye_h = 0.085 * (1.0 + 0.8 * p.eye_open);
+  const double eye_w = 0.16;
+  for (const double side : {-1.0, 1.0}) {
+    const double ex = fx(side * eye_u, eye_v);
+    const double ey = fy(side * eye_u, eye_v);
+    // Sclera then iris: wide eyes show more sclera.
+    fill_ellipse(img, ex, ey, eye_w * rx, eye_h * ry, 0.95f, 1.0f, p.tilt);
+    fill_ellipse(img, ex, ey, 0.55 * eye_w * rx,
+                 std::min(eye_h, 0.075) * ry, p.feature, 1.0f, p.tilt);
+  }
+
+  // Brows.
+  const double brow_v = eye_v - 0.16 - 0.09 * p.brow_raise;
+  for (const double side : {-1.0, 1.0}) {
+    const double inner_u = side * (eye_u - 0.14);
+    const double outer_u = side * (eye_u + 0.14);
+    // brow_angle > 0 lifts the inner ends (sad/fear); < 0 lowers them (anger).
+    const double inner_v = brow_v - 0.09 * p.brow_angle;
+    const double outer_v = brow_v + 0.09 * p.brow_angle;
+    draw_line(img, fx(inner_u, inner_v), fy(inner_u, inner_v), fx(outer_u, outer_v),
+              fy(outer_u, outer_v), p.feature,
+              std::max(1.0, 0.035 * ry * (1.0 + 0.3 * std::fabs(p.brow_angle))));
+  }
+
+  // Nose.
+  draw_line(img, fx(0.0, -0.08), fy(0.0, -0.08), fx(0.03, 0.18), fy(0.03, 0.18),
+            p.skin * 0.75f, std::max(1.0, 0.03 * ry));
+  draw_line(img, fx(0.03, 0.18), fy(0.03, 0.18), fx(-0.05, 0.20), fy(-0.05, 0.20),
+            p.skin * 0.70f, std::max(1.0, 0.03 * ry));
+  if (p.nose_wrinkle > 0.05) {
+    for (int k = 0; k < 2; ++k) {
+      const double v0 = 0.02 + 0.06 * k;
+      draw_line(img, fx(-0.10, v0), fy(-0.10, v0), fx(0.10, v0 - 0.03),
+                fy(0.10, v0 - 0.03), p.skin * 0.72f,
+                std::max(1.0, 0.02 * ry), static_cast<float>(p.nose_wrinkle));
+    }
+  }
+
+  // Mouth.
+  const double mouth_v = 0.42;
+  const double mw = 0.30 * p.mouth_width;
+  const double curve = 0.28 * p.mouth_curve;
+  if (p.mouth_open > 0.05) {
+    fill_ellipse(img, fx(0.0, mouth_v), fy(0.0, mouth_v), mw * rx,
+                 (0.05 + 0.14 * p.mouth_open) * ry, p.feature, 1.0f, p.tilt);
+    if (p.mouth_open > 0.4) {
+      // Teeth hint on wide-open mouths (surprise).
+      fill_ellipse(img, fx(0.0, mouth_v - 0.05 * p.mouth_open),
+                   fy(0.0, mouth_v - 0.05 * p.mouth_open), 0.7 * mw * rx,
+                   0.035 * ry, 0.9f, 1.0f, p.tilt);
+    }
+  } else {
+    draw_arc(img, fx(-mw, mouth_v + curve), fy(-mw, mouth_v + curve),
+             fx(0.0, mouth_v - curve), fy(0.0, mouth_v - curve),
+             fx(mw, mouth_v + curve), fy(mw, mouth_v + curve), p.feature,
+             std::max(1.0, 0.045 * ry));
+  }
+
+  // Face mask: covers the nose tip and mouth, with ear straps.
+  if (p.mask_on) {
+    fill_ellipse(img, fx(0.0, 0.33), fy(0.0, 0.33), 0.62 * rx, 0.40 * ry,
+                 p.mask_tone, 1.0f, p.tilt);
+    for (const double side : {-1.0, 1.0}) {
+      draw_line(img, fx(side * 0.55, 0.20), fy(side * 0.55, 0.20),
+                fx(side * 0.98, -0.05), fy(side * 0.98, -0.05),
+                p.mask_tone * 0.9f, std::max(1.0, 0.02 * ry));
+    }
+  }
+
+  img.clamp();
+}
+
+FaceParams jitter_identity(FaceParams p, core::Rng& rng, double amount) {
+  auto j = [&](double spread) { return amount * spread * (2.0 * rng.uniform() - 1.0); };
+  p.center_x += j(0.04);
+  p.center_y += j(0.04);
+  p.head_rx *= 1.0 + j(0.12);
+  p.head_ry *= 1.0 + j(0.10);
+  p.tilt += j(0.12);
+  p.skin = std::clamp(p.skin + static_cast<float>(j(0.10)), 0.35f, 0.95f);
+  p.feature = std::clamp(p.feature + static_cast<float>(j(0.06)), 0.02f, 0.45f);
+  p.hair = std::clamp(p.hair + static_cast<float>(j(0.15)), 0.05f, 0.6f);
+  p.hair_on = rng.uniform() > 0.15;  // some bald faces
+  return p;
+}
+
+FaceParams jitter_expression(FaceParams p, core::Rng& rng, double amount) {
+  auto j = [&](double spread) { return amount * spread * (2.0 * rng.uniform() - 1.0); };
+  p.eye_open = std::clamp(p.eye_open + j(0.25), -1.0, 1.0);
+  p.brow_raise = std::clamp(p.brow_raise + j(0.25), -1.0, 1.0);
+  p.brow_angle = std::clamp(p.brow_angle + j(0.20), -1.0, 1.0);
+  p.mouth_curve = std::clamp(p.mouth_curve + j(0.25), -1.0, 1.0);
+  p.mouth_open = std::clamp(p.mouth_open + j(0.15), 0.0, 1.0);
+  p.mouth_width = std::clamp(p.mouth_width * (1.0 + j(0.15)), 0.6, 1.4);
+  return p;
+}
+
+FaceParams jitter_face(FaceParams p, core::Rng& rng, double amount) {
+  return jitter_expression(jitter_identity(p, rng, amount), rng, amount);
+}
+
+}  // namespace hdface::dataset

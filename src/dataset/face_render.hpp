@@ -1,0 +1,60 @@
+#pragma once
+
+// Parameterized procedural face renderer.
+//
+// A single numeric parameter block drives head geometry, eyes, brows, nose and
+// mouth, so the face generator (identity/pose jitter) and the emotion
+// generator (expression parameters) share one renderer. Coordinates are
+// normalized to the face bounding box, making the renderer resolution
+// independent.
+
+#include "core/rng.hpp"
+#include "image/image.hpp"
+
+namespace hdface::dataset {
+
+struct FaceParams {
+  // Geometry (fractions of the window size).
+  double center_x = 0.5;
+  double center_y = 0.52;
+  double head_rx = 0.32;   // head half-width
+  double head_ry = 0.40;   // head half-height
+  double tilt = 0.0;       // radians
+
+  // Photometric.
+  float skin = 0.70f;      // skin intensity
+  float feature = 0.15f;   // feature (eyes/brows/mouth) intensity
+  float hair = 0.25f;      // hair intensity
+  bool hair_on = true;
+
+  // Expression, all roughly in [-1, 1] unless noted.
+  double eye_open = 0.0;     // −1 narrowed … +1 wide
+  double brow_raise = 0.0;   // −1 lowered … +1 raised
+  double brow_angle = 0.0;   // −1 inner-down (anger) … +1 inner-up (sadness)
+  double mouth_curve = 0.0;  // −1 frown … +1 smile
+  double mouth_open = 0.0;   // 0 closed … 1 wide open
+  double mouth_width = 1.0;  // relative width multiplier
+  double nose_wrinkle = 0.0; // 0 none … 1 strong (disgust)
+
+  // Face mask covering nose and mouth (the paper's FACE1 source is the
+  // Face-Mask-Lite dataset).
+  bool mask_on = false;
+  float mask_tone = 0.85f;
+};
+
+// Renders the face over whatever is already in `img` (background first).
+void render_face(image::Image& img, const FaceParams& params);
+
+// Jitters only identity/pose/photometric parameters (head geometry, tilt,
+// skin/hair tones) — expression parameters are untouched. This is what the
+// emotion generator uses so class-defining expressions are not washed out.
+FaceParams jitter_identity(FaceParams params, core::Rng& rng, double amount = 1.0);
+
+// Jitters only expression parameters.
+FaceParams jitter_expression(FaceParams params, core::Rng& rng,
+                             double amount = 1.0);
+
+// Full jitter: identity plus expression (face/no-face generation).
+FaceParams jitter_face(FaceParams params, core::Rng& rng, double amount = 1.0);
+
+}  // namespace hdface::dataset

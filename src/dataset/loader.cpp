@@ -1,0 +1,72 @@
+#include "dataset/loader.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "image/pnm.hpp"
+
+namespace hdface::dataset {
+
+namespace fs = std::filesystem;
+
+void save_dataset(const Dataset& data, const std::string& dir) {
+  data.validate();
+  fs::create_directories(dir);
+  std::ofstream manifest(fs::path(dir) / "labels.txt");
+  if (!manifest) throw std::runtime_error("save_dataset: cannot write manifest");
+  manifest << "# dataset " << data.name << "\n";
+  manifest << "# classes";
+  for (const auto& c : data.class_names) manifest << " " << c;
+  manifest << "\n";
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::ostringstream name;
+    name << i << ".pgm";
+    image::write_pgm(data.images[i], (fs::path(dir) / name.str()).string());
+    manifest << name.str() << " " << data.labels[i] << "\n";
+  }
+}
+
+Dataset load_dataset(const std::string& dir) {
+  std::ifstream manifest(fs::path(dir) / "labels.txt");
+  if (!manifest) throw std::runtime_error("load_dataset: missing labels.txt in " + dir);
+  Dataset data;
+  data.name = fs::path(dir).filename().string();
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hdr(line.substr(1));
+      std::string tag;
+      hdr >> tag;
+      if (tag == "dataset") {
+        hdr >> data.name;
+      } else if (tag == "classes") {
+        std::string c;
+        while (hdr >> c) data.class_names.push_back(c);
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    std::string file;
+    int label = -1;
+    if (!(row >> file >> label)) {
+      throw std::runtime_error("load_dataset: malformed manifest line: " + line);
+    }
+    data.images.push_back(image::read_pgm((fs::path(dir) / file).string()));
+    data.labels.push_back(label);
+  }
+  if (data.class_names.empty()) {
+    // Infer class count from labels when the header is absent.
+    int max_label = -1;
+    for (auto l : data.labels) max_label = std::max(max_label, l);
+    for (int c = 0; c <= max_label; ++c) {
+      data.class_names.push_back("class" + std::to_string(c));
+    }
+  }
+  data.validate();
+  return data;
+}
+
+}  // namespace hdface::dataset

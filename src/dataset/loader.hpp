@@ -1,0 +1,21 @@
+#pragma once
+
+// Disk persistence for datasets: a directory of 8-bit PGM files plus a
+// `labels.txt` manifest (`<filename> <label>` per line, with a header naming
+// the classes). Lets users swap the synthetic generators for real data (e.g.
+// the paper's Kaggle sets) without touching the pipelines.
+
+#include <string>
+
+#include "dataset/dataset.hpp"
+
+namespace hdface::dataset {
+
+// Writes images as <index>.pgm plus labels.txt. Creates the directory.
+void save_dataset(const Dataset& data, const std::string& dir);
+
+// Loads a dataset previously written by save_dataset (or hand-assembled in
+// the same layout). Throws std::runtime_error on malformed input.
+Dataset load_dataset(const std::string& dir);
+
+}  // namespace hdface::dataset

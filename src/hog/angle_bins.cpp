@@ -1,0 +1,80 @@
+#include "hog/angle_bins.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdface::hog {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+AngleBinner::AngleBinner(std::size_t bins) : bins_(bins) {
+  if (bins == 0 || bins % 4 != 0) {
+    throw std::invalid_argument("AngleBinner: bins must be a positive multiple of 4");
+  }
+  const std::size_t per_quadrant = bins / 4;
+  tans_.reserve(per_quadrant - 1);
+  for (std::size_t j = 1; j < per_quadrant; ++j) {
+    const double theta =
+        (kPi / 2.0) * static_cast<double>(j) / static_cast<double>(per_quadrant);
+    tans_.push_back(std::tan(theta));
+  }
+}
+
+std::size_t AngleBinner::quadrant(int sign_gx, int sign_gy) {
+  const bool x_neg = sign_gx < 0;
+  const bool y_neg = sign_gy < 0;
+  if (!x_neg && !y_neg) return 0;  // I
+  if (x_neg && !y_neg) return 1;   // II
+  if (x_neg && y_neg) return 2;    // III
+  return 3;                        // IV
+}
+
+bool AngleBinner::ratio_is_gy_over_gx(std::size_t quadrant) {
+  return quadrant == 0 || quadrant == 2;
+}
+
+std::size_t AngleBinner::local_bin_from_comparisons(
+    const std::vector<bool>& greater) const {
+  // tan is monotonic within the quadrant, so the local bin is simply how many
+  // boundary tangents the ratio exceeds.
+  std::size_t local = 0;
+  for (bool g : greater) {
+    if (g) ++local;
+  }
+  return local;
+}
+
+std::size_t AngleBinner::global_bin(std::size_t quadrant, std::size_t local) const {
+  return quadrant * bins_per_quadrant() + local;
+}
+
+std::size_t AngleBinner::bin_of(float gx, float gy) const {
+  const int sx = gx < 0.0f ? -1 : 1;
+  const int sy = gy < 0.0f ? -1 : 1;
+  const std::size_t q = quadrant(sx, sy);
+  const double ax = std::fabs(static_cast<double>(gx));
+  const double ay = std::fabs(static_cast<double>(gy));
+  const double num = ratio_is_gy_over_gx(q) ? ay : ax;
+  const double den = ratio_is_gy_over_gx(q) ? ax : ay;
+  std::vector<bool> greater;
+  greater.reserve(tans_.size());
+  for (double t : tans_) {
+    // num > t·den, evaluated in the cot form when t > 1 so both sides stay
+    // bounded (mirrors the hyperspace implementation exactly).
+    if (t <= 1.0) {
+      greater.push_back(num > t * den);
+    } else {
+      greater.push_back(num / t > den);  // cot(θ)·num > den
+    }
+  }
+  return global_bin(q, local_bin_from_comparisons(greater));
+}
+
+double AngleBinner::bin_center(std::size_t bin) const {
+  const double width = 2.0 * kPi / static_cast<double>(bins_);
+  return (static_cast<double>(bin) + 0.5) * width;
+}
+
+}  // namespace hdface::hog

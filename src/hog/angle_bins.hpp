@@ -1,0 +1,59 @@
+#pragma once
+
+// Signed orientation binning over [0, 2π) by quadrant decomposition
+// (paper §4.3 "Calculating Angle Bin").
+//
+// The circle is split into 4 quadrants of B/4 bins each. Within a quadrant
+// the in-quadrant angle φ ∈ [0, π/2) satisfies tan φ = num/den where
+// (num, den) is (|G_y|, |G_x|) in quadrants I and III and (|G_x|, |G_y|) in
+// II and IV; binning therefore reduces to comparing num against tan(θ_j)·den
+// for the interior boundaries θ_j — exactly the comparisons the paper
+// implements with hypervectors (the π/2 and 3π/2 "extra boundaries" are where
+// the quadrant switches). tan(θ_j) > 1 is handled through the cot form, i.e.
+// comparing cot(θ_j)·num against den, keeping every constant within [−1, 1].
+
+#include <cstddef>
+#include <vector>
+
+namespace hdface::hog {
+
+class AngleBinner {
+ public:
+  // bins must be a positive multiple of 4.
+  explicit AngleBinner(std::size_t bins);
+
+  std::size_t bins() const { return bins_; }
+  std::size_t bins_per_quadrant() const { return bins_ / 4; }
+
+  // Interior boundary tangents within a quadrant (size B/4 − 1, increasing).
+  const std::vector<double>& boundary_tans() const { return tans_; }
+
+  // Quadrant from gradient signs: I:(+,+) II:(−,+) III:(−,−) IV:(+,−).
+  // Zeros count as positive (ties at the axes pick the lower quadrant).
+  static std::size_t quadrant(int sign_gx, int sign_gy);
+
+  // In-quadrant numerator/denominator roles: returns true when the ratio is
+  // |gy|/|gx| (quadrants I and III), false for |gx|/|gy| (II and IV).
+  static bool ratio_is_gy_over_gx(std::size_t quadrant);
+
+  // Reference float binning through the same quadrant logic (used by the
+  // classical HOG and as ground truth for the HD binner).
+  std::size_t bin_of(float gx, float gy) const;
+
+  // Local bin from comparator outcomes: `greater[j]` is whether
+  // num > tan(θ_j)·den for interior boundary j. The local bin is the number
+  // of boundaries exceeded.
+  std::size_t local_bin_from_comparisons(const std::vector<bool>& greater) const;
+
+  // Global bin from quadrant + local bin.
+  std::size_t global_bin(std::size_t quadrant, std::size_t local) const;
+
+  // Bin center angle in radians (for tests / visualization).
+  double bin_center(std::size_t bin) const;
+
+ private:
+  std::size_t bins_;
+  std::vector<double> tans_;
+};
+
+}  // namespace hdface::hog

@@ -1,0 +1,53 @@
+#include "hog/feature_bundler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdface::hog {
+
+FeatureBundler::FeatureBundler(const core::StochasticContext& ctx,
+                               std::size_t cells_x, std::size_t cells_y,
+                               std::size_t bins)
+    : bins_(bins), tie_seed_(core::mix64(ctx.config().seed, 0x71e)) {
+  if (cells_x == 0 || cells_y == 0 || bins == 0) {
+    throw std::invalid_argument("FeatureBundler: empty geometry");
+  }
+  core::Rng rng(core::mix64(ctx.config().seed, 0x4E75));
+  const std::size_t n = cells_x * cells_y * bins;
+  keys_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys_.push_back(core::Hypervector::random(ctx.dim(), rng));
+  }
+}
+
+const core::Hypervector& FeatureBundler::key(std::size_t cell_index,
+                                             std::size_t bin) const {
+  return keys_.at(cell_index * bins_ + bin);
+}
+
+core::Hypervector FeatureBundler::bundle(
+    const std::vector<core::Hypervector>& slot_values,
+    core::OpCounter* counter) const {
+  return bundle_weighted(slot_values, std::vector<double>(slot_values.size(), 1.0),
+                         0.0, counter);
+}
+
+core::Hypervector FeatureBundler::bundle_weighted(
+    const std::vector<core::Hypervector>& slot_values,
+    const std::vector<double>& weights, double min_weight,
+    core::OpCounter* counter) const {
+  if (slot_values.size() != keys_.size() || weights.size() != keys_.size()) {
+    throw std::invalid_argument("FeatureBundler: slot count mismatch");
+  }
+  core::Accumulator acc(keys_.front().dim());
+  acc.set_counter(counter);
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (std::abs(weights[i]) < min_weight) continue;
+    if (counter) counter->add(core::OpKind::kWordLogic, keys_[i].num_words());
+    acc.add(keys_[i] ^ slot_values[i], weights[i]);
+  }
+  core::Rng tie_rng(tie_seed_);
+  return acc.threshold(tie_rng);
+}
+
+}  // namespace hdface::hog

@@ -1,0 +1,57 @@
+#pragma once
+
+// Combines per-(cell, bin) value hypervectors into a single image-level
+// feature hypervector.
+//
+// Each slot (cell c, orientation bin b) gets a fixed random key K_{c,b}; the
+// slot's value hypervector V_h is bound (XOR) with its key and all bound
+// vectors are majority-bundled. The result is a single binary hypervector in
+// which "which orientations dominate which cells" is holographically
+// distributed — the form the paper's HDC learner consumes directly with no
+// further encoding (paper §5: "extracted features are already in
+// high-dimensional space").
+//
+// The weighted variant votes each bound slot with its histogram value and
+// drops near-zero slots entirely. HOG histograms are sparse: most slots are
+// ~0 in every window, and bundling them equally buries the informative
+// minority under identical common-mode content (superposition cross-talk is
+// the capacity limit at fixed D — see bench/ablation_stochastic). Weighted
+// sparse bundling is what the end-to-end pipeline uses.
+
+#include <vector>
+
+#include "core/accumulator.hpp"
+#include "core/hypervector.hpp"
+#include "core/stochastic.hpp"
+
+namespace hdface::hog {
+
+class FeatureBundler {
+ public:
+  // Keys are derived deterministically from the context seed; any extractor
+  // built over the same context produces compatible features.
+  FeatureBundler(const core::StochasticContext& ctx, std::size_t cells_x,
+                 std::size_t cells_y, std::size_t bins);
+
+  std::size_t slots() const { return keys_.size(); }
+  const core::Hypervector& key(std::size_t cell_index, std::size_t bin) const;
+
+  // Bundle one image's slot value hypervectors (row-major cells × bins order,
+  // matching key layout) into a single binary hypervector with uniform votes.
+  core::Hypervector bundle(const std::vector<core::Hypervector>& slot_values,
+                           core::OpCounter* counter = nullptr) const;
+
+  // Weighted bundle: slot s votes with weight `weights[s]`; slots with
+  // |weight| < min_weight are skipped (sparse superposition).
+  core::Hypervector bundle_weighted(
+      const std::vector<core::Hypervector>& slot_values,
+      const std::vector<double>& weights, double min_weight = 0.02,
+      core::OpCounter* counter = nullptr) const;
+
+ private:
+  std::size_t bins_;
+  std::vector<core::Hypervector> keys_;
+  std::uint64_t tie_seed_;
+};
+
+}  // namespace hdface::hog

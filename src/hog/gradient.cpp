@@ -1,0 +1,35 @@
+#include "hog/gradient.hpp"
+
+#include <cmath>
+
+namespace hdface::hog {
+
+GradientField compute_gradients(const image::Image& img, core::OpCounter* counter) {
+  GradientField g;
+  g.width = img.width();
+  g.height = img.height();
+  g.gx.resize(img.size());
+  g.gy.resize(img.size());
+  g.magnitude.resize(img.size());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      const auto xi = static_cast<std::ptrdiff_t>(x);
+      const auto yi = static_cast<std::ptrdiff_t>(y);
+      const float gx = (img.at_clamped(xi + 1, yi) - img.at_clamped(xi - 1, yi)) / 2.0f;
+      const float gy = (img.at_clamped(xi, yi + 1) - img.at_clamped(xi, yi - 1)) / 2.0f;
+      const std::size_t i = y * img.width() + x;
+      g.gx[i] = gx;
+      g.gy[i] = gy;
+      g.magnitude[i] = std::sqrt((gx * gx + gy * gy) / 2.0f);
+    }
+  }
+  if (counter) {
+    const auto n = static_cast<std::uint64_t>(img.size());
+    counter->add(core::OpKind::kFloatAdd, 3 * n);   // two differences + sum
+    counter->add(core::OpKind::kFloatMul, 4 * n);   // halvings + squares
+    counter->add(core::OpKind::kFloatSqrt, n);
+  }
+  return g;
+}
+
+}  // namespace hdface::hog

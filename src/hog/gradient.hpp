@@ -1,0 +1,30 @@
+#pragma once
+
+// Classical (float-space) gradient field with operation accounting.
+
+#include <vector>
+
+#include "core/op_counter.hpp"
+#include "image/image.hpp"
+
+namespace hdface::hog {
+
+struct GradientField {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<float> gx;         // (C(x+1,y) − C(x−1,y)) / 2
+  std::vector<float> gy;         // (C(x,y+1) − C(x,y−1)) / 2
+  std::vector<float> magnitude;  // √((gx² + gy²)/2)
+
+  float gx_at(std::size_t x, std::size_t y) const { return gx[y * width + x]; }
+  float gy_at(std::size_t x, std::size_t y) const { return gy[y * width + x]; }
+  float mag_at(std::size_t x, std::size_t y) const {
+    return magnitude[y * width + x];
+  }
+};
+
+// Central-difference gradients with clamped borders.
+GradientField compute_gradients(const image::Image& img,
+                                core::OpCounter* counter = nullptr);
+
+}  // namespace hdface::hog

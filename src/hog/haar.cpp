@@ -1,0 +1,221 @@
+#include "hog/haar.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hog/integral.hpp"
+
+namespace hdface::hog {
+
+namespace {
+
+// Evaluates a template as (mean of region A − mean of region B) / 2, the
+// same halved-difference convention the paper's HOG gradients use, keeping
+// every value inside the representable interval.
+double evaluate_impl(const HaarFeatureSpec& s, const IntegralImage& ii) {
+  const std::size_t x1 = s.x + s.w;
+  const std::size_t y1 = s.y + s.h;
+  switch (s.kind) {
+    case HaarTemplate::kEdgeHorizontal: {
+      const double top = ii.box_mean(s.x, s.y, x1, s.y + s.h / 2);
+      const double bottom = ii.box_mean(s.x, s.y + s.h / 2, x1, y1);
+      return (top - bottom) / 2.0;
+    }
+    case HaarTemplate::kEdgeVertical: {
+      const double left = ii.box_mean(s.x, s.y, s.x + s.w / 2, y1);
+      const double right = ii.box_mean(s.x + s.w / 2, s.y, x1, y1);
+      return (left - right) / 2.0;
+    }
+    case HaarTemplate::kLineHorizontal: {
+      const std::size_t third = s.h / 3;
+      const double mid = ii.box_mean(s.x, s.y + third, x1, s.y + 2 * third);
+      const double outer =
+          (ii.box_mean(s.x, s.y, x1, s.y + third) +
+           ii.box_mean(s.x, s.y + 2 * third, x1, y1)) / 2.0;
+      return (mid - outer) / 2.0;
+    }
+    case HaarTemplate::kLineVertical: {
+      const std::size_t third = s.w / 3;
+      const double mid = ii.box_mean(s.x + third, s.y, s.x + 2 * third, y1);
+      const double outer =
+          (ii.box_mean(s.x, s.y, s.x + third, y1) +
+           ii.box_mean(s.x + 2 * third, s.y, x1, y1)) / 2.0;
+      return (mid - outer) / 2.0;
+    }
+    case HaarTemplate::kChecker: {
+      const std::size_t mx = s.x + s.w / 2;
+      const std::size_t my = s.y + s.h / 2;
+      const double diag = (ii.box_mean(s.x, s.y, mx, my) +
+                           ii.box_mean(mx, my, x1, y1)) / 2.0;
+      const double anti = (ii.box_mean(mx, s.y, x1, my) +
+                           ii.box_mean(s.x, my, mx, y1)) / 2.0;
+      return (diag - anti) / 2.0;
+    }
+  }
+  throw std::invalid_argument("evaluate_impl: bad template");
+}
+
+}  // namespace
+
+std::vector<HaarFeatureSpec> enumerate_haar_features(const HaarConfig& config,
+                                                     std::size_t width,
+                                                     std::size_t height) {
+  std::vector<HaarFeatureSpec> specs;
+  constexpr HaarTemplate kTemplates[] = {
+      HaarTemplate::kEdgeHorizontal, HaarTemplate::kEdgeVertical,
+      HaarTemplate::kLineHorizontal, HaarTemplate::kLineVertical,
+      HaarTemplate::kChecker};
+  for (const std::size_t size : config.patch_sizes) {
+    if (size < 6 || size > width || size > height) continue;
+    for (std::size_t y = 0; y + size <= height; y += config.stride) {
+      for (std::size_t x = 0; x + size <= width; x += config.stride) {
+        for (const auto kind : kTemplates) {
+          specs.push_back({kind, x, y, size, size});
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+HaarExtractor::HaarExtractor(const HaarConfig& config, std::size_t width,
+                             std::size_t height)
+    : config_(config), width_(width), height_(height),
+      specs_(enumerate_haar_features(config, width, height)) {
+  if (specs_.empty()) {
+    throw std::invalid_argument("HaarExtractor: no features fit the window");
+  }
+}
+
+double HaarExtractor::evaluate(const HaarFeatureSpec& spec, const IntegralImage& ii) {
+  return evaluate_impl(spec, ii);
+}
+
+std::vector<float> HaarExtractor::extract(const image::Image& img,
+                                          core::OpCounter* counter) const {
+  if (img.width() != width_ || img.height() != height_) {
+    throw std::invalid_argument("HaarExtractor: image geometry mismatch");
+  }
+  const IntegralImage ii(img);
+  std::vector<float> out;
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) {
+    out.push_back(static_cast<float>(evaluate_impl(s, ii)));
+  }
+  if (counter) {
+    // Integral build: one add per pixel; each template: ~8 box corner reads,
+    // a handful of add/div.
+    counter->add(core::OpKind::kFloatAdd,
+                 img.size() + 16 * specs_.size());
+    counter->add(core::OpKind::kFloatDiv, 4 * specs_.size());
+  }
+  return out;
+}
+
+HdHaarExtractor::HdHaarExtractor(core::StochasticContext& ctx,
+                                 const HaarConfig& config, std::size_t width,
+                                 std::size_t height)
+    : ctx_(ctx), config_(config), width_(width), height_(height),
+      specs_(enumerate_haar_features(config, width, height)),
+      pixel_memory_(ctx, 256, 0.0, 1.0),
+      value_memory_(ctx, 64, -0.5, 0.5),
+      bundler_(ctx, specs_.empty() ? 1 : specs_.size(), 1, 1) {
+  if (specs_.empty()) {
+    throw std::invalid_argument("HdHaarExtractor: no features fit the window");
+  }
+}
+
+core::Hypervector HdHaarExtractor::box_mean_hv(const image::Image& img,
+                                               std::size_t x0, std::size_t y0,
+                                               std::size_t x1, std::size_t y1) {
+  // Running stochastic average over (a subsample of) the box pixels. Large
+  // boxes are subsampled on a regular grid (≤ 4×4 samples) — the box mean is
+  // a low-frequency statistic, so sparse sampling preserves it while keeping
+  // the hyperspace cost independent of box area.
+  const std::size_t step_x = std::max<std::size_t>(1, (x1 - x0) / 4);
+  const std::size_t step_y = std::max<std::size_t>(1, (y1 - y0) / 4);
+  core::Hypervector mean;
+  std::size_t n = 0;
+  for (std::size_t y = y0; y < y1; y += step_y) {
+    for (std::size_t x = x0; x < x1; x += step_x) {
+      const core::Hypervector& pixel =
+          pixel_memory_.at_value(static_cast<double>(img.at(x, y)));
+      if (n == 0) {
+        mean = pixel;
+      } else {
+        const double keep = static_cast<double>(n) / static_cast<double>(n + 1);
+        mean = ctx_.weighted_average(mean, pixel, keep);
+      }
+      ++n;
+    }
+  }
+  return mean;
+}
+
+core::Hypervector HdHaarExtractor::feature_hv(const image::Image& img,
+                                              const HaarFeatureSpec& s) {
+  const std::size_t x1 = s.x + s.w;
+  const std::size_t y1 = s.y + s.h;
+  switch (s.kind) {
+    case HaarTemplate::kEdgeHorizontal:
+      return ctx_.sub_halved(box_mean_hv(img, s.x, s.y, x1, s.y + s.h / 2),
+                             box_mean_hv(img, s.x, s.y + s.h / 2, x1, y1));
+    case HaarTemplate::kEdgeVertical:
+      return ctx_.sub_halved(box_mean_hv(img, s.x, s.y, s.x + s.w / 2, y1),
+                             box_mean_hv(img, s.x + s.w / 2, s.y, x1, y1));
+    case HaarTemplate::kLineHorizontal: {
+      const std::size_t third = s.h / 3;
+      const auto mid = box_mean_hv(img, s.x, s.y + third, x1, s.y + 2 * third);
+      const auto outer = ctx_.add_halved(
+          box_mean_hv(img, s.x, s.y, x1, s.y + third),
+          box_mean_hv(img, s.x, s.y + 2 * third, x1, y1));
+      // outer represents (o1+o2)/2 = mean of outer regions; halved diff next.
+      return ctx_.sub_halved(mid, outer);
+    }
+    case HaarTemplate::kLineVertical: {
+      const std::size_t third = s.w / 3;
+      const auto mid = box_mean_hv(img, s.x + third, s.y, s.x + 2 * third, y1);
+      const auto outer =
+          ctx_.add_halved(box_mean_hv(img, s.x, s.y, s.x + third, y1),
+                          box_mean_hv(img, s.x + 2 * third, s.y, x1, y1));
+      return ctx_.sub_halved(mid, outer);
+    }
+    case HaarTemplate::kChecker: {
+      const std::size_t mx = s.x + s.w / 2;
+      const std::size_t my = s.y + s.h / 2;
+      const auto diag = ctx_.add_halved(box_mean_hv(img, s.x, s.y, mx, my),
+                                        box_mean_hv(img, mx, my, x1, y1));
+      const auto anti = ctx_.add_halved(box_mean_hv(img, mx, s.y, x1, my),
+                                        box_mean_hv(img, s.x, my, mx, y1));
+      return ctx_.sub_halved(diag, anti);
+    }
+  }
+  throw std::invalid_argument("HdHaarExtractor: bad template");
+}
+
+core::Hypervector HdHaarExtractor::extract(const image::Image& img) {
+  if (img.width() != width_ || img.height() != height_) {
+    throw std::invalid_argument("HdHaarExtractor: image geometry mismatch");
+  }
+  std::vector<core::Hypervector> slots;
+  std::vector<double> weights;
+  slots.reserve(specs_.size());
+  weights.reserve(specs_.size());
+  for (const auto& s : specs_) {
+    const double v = ctx_.decode(feature_hv(img, s));
+    slots.push_back(value_memory_.at_value(v));
+    weights.push_back(std::fabs(v));
+  }
+  return bundler_.bundle_weighted(slots, weights, 0.02, ctx_.counter());
+}
+
+std::vector<double> HdHaarExtractor::decode_features(const image::Image& img) {
+  std::vector<double> out;
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) {
+    out.push_back(ctx_.decode(feature_hv(img, s)));
+  }
+  return out;
+}
+
+}  // namespace hdface::hog

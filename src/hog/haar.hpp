@@ -1,0 +1,112 @@
+#pragma once
+
+// HAAR-like feature extraction (paper §2's alternative to HOG), in both the
+// classical (integral-image) and hyperspace forms.
+//
+// A HAAR feature is the difference between the mean intensities of adjacent
+// rectangles (edge / line / checkerboard templates). The classical extractor
+// evaluates a fixed grid of templates via an integral image. The
+// hyperdimensional extractor computes every box mean as a running stochastic
+// average of pixel hypervectors and every difference with the ⊕ subtraction —
+// the same primitives HD-HOG uses, demonstrating that the paper's arithmetic
+// generalizes across feature extractors. Features feed the shared
+// FeatureBundler → HDC learning path.
+
+#include <vector>
+
+#include "core/item_memory.hpp"
+#include "core/stochastic.hpp"
+#include "hog/feature_bundler.hpp"
+#include "image/image.hpp"
+
+namespace hdface::hog {
+
+enum class HaarTemplate {
+  kEdgeHorizontal,   // top box minus bottom box
+  kEdgeVertical,     // left box minus right box
+  kLineHorizontal,   // middle third minus outer thirds
+  kLineVertical,
+  kChecker,          // diagonal quad difference
+};
+
+struct HaarFeatureSpec {
+  HaarTemplate kind;
+  // Rectangle in pixels: [x, x+w) × [y, y+h).
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t w = 0;
+  std::size_t h = 0;
+};
+
+struct HaarConfig {
+  // Templates are laid on a regular grid: every `stride` pixels, at each of
+  // the window sizes listed (square patches of these edge lengths).
+  std::vector<std::size_t> patch_sizes = {8, 16};
+  std::size_t stride = 4;
+};
+
+// Enumerates the feature specs for a window geometry (deterministic order).
+std::vector<HaarFeatureSpec> enumerate_haar_features(const HaarConfig& config,
+                                                     std::size_t width,
+                                                     std::size_t height);
+
+// Classical extractor: one float per spec, each in [-1, 1] (mean difference
+// of unit-range pixels).
+class HaarExtractor {
+ public:
+  HaarExtractor(const HaarConfig& config, std::size_t width, std::size_t height);
+
+  std::size_t feature_size() const { return specs_.size(); }
+  const std::vector<HaarFeatureSpec>& specs() const { return specs_; }
+
+  std::vector<float> extract(const image::Image& img,
+                             core::OpCounter* counter = nullptr) const;
+
+  // Value of one spec given an integral image (shared with the HD tests).
+  static double evaluate(const HaarFeatureSpec& spec, const class IntegralImage& ii);
+
+ private:
+  HaarConfig config_;
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<HaarFeatureSpec> specs_;
+};
+
+// Hyperspace extractor: box means as running stochastic averages of pixel
+// hypervectors, differences via ⊕ with negation; each feature's value
+// hypervector is re-quantized through a correlative level memory and bundled
+// with a per-feature key, exactly like HD-HOG slots.
+class HdHaarExtractor {
+ public:
+  HdHaarExtractor(core::StochasticContext& ctx, const HaarConfig& config,
+                  std::size_t width, std::size_t height);
+
+  std::size_t feature_size() const { return specs_.size(); }
+  const std::vector<HaarFeatureSpec>& specs() const { return specs_; }
+
+  // Hyperspace value of one spec: represents (meanA − meanB)/2 ∈ [−0.5, 0.5].
+  core::Hypervector feature_hv(const image::Image& img,
+                               const HaarFeatureSpec& spec);
+
+  // Bundled image-level feature hypervector.
+  core::Hypervector extract(const image::Image& img);
+
+  // Decoded per-spec values (verification against the classical extractor;
+  // same ×1/2 scale convention as the paper's HOG gradients).
+  std::vector<double> decode_features(const image::Image& img);
+
+ private:
+  core::Hypervector box_mean_hv(const image::Image& img, std::size_t x0,
+                                std::size_t y0, std::size_t x1, std::size_t y1);
+
+  core::StochasticContext& ctx_;
+  HaarConfig config_;
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<HaarFeatureSpec> specs_;
+  core::LevelItemMemory pixel_memory_;
+  core::LevelItemMemory value_memory_;
+  FeatureBundler bundler_;
+};
+
+}  // namespace hdface::hog

@@ -1,0 +1,191 @@
+#include "hog/hd_hog.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdface::hog {
+
+HdHogExtractor::HdHogExtractor(core::StochasticContext& ctx,
+                               const HdHogConfig& config, std::size_t image_width,
+                               std::size_t image_height)
+    : ctx_(ctx),
+      config_(config),
+      cells_x_(config.hog.cells_x(image_width)),
+      cells_y_(config.hog.cells_y(image_height)),
+      item_memory_(ctx, config.pixel_levels, 0.0, 1.0),
+      histogram_memory_(ctx, config.histogram_levels, 0.0, 1.0),
+      binner_(config.hog.bins),
+      bundler_(ctx, cells_x_, cells_y_, config.hog.bins) {
+  if (cells_x_ == 0 || cells_y_ == 0) {
+    throw std::invalid_argument("HdHogExtractor: image smaller than one cell");
+  }
+  for (double t : binner_.boundary_tans()) {
+    if (t <= 1.0) {
+      boundary_consts_.push_back(ctx_.construct(t));
+      boundary_uses_cot_.push_back(false);
+    } else {
+      boundary_consts_.push_back(ctx_.construct(1.0 / t));
+      boundary_uses_cot_.push_back(true);
+    }
+  }
+}
+
+HdHogExtractor::GradientHv HdHogExtractor::pixel_gradient(const image::Image& img,
+                                                          std::size_t x,
+                                                          std::size_t y) {
+  const auto xi = static_cast<std::ptrdiff_t>(x);
+  const auto yi = static_cast<std::ptrdiff_t>(y);
+  // V_Gx = V_C(x+1) ⊕ (−V_C(x−1)) represents (C(x+1) − C(x−1)) / 2.
+  GradientHv g{
+      ctx_.add_halved(pixel_hv(img.at_clamped(xi + 1, yi)),
+                      ~pixel_hv(img.at_clamped(xi - 1, yi))),
+      ctx_.add_halved(pixel_hv(img.at_clamped(xi, yi + 1)),
+                      ~pixel_hv(img.at_clamped(xi, yi - 1))),
+  };
+  return g;
+}
+
+core::Hypervector HdHogExtractor::pixel_magnitude(const GradientHv& grad) {
+  if (config_.mode == HdHogMode::kDecodeShortcut) {
+    const double gx = ctx_.decode(grad.gx);
+    const double gy = ctx_.decode(grad.gy);
+    return ctx_.construct(std::sqrt((gx * gx + gy * gy) / 2.0));
+  }
+  // (G_x ⊗ G_x) ⊕ (G_y ⊗ G_y), then the binary-search square root.
+  const core::Hypervector m2 =
+      ctx_.add_halved(ctx_.square(grad.gx), ctx_.square(grad.gy));
+  return ctx_.sqrt(m2);
+}
+
+std::size_t HdHogExtractor::pixel_bin(const GradientHv& grad) {
+  if (config_.mode == HdHogMode::kDecodeShortcut) {
+    // Snap decoded components below the statistical noise floor to zero so
+    // the quadrant convention matches the faithful path (zero → positive)
+    // instead of letting decode noise pick the quadrant.
+    const double eps = 2.0 / std::sqrt(static_cast<double>(ctx_.dim()));
+    double gx = ctx_.decode(grad.gx);
+    double gy = ctx_.decode(grad.gy);
+    if (std::fabs(gx) < eps) gx = 0.0;
+    if (std::fabs(gy) < eps) gy = 0.0;
+    return binner_.bin_of(static_cast<float>(gx), static_cast<float>(gy));
+  }
+  // Quadrant from hyperspace signs (zeros count as positive, matching the
+  // reference binner's convention).
+  const int sgx = ctx_.sign_of(grad.gx) < 0 ? -1 : 1;
+  const int sgy = ctx_.sign_of(grad.gy) < 0 ? -1 : 1;
+  const std::size_t q = AngleBinner::quadrant(sgx, sgy);
+
+  const core::Hypervector abs_gx = sgx < 0 ? ~grad.gx : grad.gx;
+  const core::Hypervector abs_gy = sgy < 0 ? ~grad.gy : grad.gy;
+  const bool gy_over_gx = AngleBinner::ratio_is_gy_over_gx(q);
+  const core::Hypervector& num = gy_over_gx ? abs_gy : abs_gx;
+  const core::Hypervector& den = gy_over_gx ? abs_gx : abs_gy;
+
+  std::vector<bool> greater;
+  greater.reserve(boundary_consts_.size());
+  for (std::size_t j = 0; j < boundary_consts_.size(); ++j) {
+    // α = (num − r·den)/2 via V_α = 0.5·V_lhs ⊕ 0.5·(−V_rhs); sign of the
+    // decoded α decides the comparison (paper §4.3). For boundaries with
+    // tan > 1 the cot form compares cot(θ)·num against den instead.
+    core::Hypervector lhs =
+        boundary_uses_cot_[j] ? ctx_.multiply(boundary_consts_[j], num) : num;
+    core::Hypervector rhs =
+        boundary_uses_cot_[j] ? den : ctx_.multiply(boundary_consts_[j], den);
+    greater.push_back(ctx_.compare(lhs, rhs) > 0);
+  }
+  return binner_.global_bin(q, binner_.local_bin_from_comparisons(greater));
+}
+
+HdHogExtractor::SlotRecord HdHogExtractor::slot_record(const image::Image& img) {
+  if (config_.hog.cells_x(img.width()) != cells_x_ ||
+      config_.hog.cells_y(img.height()) != cells_y_) {
+    throw std::invalid_argument("HdHogExtractor: image geometry mismatch");
+  }
+  const std::size_t bins = config_.hog.bins;
+  const std::size_t cell = config_.hog.cell_size;
+  const std::size_t pixels_per_cell = cell * cell;
+
+  // First pass: per-(cell, bin) decoded histogram values from the hyperspace
+  // magnitude/bin chain.
+  std::vector<double> values;
+  values.reserve(cells_x_ * cells_y_ * bins);
+
+  std::vector<core::Hypervector> bin_mean(bins);
+  std::vector<std::size_t> bin_count(bins);
+  for (std::size_t cy = 0; cy < cells_y_; ++cy) {
+    for (std::size_t cx = 0; cx < cells_x_; ++cx) {
+      for (auto& m : bin_mean) m = core::Hypervector();
+      for (auto& c : bin_count) c = 0;
+
+      for (std::size_t py = 0; py < cell; ++py) {
+        for (std::size_t px = 0; px < cell; ++px) {
+          const std::size_t x = cx * cell + px;
+          const std::size_t y = cy * cell + py;
+          GradientHv grad = pixel_gradient(img, x, y);
+          const std::size_t bin = pixel_bin(grad);
+          core::Hypervector mag = pixel_magnitude(grad);
+          // Running stochastic mean of the magnitudes matched to this bin.
+          auto& n = bin_count[bin];
+          if (n == 0) {
+            bin_mean[bin] = std::move(mag);
+          } else {
+            const double keep =
+                static_cast<double>(n) / static_cast<double>(n + 1);
+            bin_mean[bin] = ctx_.weighted_average(bin_mean[bin], mag, keep);
+          }
+          ++n;
+        }
+      }
+      // Bin value = mean of matched magnitudes × hit rate
+      //           = (Σ matched magnitudes) / pixels-per-cell,
+      // read out via the hyperspace decode.
+      for (std::size_t b = 0; b < bins; ++b) {
+        if (bin_count[b] == 0) {
+          values.push_back(0.0);
+        } else {
+          const double rate = static_cast<double>(bin_count[b]) /
+                              static_cast<double>(pixels_per_cell);
+          values.push_back(ctx_.decode(ctx_.scale(bin_mean[b], rate)));
+        }
+      }
+    }
+  }
+
+  // Second pass: window normalization (the HD analogue of HOG block
+  // normalization) and correlative level re-quantization (see HdHogConfig).
+  double vmax = config_.histogram_floor;
+  for (double v : values) vmax = std::max(vmax, v);
+  SlotRecord record;
+  record.hvs.reserve(values.size());
+  record.values.reserve(values.size());
+  for (double v : values) {
+    const double normalized = std::max(0.0, v) / vmax;
+    record.values.push_back(normalized);
+    record.hvs.push_back(histogram_memory_.at_value(normalized));
+  }
+  return record;
+}
+
+core::Hypervector HdHogExtractor::extract(const image::Image& img) {
+  // Weighted sparse bundling: each slot votes with its histogram value so
+  // empty bins vanish instead of drowning the informative minority (see
+  // feature_bundler.hpp).
+  const SlotRecord record = slot_record(img);
+  return bundler_.bundle_weighted(record.hvs, record.values,
+                                  config_.histogram_floor, ctx_.counter());
+}
+
+CellHistograms HdHogExtractor::decode_histograms(const image::Image& img) {
+  const SlotRecord record = slot_record(img);
+  CellHistograms cells;
+  cells.cells_x = cells_x_;
+  cells.cells_y = cells_y_;
+  cells.bins = config_.hog.bins;
+  cells.values.resize(record.hvs.size());
+  for (std::size_t i = 0; i < record.hvs.size(); ++i) {
+    cells.values[i] = static_cast<float>(ctx_.decode(record.hvs[i]));
+  }
+  return cells;
+}
+
+}  // namespace hdface::hog

@@ -1,0 +1,130 @@
+#pragma once
+
+// Hyperdimensional HOG (paper §4.3): the entire feature extraction runs on
+// binary hypervectors via the stochastic arithmetic of core/stochastic.hpp.
+//
+// Per pixel:
+//   1. the pixel's intensity hypervector comes from the correlative item
+//      memory (paper Fig 1a),
+//   2. gradients are stochastic halved differences
+//      V_Gx = V_C(x+1,y) ⊕ (−V_C(x−1,y)),
+//   3. magnitude is √((G_x² + G_y²)/2) via ⊗ (with regeneration-based
+//      decorrelation) and the binary-search square root,
+//   4. the orientation bin is found by quadrant logic plus stochastic
+//      comparisons of |G_y| against tan(θ_j)·|G_x| (cot form when the
+//      boundary tangent exceeds 1), per the paper's α construction.
+//
+// Per cell, each orientation bin keeps a running stochastic average of the
+// magnitudes that landed in it, scaled by its hit rate — i.e. the bin value
+// is (Σ matched magnitudes) / (pixels per cell), the same quantity the
+// classical extractor reports. Finally the (cell, bin) value hypervectors are
+// key-bound and majority-bundled into one feature hypervector (see
+// feature_bundler.hpp).
+
+#include <vector>
+
+#include "core/item_memory.hpp"
+#include "core/stochastic.hpp"
+#include "hog/angle_bins.hpp"
+#include "hog/feature_bundler.hpp"
+#include "hog/hog.hpp"
+#include "hog/hog_config.hpp"
+#include "image/image.hpp"
+
+namespace hdface::hog {
+
+enum class HdHogMode {
+  // Paper-faithful: magnitude and binning fully in hyperspace.
+  kFaithful,
+  // Ablation / fast mode: gradients still flow through hypervectors, but
+  // magnitude and binning are computed on decoded values and the magnitude
+  // re-encoded. Quantifies what the in-hyperspace sqrt/compare chain costs
+  // and what it buys (see bench/ablation_stochastic).
+  kDecodeShortcut,
+};
+
+struct HdHogConfig {
+  HogConfig hog;
+  HdHogMode mode = HdHogMode::kFaithful;
+  std::size_t pixel_levels = 256;  // item-memory quantization (8-bit pixels)
+  // Final histogram values are normalized per window (v / max-slot-value,
+  // the HD analogue of classical HOG's block normalization — without it
+  // every slot is a near-zero value and all windows look alike) and then
+  // re-quantized into a correlative level item memory before bundling. A
+  // fresh stochastic representation of a value h is only h²-similar to
+  // another fresh representation of the same h (near zero for small
+  // histogram entries), so bundles of fresh constructions carry almost no
+  // locality; correlative levels restore δ = 1 − |u−v|, which is what makes
+  // the bundled features learnable. See DESIGN.md §2.
+  std::size_t histogram_levels = 64;
+  // Normalization denominator floor: windows with no gradient energy (max
+  // slot below this) are treated as flat rather than amplified noise.
+  double histogram_floor = 0.02;
+};
+
+class HdHogExtractor {
+ public:
+  // The extractor is built for a fixed window geometry (cells must tile it).
+  HdHogExtractor(core::StochasticContext& ctx, const HdHogConfig& config,
+                 std::size_t image_width, std::size_t image_height);
+
+  const HdHogConfig& config() const { return config_; }
+  std::size_t cells_x() const { return cells_x_; }
+  std::size_t cells_y() const { return cells_y_; }
+  std::size_t slots() const { return cells_x_ * cells_y_ * config_.hog.bins; }
+  const core::LevelItemMemory& item_memory() const { return item_memory_; }
+
+  // Per-(cell, bin) value hypervectors plus their (window-normalized) decoded
+  // values, row-major cells then bins.
+  struct SlotRecord {
+    std::vector<core::Hypervector> hvs;
+    std::vector<double> values;
+  };
+  SlotRecord slot_record(const image::Image& img);
+
+  // Convenience: hypervectors only.
+  std::vector<core::Hypervector> slot_values(const image::Image& img) {
+    return slot_record(img).hvs;
+  }
+
+  // Single bundled feature hypervector (the HDC learner's input).
+  core::Hypervector extract(const image::Image& img);
+
+  // Decoded per-cell histograms in the bundled feature's value domain, i.e.
+  // window-normalized to [0, 1] (verification against the classical HOG
+  // after the same normalization).
+  CellHistograms decode_histograms(const image::Image& img);
+
+  // Hyperspace gradient pair for one pixel (exposed for tests).
+  struct GradientHv {
+    core::Hypervector gx;
+    core::Hypervector gy;
+  };
+  GradientHv pixel_gradient(const image::Image& img, std::size_t x, std::size_t y);
+
+  // Hyperspace magnitude √((gx²+gy²)/2) for one pixel (exposed for tests).
+  core::Hypervector pixel_magnitude(const GradientHv& grad);
+
+  // Hyperspace orientation bin for one pixel (exposed for tests).
+  std::size_t pixel_bin(const GradientHv& grad);
+
+ private:
+  const core::Hypervector& pixel_hv(float value) const {
+    return item_memory_.at_value(static_cast<double>(value));
+  }
+
+  core::StochasticContext& ctx_;
+  HdHogConfig config_;
+  std::size_t cells_x_;
+  std::size_t cells_y_;
+  core::LevelItemMemory item_memory_;
+  core::LevelItemMemory histogram_memory_;
+  AngleBinner binner_;
+  // Constant hypervectors for the boundary comparisons: V_{tanθ_j} when the
+  // tangent is ≤ 1, V_{cotθ_j} otherwise (paper's |r| > 1 case).
+  std::vector<core::Hypervector> boundary_consts_;
+  std::vector<bool> boundary_uses_cot_;
+  FeatureBundler bundler_;
+};
+
+}  // namespace hdface::hog

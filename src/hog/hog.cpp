@@ -1,0 +1,123 @@
+#include "hog/hog.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hog/gradient.hpp"
+
+namespace hdface::hog {
+
+HogExtractor::HogExtractor(const HogConfig& config)
+    : config_(config), binner_(config.bins) {
+  if (config.cell_size == 0) throw std::invalid_argument("HogExtractor: cell_size 0");
+  if (config.block_size == 0 || config.block_stride == 0) {
+    throw std::invalid_argument("HogExtractor: block geometry must be positive");
+  }
+}
+
+CellHistograms HogExtractor::cell_histograms(const image::Image& img,
+                                             core::OpCounter* counter) const {
+  const std::size_t cx_count = config_.cells_x(img.width());
+  const std::size_t cy_count = config_.cells_y(img.height());
+  if (cx_count == 0 || cy_count == 0) {
+    throw std::invalid_argument("HogExtractor: image smaller than one cell");
+  }
+  const GradientField grad = compute_gradients(img, counter);
+
+  CellHistograms cells;
+  cells.cells_x = cx_count;
+  cells.cells_y = cy_count;
+  cells.bins = config_.bins;
+  cells.values.assign(cx_count * cy_count * config_.bins, 0.0f);
+
+  const std::size_t cell = config_.cell_size;
+  for (std::size_t cy = 0; cy < cy_count; ++cy) {
+    for (std::size_t cx = 0; cx < cx_count; ++cx) {
+      for (std::size_t py = 0; py < cell; ++py) {
+        for (std::size_t px = 0; px < cell; ++px) {
+          const std::size_t x = cx * cell + px;
+          const std::size_t y = cy * cell + py;
+          const std::size_t bin = binner_.bin_of(grad.gx_at(x, y), grad.gy_at(x, y));
+          cells.at(cx, cy, bin) += grad.mag_at(x, y);
+        }
+      }
+      // Mean contribution per pixel, matching the HD running average.
+      const float inv = 1.0f / static_cast<float>(cell * cell);
+      for (std::size_t b = 0; b < config_.bins; ++b) cells.at(cx, cy, b) *= inv;
+    }
+  }
+  if (counter) {
+    const auto n = static_cast<std::uint64_t>(cx_count * cy_count * cell * cell);
+    // Binning: sign checks + boundary comparisons; accumulate: one add.
+    counter->add(core::OpKind::kFloatCmp, n * (2 + binner_.boundary_tans().size()));
+    counter->add(core::OpKind::kFloatMul, n + cx_count * cy_count * config_.bins);
+    counter->add(core::OpKind::kFloatAdd, n);
+  }
+  return cells;
+}
+
+std::vector<float> HogExtractor::normalize_blocks(const CellHistograms& cells,
+                                                  core::OpCounter* counter) const {
+  const std::size_t bs = config_.block_size;
+  const std::size_t stride = config_.block_stride;
+  if (cells.cells_x < bs || cells.cells_y < bs) {
+    // Too small for a block: fall back to the raw histograms.
+    return cells.values;
+  }
+  std::vector<float> out;
+  const std::size_t block_len = bs * bs * cells.bins;
+  for (std::size_t by = 0; by + bs <= cells.cells_y; by += stride) {
+    for (std::size_t bx = 0; bx + bs <= cells.cells_x; bx += stride) {
+      std::vector<float> block;
+      block.reserve(block_len);
+      for (std::size_t cy = by; cy < by + bs; ++cy) {
+        for (std::size_t cx = bx; cx < bx + bs; ++cx) {
+          for (std::size_t b = 0; b < cells.bins; ++b) {
+            block.push_back(cells.at(cx, cy, b));
+          }
+        }
+      }
+      // L2-Hys: normalize, clip, renormalize.
+      auto l2 = [](const std::vector<float>& v) {
+        double s = 1e-12;
+        for (float x : v) s += static_cast<double>(x) * x;
+        return static_cast<float>(std::sqrt(s));
+      };
+      float norm = l2(block);
+      for (auto& v : block) v /= norm;
+      if (config_.l2_clip > 0.0f) {
+        for (auto& v : block) v = std::min(v, config_.l2_clip);
+        norm = l2(block);
+        for (auto& v : block) v /= norm;
+      }
+      out.insert(out.end(), block.begin(), block.end());
+      if (counter) {
+        counter->add(core::OpKind::kFloatMul, 2 * block_len);
+        counter->add(core::OpKind::kFloatAdd, 2 * block_len);
+        counter->add(core::OpKind::kFloatDiv, 2 * block_len);
+        counter->add(core::OpKind::kFloatSqrt, 2);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> HogExtractor::extract(const image::Image& img,
+                                         core::OpCounter* counter) const {
+  const CellHistograms cells = cell_histograms(img, counter);
+  if (!config_.block_normalize) return cells.values;
+  return normalize_blocks(cells, counter);
+}
+
+std::size_t HogExtractor::feature_size(std::size_t width, std::size_t height) const {
+  const std::size_t cx = config_.cells_x(width);
+  const std::size_t cy = config_.cells_y(height);
+  if (!config_.block_normalize || cx < config_.block_size || cy < config_.block_size) {
+    return cx * cy * config_.bins;
+  }
+  const std::size_t nbx = (cx - config_.block_size) / config_.block_stride + 1;
+  const std::size_t nby = (cy - config_.block_size) / config_.block_stride + 1;
+  return nbx * nby * config_.block_size * config_.block_size * config_.bins;
+}
+
+}  // namespace hdface::hog

@@ -1,0 +1,60 @@
+#pragma once
+
+// Classical (float-space) HOG descriptor — the feature extractor the paper's
+// DNN/SVM baselines and its "HOG on original representation" HDC
+// configuration consume.
+
+#include <vector>
+
+#include "core/op_counter.hpp"
+#include "hog/angle_bins.hpp"
+#include "hog/hog_config.hpp"
+#include "image/image.hpp"
+
+namespace hdface::hog {
+
+// Per-cell orientation histograms, row-major cells; histogram values are the
+// per-cell mean magnitude contribution (sum over pixels / pixels-per-cell),
+// matching the HD extractor's running-average semantics.
+struct CellHistograms {
+  std::size_t cells_x = 0;
+  std::size_t cells_y = 0;
+  std::size_t bins = 0;
+  std::vector<float> values;  // cells_x * cells_y * bins
+
+  float at(std::size_t cx, std::size_t cy, std::size_t bin) const {
+    return values[(cy * cells_x + cx) * bins + bin];
+  }
+  float& at(std::size_t cx, std::size_t cy, std::size_t bin) {
+    return values[(cy * cells_x + cx) * bins + bin];
+  }
+};
+
+class HogExtractor {
+ public:
+  explicit HogExtractor(const HogConfig& config);
+
+  const HogConfig& config() const { return config_; }
+  const AngleBinner& binner() const { return binner_; }
+
+  // Cell-level histograms (no block normalization).
+  CellHistograms cell_histograms(const image::Image& img,
+                                 core::OpCounter* counter = nullptr) const;
+
+  // Full descriptor: block-normalized if configured, otherwise flattened
+  // cell histograms.
+  std::vector<float> extract(const image::Image& img,
+                             core::OpCounter* counter = nullptr) const;
+
+  // Descriptor length for a given image size.
+  std::size_t feature_size(std::size_t width, std::size_t height) const;
+
+ private:
+  std::vector<float> normalize_blocks(const CellHistograms& cells,
+                                      core::OpCounter* counter) const;
+
+  HogConfig config_;
+  AngleBinner binner_;
+};
+
+}  // namespace hdface::hog

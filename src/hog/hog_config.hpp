@@ -1,0 +1,36 @@
+#pragma once
+
+// Shared configuration for the classical and hyperdimensional HOG extractors.
+//
+// Both extractors use the same gradient convention as the paper's §4.3:
+// G_x = (C(x+1,y) − C(x−1,y)) / 2 and magnitude √((G_x² + G_y²)/2), i.e. all
+// values stay within the representable interval of the stochastic arithmetic
+// (the uniform 1/√2 scale does not affect the features).
+
+#include <cstddef>
+
+namespace hdface::hog {
+
+struct HogConfig {
+  // Square cell edge in pixels.
+  std::size_t cell_size = 8;
+  // Orientation bins over the full signed [0, 2π) circle; must be a positive
+  // multiple of 4 so bins decompose into quadrants (paper §4.3).
+  std::size_t bins = 8;
+  // Block normalization (classical extractor only; the HD extractor follows
+  // the paper and emits unnormalized cell histograms).
+  bool block_normalize = true;
+  std::size_t block_size = 2;   // cells per block edge
+  std::size_t block_stride = 1; // cells
+  // L2 normalization clipping threshold (L2-Hys style), <= 0 disables clip.
+  float l2_clip = 0.2f;
+
+  std::size_t cells_x(std::size_t image_width) const {
+    return image_width / cell_size;
+  }
+  std::size_t cells_y(std::size_t image_height) const {
+    return image_height / cell_size;
+  }
+};
+
+}  // namespace hdface::hog

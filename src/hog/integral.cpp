@@ -1,0 +1,37 @@
+#include "hog/integral.hpp"
+
+#include <stdexcept>
+
+namespace hdface::hog {
+
+IntegralImage::IntegralImage(const image::Image& img)
+    : width_(img.width()), height_(img.height()),
+      table_((img.width() + 1) * (img.height() + 1), 0.0) {
+  const std::size_t stride = width_ + 1;
+  for (std::size_t y = 0; y < height_; ++y) {
+    double row_sum = 0.0;
+    for (std::size_t x = 0; x < width_; ++x) {
+      row_sum += img.at(x, y);
+      table_[(y + 1) * stride + (x + 1)] = table_[y * stride + (x + 1)] + row_sum;
+    }
+  }
+}
+
+double IntegralImage::box_sum(std::size_t x0, std::size_t y0, std::size_t x1,
+                              std::size_t y1) const {
+  if (x1 > width_ || y1 > height_ || x0 > x1 || y0 > y1) {
+    throw std::invalid_argument("IntegralImage: box out of range");
+  }
+  const std::size_t stride = width_ + 1;
+  return table_[y1 * stride + x1] - table_[y0 * stride + x1] -
+         table_[y1 * stride + x0] + table_[y0 * stride + x0];
+}
+
+double IntegralImage::box_mean(std::size_t x0, std::size_t y0, std::size_t x1,
+                               std::size_t y1) const {
+  const std::size_t area = (x1 - x0) * (y1 - y0);
+  if (area == 0) return 0.0;
+  return box_sum(x0, y0, x1, y1) / static_cast<double>(area);
+}
+
+}  // namespace hdface::hog

@@ -1,0 +1,37 @@
+#pragma once
+
+// Summed-area table (integral image) — O(1) box sums for the HAAR-like
+// feature extractor (paper §2 lists HAAR-like features among the classical
+// extraction mechanisms HDFace's arithmetic generalizes to).
+
+#include <cstddef>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace hdface::hog {
+
+class IntegralImage {
+ public:
+  explicit IntegralImage(const image::Image& img);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  // Sum of pixels in [x0, x1) × [y0, y1); the rectangle must lie within the
+  // image (throws std::invalid_argument otherwise).
+  double box_sum(std::size_t x0, std::size_t y0, std::size_t x1,
+                 std::size_t y1) const;
+
+  // Mean over the same rectangle (0 for an empty rectangle).
+  double box_mean(std::size_t x0, std::size_t y0, std::size_t x1,
+                  std::size_t y1) const;
+
+ private:
+  // table_[(y+1) * (width+1) + (x+1)] = sum of pixels in [0,x] × [0,y].
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<double> table_;
+};
+
+}  // namespace hdface::hog

@@ -1,0 +1,155 @@
+#include "hog/lbp.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hdface::hog {
+
+namespace {
+// Neighbor offsets, clockwise from the top-left.
+constexpr int kOffsets[8][2] = {{-1, -1}, {0, -1}, {1, -1}, {1, 0},
+                                {1, 1},   {0, 1},  {-1, 1}, {-1, 0}};
+}  // namespace
+
+std::uint8_t lbp_code(const image::Image& img, std::size_t x, std::size_t y) {
+  const float center = img.at(x, y);
+  std::uint8_t code = 0;
+  for (int k = 0; k < 8; ++k) {
+    const float neighbor =
+        img.at_clamped(static_cast<std::ptrdiff_t>(x) + kOffsets[k][0],
+                       static_cast<std::ptrdiff_t>(y) + kOffsets[k][1]);
+    if (neighbor >= center) code |= static_cast<std::uint8_t>(1u << k);
+  }
+  return code;
+}
+
+std::size_t lbp_bucket(std::uint8_t code, std::size_t bins) {
+  if (bins >= 256) return code;
+  // Fold by (popcount, first-transition) — groups visually similar codes so
+  // that coarse histograms stay discriminative.
+  const auto ones = static_cast<std::size_t>(std::popcount(code));
+  const auto rotated = static_cast<std::size_t>(
+      std::popcount(static_cast<std::uint8_t>(code ^ (code << 1 | code >> 7))));
+  return (ones * 8 + rotated / 2) % bins;
+}
+
+LbpExtractor::LbpExtractor(const LbpConfig& config) : config_(config) {
+  if (config.cell_size == 0) throw std::invalid_argument("LbpExtractor: cell_size 0");
+  if (config.bins == 0 || config.bins > 256) {
+    throw std::invalid_argument("LbpExtractor: bins out of range");
+  }
+}
+
+std::size_t LbpExtractor::feature_size(std::size_t width, std::size_t height) const {
+  return (width / config_.cell_size) * (height / config_.cell_size) * config_.bins;
+}
+
+std::vector<float> LbpExtractor::extract(const image::Image& img,
+                                         core::OpCounter* counter) const {
+  const std::size_t cell = config_.cell_size;
+  const std::size_t cx_count = img.width() / cell;
+  const std::size_t cy_count = img.height() / cell;
+  if (cx_count == 0 || cy_count == 0) {
+    throw std::invalid_argument("LbpExtractor: image smaller than one cell");
+  }
+  std::vector<float> out(cx_count * cy_count * config_.bins, 0.0f);
+  for (std::size_t cy = 0; cy < cy_count; ++cy) {
+    for (std::size_t cx = 0; cx < cx_count; ++cx) {
+      float* hist = &out[(cy * cx_count + cx) * config_.bins];
+      for (std::size_t py = 0; py < cell; ++py) {
+        for (std::size_t px = 0; px < cell; ++px) {
+          const auto code = lbp_code(img, cx * cell + px, cy * cell + py);
+          hist[lbp_bucket(code, config_.bins)] += 1.0f;
+        }
+      }
+      const float inv = 1.0f / static_cast<float>(cell * cell);
+      for (std::size_t b = 0; b < config_.bins; ++b) hist[b] *= inv;
+    }
+  }
+  if (counter) {
+    const auto pixels = static_cast<std::uint64_t>(cx_count * cy_count * cell * cell);
+    counter->add(core::OpKind::kFloatCmp, 8 * pixels);
+    counter->add(core::OpKind::kIntAdd, pixels);
+    counter->add(core::OpKind::kFloatMul, out.size());
+  }
+  return out;
+}
+
+HdLbpExtractor::HdLbpExtractor(core::StochasticContext& ctx,
+                               const LbpConfig& config, std::size_t width,
+                               std::size_t height)
+    : ctx_(ctx),
+      config_(config),
+      width_(width),
+      height_(height),
+      cells_x_(width / config.cell_size),
+      cells_y_(height / config.cell_size),
+      pixel_memory_(ctx, 256, 0.0, 1.0),
+      value_memory_(ctx, 64, 0.0, 1.0),
+      bundler_(ctx, cells_x_ == 0 ? 1 : cells_x_, cells_y_ == 0 ? 1 : cells_y_,
+               config.bins) {
+  if (cells_x_ == 0 || cells_y_ == 0) {
+    throw std::invalid_argument("HdLbpExtractor: image smaller than one cell");
+  }
+  core::Rng rng(core::mix64(ctx.config().seed, 0x1B9));
+  code_hvs_.reserve(config.bins);
+  for (std::size_t b = 0; b < config.bins; ++b) {
+    code_hvs_.push_back(core::Hypervector::random(ctx.dim(), rng));
+  }
+}
+
+std::uint8_t HdLbpExtractor::pixel_code_hyperspace(const image::Image& img,
+                                                   std::size_t x, std::size_t y) {
+  const core::Hypervector& center =
+      pixel_memory_.at_value(static_cast<double>(img.at(x, y)));
+  std::uint8_t code = 0;
+  for (int k = 0; k < 8; ++k) {
+    const float nv =
+        img.at_clamped(static_cast<std::ptrdiff_t>(x) + kOffsets[k][0],
+                       static_cast<std::ptrdiff_t>(y) + kOffsets[k][1]);
+    const core::Hypervector& neighbor =
+        pixel_memory_.at_value(static_cast<double>(nv));
+    // neighbor >= center decided by the stochastic comparison; the zero
+    // margin resolves ties toward "greater or equal" like the classical code.
+    if (ctx_.compare(neighbor, center, 0.0) >= 0) {
+      code |= static_cast<std::uint8_t>(1u << k);
+    }
+  }
+  return code;
+}
+
+core::Hypervector HdLbpExtractor::extract(const image::Image& img) {
+  if (img.width() != width_ || img.height() != height_) {
+    throw std::invalid_argument("HdLbpExtractor: image geometry mismatch");
+  }
+  const std::size_t cell = config_.cell_size;
+  const std::size_t pixels_per_cell = cell * cell;
+  std::vector<core::Hypervector> slots;
+  std::vector<double> weights;
+  slots.reserve(cells_x_ * cells_y_ * config_.bins);
+  weights.reserve(slots.capacity());
+  std::vector<std::size_t> hist(config_.bins);
+  for (std::size_t cy = 0; cy < cells_y_; ++cy) {
+    for (std::size_t cx = 0; cx < cells_x_; ++cx) {
+      std::fill(hist.begin(), hist.end(), 0);
+      for (std::size_t py = 0; py < cell; ++py) {
+        for (std::size_t px = 0; px < cell; ++px) {
+          const auto code = pixel_code_hyperspace(img, cx * cell + px,
+                                                  cy * cell + py);
+          hist[lbp_bucket(code, config_.bins)]++;
+        }
+      }
+      for (std::size_t b = 0; b < config_.bins; ++b) {
+        const double rate = static_cast<double>(hist[b]) /
+                            static_cast<double>(pixels_per_cell);
+        // Slot content: the bucket's code hypervector bound to the bucket's
+        // histogram-value level; vote weight = the rate itself.
+        slots.push_back(code_hvs_[b] ^ value_memory_.at_value(rate));
+        weights.push_back(rate);
+      }
+    }
+  }
+  return bundler_.bundle_weighted(slots, weights, 0.02, ctx_.counter());
+}
+
+}  // namespace hdface::hog

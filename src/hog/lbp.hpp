@@ -1,0 +1,84 @@
+#pragma once
+
+// Local Binary Patterns (paper §2's third classical extractor), classical and
+// hyperspace.
+//
+// Classical: each pixel's 8 neighbors threshold against the center to form an
+// 8-bit code; per-cell code histograms concatenate into the descriptor.
+//
+// Hyperspace: the center/neighbor comparisons run on pixel hypervectors via
+// the stochastic compare (the paper's α-style comparison), the resulting code
+// selects a random code hypervector, and per-cell bags of code hypervectors
+// are bound with cell keys and bundled — a fully binary extraction pipeline
+// with no magnitudes at all (LBP is the extractor most naturally suited to
+// HDC since its primitive *is* a comparison).
+
+#include <array>
+#include <vector>
+
+#include "core/item_memory.hpp"
+#include "core/stochastic.hpp"
+#include "hog/feature_bundler.hpp"
+#include "image/image.hpp"
+
+namespace hdface::hog {
+
+struct LbpConfig {
+  std::size_t cell_size = 8;
+  // Histogram buckets: full 256-code histograms are sparse on small cells;
+  // codes are folded into `bins` buckets by popcount+rotation-invariant-ish
+  // hashing when bins < 256.
+  std::size_t bins = 32;
+};
+
+// 8-bit LBP code of the pixel at (x, y) (clamped borders).
+std::uint8_t lbp_code(const image::Image& img, std::size_t x, std::size_t y);
+
+// Bucket of a code for a `bins`-bucket histogram.
+std::size_t lbp_bucket(std::uint8_t code, std::size_t bins);
+
+class LbpExtractor {
+ public:
+  explicit LbpExtractor(const LbpConfig& config);
+
+  const LbpConfig& config() const { return config_; }
+  std::size_t feature_size(std::size_t width, std::size_t height) const;
+
+  // Per-cell normalized code histograms, concatenated row-major.
+  std::vector<float> extract(const image::Image& img,
+                             core::OpCounter* counter = nullptr) const;
+
+ private:
+  LbpConfig config_;
+};
+
+class HdLbpExtractor {
+ public:
+  HdLbpExtractor(core::StochasticContext& ctx, const LbpConfig& config,
+                 std::size_t width, std::size_t height);
+
+  std::size_t cells_x() const { return cells_x_; }
+  std::size_t cells_y() const { return cells_y_; }
+
+  // Hyperspace LBP code of one pixel: every neighbor/center threshold is a
+  // stochastic comparison of pixel hypervectors.
+  std::uint8_t pixel_code_hyperspace(const image::Image& img, std::size_t x,
+                                     std::size_t y);
+
+  // Bundled image-level feature hypervector.
+  core::Hypervector extract(const image::Image& img);
+
+ private:
+  core::StochasticContext& ctx_;
+  LbpConfig config_;
+  std::size_t width_;
+  std::size_t height_;
+  std::size_t cells_x_;
+  std::size_t cells_y_;
+  core::LevelItemMemory pixel_memory_;
+  core::LevelItemMemory value_memory_;  // histogram values in [0, 1]
+  std::vector<core::Hypervector> code_hvs_;  // one random HV per bucket
+  FeatureBundler bundler_;
+};
+
+}  // namespace hdface::hog

@@ -1,0 +1,213 @@
+#include "image/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hdface::image {
+
+namespace {
+
+void blend(Image& img, std::ptrdiff_t x, std::ptrdiff_t y, float value, float alpha) {
+  if (x < 0 || y < 0 || x >= static_cast<std::ptrdiff_t>(img.width()) ||
+      y >= static_cast<std::ptrdiff_t>(img.height())) {
+    return;
+  }
+  alpha = std::clamp(alpha, 0.0f, 1.0f);
+  float& p = img.at(static_cast<std::size_t>(x), static_cast<std::size_t>(y));
+  p = p * (1.0f - alpha) + value * alpha;
+}
+
+// Soft coverage from a signed distance-like field: 1 inside, 0 outside,
+// linear ramp over one pixel.
+float soft_cover(double d) {
+  return static_cast<float>(std::clamp(0.5 - d, 0.0, 1.0));
+}
+
+}  // namespace
+
+void fill_ellipse(Image& img, double cx, double cy, double rx, double ry,
+                  float value, float alpha, double angle) {
+  if (rx <= 0.0 || ry <= 0.0) return;
+  const double extent = std::max(rx, ry) + 1.5;
+  const auto x_lo = static_cast<std::ptrdiff_t>(std::floor(cx - extent));
+  const auto x_hi = static_cast<std::ptrdiff_t>(std::ceil(cx + extent));
+  const auto y_lo = static_cast<std::ptrdiff_t>(std::floor(cy - extent));
+  const auto y_hi = static_cast<std::ptrdiff_t>(std::ceil(cy + extent));
+  const double ca = std::cos(angle);
+  const double sa = std::sin(angle);
+  for (std::ptrdiff_t y = y_lo; y <= y_hi; ++y) {
+    for (std::ptrdiff_t x = x_lo; x <= x_hi; ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      const double u = (dx * ca + dy * sa) / rx;
+      const double v = (-dx * sa + dy * ca) / ry;
+      const double r = std::sqrt(u * u + v * v);
+      // Approximate pixel distance to the boundary.
+      const double d = (r - 1.0) * std::min(rx, ry);
+      const float cover = soft_cover(d);
+      if (cover > 0.0f) blend(img, x, y, value, alpha * cover);
+    }
+  }
+}
+
+void draw_line(Image& img, double x0, double y0, double x1, double y1,
+               float value, double thickness, float alpha) {
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const double len2 = dx * dx + dy * dy;
+  const double half = thickness / 2.0;
+  const double pad = half + 1.5;
+  const auto lo_x = static_cast<std::ptrdiff_t>(std::floor(std::min(x0, x1) - pad));
+  const auto hi_x = static_cast<std::ptrdiff_t>(std::ceil(std::max(x0, x1) + pad));
+  const auto lo_y = static_cast<std::ptrdiff_t>(std::floor(std::min(y0, y1) - pad));
+  const auto hi_y = static_cast<std::ptrdiff_t>(std::ceil(std::max(y0, y1) + pad));
+  for (std::ptrdiff_t y = lo_y; y <= hi_y; ++y) {
+    for (std::ptrdiff_t x = lo_x; x <= hi_x; ++x) {
+      const double px = static_cast<double>(x) - x0;
+      const double py = static_cast<double>(y) - y0;
+      double t = len2 > 0.0 ? (px * dx + py * dy) / len2 : 0.0;
+      t = std::clamp(t, 0.0, 1.0);
+      const double qx = px - t * dx;
+      const double qy = py - t * dy;
+      const double d = std::sqrt(qx * qx + qy * qy) - half;
+      const float cover = soft_cover(d);
+      if (cover > 0.0f) blend(img, x, y, value, alpha * cover);
+    }
+  }
+}
+
+void fill_rect(Image& img, double x0, double y0, double x1, double y1,
+               float value, float alpha) {
+  if (x1 < x0) std::swap(x0, x1);
+  if (y1 < y0) std::swap(y0, y1);
+  const auto lo_x = static_cast<std::ptrdiff_t>(std::floor(x0));
+  const auto hi_x = static_cast<std::ptrdiff_t>(std::ceil(x1));
+  const auto lo_y = static_cast<std::ptrdiff_t>(std::floor(y0));
+  const auto hi_y = static_cast<std::ptrdiff_t>(std::ceil(y1));
+  for (std::ptrdiff_t y = lo_y; y <= hi_y; ++y) {
+    for (std::ptrdiff_t x = lo_x; x <= hi_x; ++x) {
+      // Coverage = product of per-axis overlap of the pixel with the rect.
+      const double ox = std::min<double>(x + 1.0, x1) - std::max<double>(x, x0);
+      const double oy = std::min<double>(y + 1.0, y1) - std::max<double>(y, y0);
+      if (ox <= 0.0 || oy <= 0.0) continue;
+      blend(img, x, y, value,
+            alpha * static_cast<float>(std::min(1.0, ox) * std::min(1.0, oy)));
+    }
+  }
+}
+
+void add_gaussian_blob(Image& img, double cx, double cy, double sigma,
+                       float amplitude) {
+  if (sigma <= 0.0) return;
+  const double extent = 3.0 * sigma;
+  const auto lo_x = static_cast<std::ptrdiff_t>(std::floor(cx - extent));
+  const auto hi_x = static_cast<std::ptrdiff_t>(std::ceil(cx + extent));
+  const auto lo_y = static_cast<std::ptrdiff_t>(std::floor(cy - extent));
+  const auto hi_y = static_cast<std::ptrdiff_t>(std::ceil(cy + extent));
+  for (std::ptrdiff_t y = std::max<std::ptrdiff_t>(lo_y, 0);
+       y <= std::min<std::ptrdiff_t>(hi_y, static_cast<std::ptrdiff_t>(img.height()) - 1); ++y) {
+    for (std::ptrdiff_t x = std::max<std::ptrdiff_t>(lo_x, 0);
+         x <= std::min<std::ptrdiff_t>(hi_x, static_cast<std::ptrdiff_t>(img.width()) - 1); ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      const double g = std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+      img.at(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) +=
+          amplitude * static_cast<float>(g);
+    }
+  }
+}
+
+void draw_arc(Image& img, double x0, double y0, double cx, double cy, double x1,
+              double y1, float value, double thickness, float alpha) {
+  // Flatten the Bézier into short segments.
+  const int segments = 16;
+  double px = x0;
+  double py = y0;
+  for (int s = 1; s <= segments; ++s) {
+    const double t = static_cast<double>(s) / segments;
+    const double omt = 1.0 - t;
+    const double qx = omt * omt * x0 + 2.0 * omt * t * cx + t * t * x1;
+    const double qy = omt * omt * y0 + 2.0 * omt * t * cy + t * t * y1;
+    draw_line(img, px, py, qx, qy, value, thickness, alpha);
+    px = qx;
+    py = qy;
+  }
+}
+
+void add_value_noise(Image& img, core::Rng& rng, double base_scale, int octaves,
+                     float amplitude) {
+  if (octaves < 1) return;
+  const std::size_t w = img.width();
+  const std::size_t h = img.height();
+  std::vector<float> accum(w * h, 0.0f);
+  double scale = std::max(base_scale, 2.0);
+  float octave_amp = 1.0f;
+  float total_amp = 0.0f;
+  for (int o = 0; o < octaves; ++o) {
+    // Lattice of random values, bilinearly interpolated.
+    const auto gw = static_cast<std::size_t>(std::ceil(w / scale)) + 2;
+    const auto gh = static_cast<std::size_t>(std::ceil(h / scale)) + 2;
+    std::vector<float> grid(gw * gh);
+    for (auto& g : grid) g = static_cast<float>(rng.uniform());
+    for (std::size_t y = 0; y < h; ++y) {
+      const double gy = y / scale;
+      const auto y0 = static_cast<std::size_t>(gy);
+      const float fy = static_cast<float>(gy - static_cast<double>(y0));
+      for (std::size_t x = 0; x < w; ++x) {
+        const double gx = x / scale;
+        const auto x0 = static_cast<std::size_t>(gx);
+        const float fx = static_cast<float>(gx - static_cast<double>(x0));
+        const float v00 = grid[y0 * gw + x0];
+        const float v10 = grid[y0 * gw + x0 + 1];
+        const float v01 = grid[(y0 + 1) * gw + x0];
+        const float v11 = grid[(y0 + 1) * gw + x0 + 1];
+        const float v = v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
+                        v01 * (1 - fx) * fy + v11 * fx * fy;
+        accum[y * w + x] += octave_amp * v;
+      }
+    }
+    total_amp += octave_amp;
+    octave_amp *= 0.5f;
+    scale = std::max(2.0, scale / 2.0);
+  }
+  for (std::size_t i = 0; i < accum.size(); ++i) {
+    const float centered = accum[i] / total_amp - 0.5f;
+    img.pixels()[i] += amplitude * centered * 2.0f;
+  }
+  img.clamp();
+}
+
+void add_linear_gradient(Image& img, double angle, float strength) {
+  const double ca = std::cos(angle);
+  const double sa = std::sin(angle);
+  const double diag = std::sqrt(static_cast<double>(img.width() * img.width() +
+                                                    img.height() * img.height()));
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      const double proj = (x * ca + y * sa) / diag;  // roughly [-1, 1]
+      img.at(x, y) += strength * static_cast<float>(proj);
+    }
+  }
+  img.clamp();
+}
+
+void add_gaussian_noise(Image& img, core::Rng& rng, float sigma) {
+  for (auto& p : img.pixels()) {
+    p += sigma * static_cast<float>(rng.gaussian());
+  }
+  img.clamp();
+}
+
+void add_salt_pepper(Image& img, core::Rng& rng, double p) {
+  for (auto& px : img.pixels()) {
+    const double u = rng.uniform();
+    if (u < p / 2.0) {
+      px = 0.0f;
+    } else if (u < p) {
+      px = 1.0f;
+    }
+  }
+}
+
+}  // namespace hdface::image

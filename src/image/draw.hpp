@@ -1,0 +1,50 @@
+#pragma once
+
+// Procedural drawing primitives for the synthetic dataset renderers.
+//
+// All primitives blend with the existing image content using an `alpha`
+// opacity and write intensity `value` ∈ [0, 1]. Anti-aliasing is a simple
+// 1-pixel soft edge, enough to avoid stair-step gradients that would make
+// HOG features trivially synthetic.
+
+#include "core/rng.hpp"
+#include "image/image.hpp"
+
+namespace hdface::image {
+
+// Filled axis-aligned ellipse centered at (cx, cy) with radii (rx, ry),
+// rotated by `angle` radians.
+void fill_ellipse(Image& img, double cx, double cy, double rx, double ry,
+                  float value, float alpha = 1.0f, double angle = 0.0);
+
+// Anti-aliased line segment of the given thickness.
+void draw_line(Image& img, double x0, double y0, double x1, double y1,
+               float value, double thickness = 1.0, float alpha = 1.0f);
+
+// Filled axis-aligned rectangle.
+void fill_rect(Image& img, double x0, double y0, double x1, double y1,
+               float value, float alpha = 1.0f);
+
+// Additive Gaussian intensity blob.
+void add_gaussian_blob(Image& img, double cx, double cy, double sigma,
+                       float amplitude);
+
+// Quadratic Bézier arc (used for mouths / brows), thickness in pixels.
+void draw_arc(Image& img, double x0, double y0, double cx, double cy, double x1,
+              double y1, float value, double thickness = 1.0, float alpha = 1.0f);
+
+// Smooth value-noise texture in [0,1] with `octaves` octaves, written over the
+// whole image scaled by `amplitude` around 0.5 (background clutter).
+void add_value_noise(Image& img, core::Rng& rng, double base_scale, int octaves,
+                     float amplitude);
+
+// Linear illumination gradient along direction `angle`, strength in [0,1].
+void add_linear_gradient(Image& img, double angle, float strength);
+
+// Per-pixel i.i.d. Gaussian noise.
+void add_gaussian_noise(Image& img, core::Rng& rng, float sigma);
+
+// Per-pixel salt & pepper noise with probability p (half salt, half pepper).
+void add_salt_pepper(Image& img, core::Rng& rng, double p);
+
+}  // namespace hdface::image

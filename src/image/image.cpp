@@ -1,0 +1,51 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdface::image {
+
+Image::Image(std::size_t width, std::size_t height, float fill)
+    : width_(width), height_(height), data_(width * height, fill) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Image: dimensions must be > 0");
+  }
+}
+
+float Image::at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const {
+  x = std::clamp<std::ptrdiff_t>(x, 0, static_cast<std::ptrdiff_t>(width_) - 1);
+  y = std::clamp<std::ptrdiff_t>(y, 0, static_cast<std::ptrdiff_t>(height_) - 1);
+  return data_[static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)];
+}
+
+void Image::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Image::clamp() {
+  for (auto& p : data_) p = std::clamp(p, 0.0f, 1.0f);
+}
+
+float Image::min() const { return *std::min_element(data_.begin(), data_.end()); }
+float Image::max() const { return *std::max_element(data_.begin(), data_.end()); }
+
+double Image::mean() const {
+  double s = 0.0;
+  for (auto p : data_) s += p;
+  return data_.empty() ? 0.0 : s / static_cast<double>(data_.size());
+}
+
+double Image::variance() const {
+  const double m = mean();
+  double s = 0.0;
+  for (auto p : data_) s += (p - m) * (p - m);
+  return data_.empty() ? 0.0 : s / static_cast<double>(data_.size());
+}
+
+std::uint8_t to_u8(float v) {
+  const float c = std::clamp(v, 0.0f, 1.0f);
+  return static_cast<std::uint8_t>(std::lround(c * 255.0f));
+}
+
+float from_u8(std::uint8_t v) { return static_cast<float>(v) / 255.0f; }
+
+}  // namespace hdface::image

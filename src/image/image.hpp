@@ -1,0 +1,56 @@
+#pragma once
+
+// Grayscale image container used throughout the pipelines.
+//
+// Pixels are stored row-major as floats in [0, 1] (0 = black, 1 = white,
+// matching the paper's normalization before hypervector construction).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hdface::image {
+
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height, float fill = 0.0f);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t x, std::size_t y) { return data_[y * width_ + x]; }
+  float at(std::size_t x, std::size_t y) const { return data_[y * width_ + x]; }
+
+  // Clamped access: out-of-range coordinates read the nearest edge pixel.
+  float at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const;
+
+  std::span<float> pixels() { return data_; }
+  std::span<const float> pixels() const { return data_; }
+
+  void fill(float v);
+
+  // Clamps every pixel into [0, 1].
+  void clamp();
+
+  float min() const;
+  float max() const;
+  double mean() const;
+  double variance() const;
+
+  bool operator==(const Image& o) const = default;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<float> data_;
+};
+
+// 8-bit quantization helpers (the paper's n-bit pixel representation).
+std::uint8_t to_u8(float v);
+float from_u8(std::uint8_t v);
+
+}  // namespace hdface::image

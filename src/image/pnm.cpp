@@ -1,0 +1,98 @@
+#include "image/pnm.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdface::image {
+
+namespace {
+// Skips whitespace and `#` comments in a PNM header.
+void skip_pnm_separators(std::istream& in) {
+  for (;;) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+std::size_t read_pnm_number(std::istream& in) {
+  skip_pnm_separators(in);
+  std::size_t v = 0;
+  if (!(in >> v)) throw std::runtime_error("PNM: malformed header number");
+  return v;
+}
+}  // namespace
+
+void write_pgm(const Image& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      out.put(static_cast<char>(to_u8(img.at(x, y))));
+    }
+  }
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  std::string magic(2, '\0');
+  in.read(magic.data(), 2);
+  if (magic != "P5") throw std::runtime_error("read_pgm: not a binary PGM: " + path);
+  const std::size_t w = read_pnm_number(in);
+  const std::size_t h = read_pnm_number(in);
+  const std::size_t maxval = read_pnm_number(in);
+  // Validate before allocating: zero/absurd dimensions come from corrupt
+  // files and must not turn into multi-gigabyte allocations.
+  constexpr std::size_t kMaxSide = 1u << 16;
+  if (w == 0 || h == 0 || w > kMaxSide || h > kMaxSide) {
+    throw std::runtime_error("read_pgm: implausible dimensions");
+  }
+  if (maxval == 0 || maxval > 255) {
+    throw std::runtime_error("read_pgm: unsupported maxval");
+  }
+  in.get();  // single whitespace after maxval
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const int c = in.get();
+      if (c == EOF) throw std::runtime_error("read_pgm: truncated pixel data");
+      img.at(x, y) = static_cast<float>(c) / static_cast<float>(maxval);
+    }
+  }
+  return img;
+}
+
+RgbImage to_rgb(const Image& img) {
+  RgbImage rgb(img.width(), img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      const std::uint8_t g = to_u8(img.at(x, y));
+      rgb.at(x, y) = {g, g, g};
+    }
+  }
+  return rgb;
+}
+
+void write_ppm(const RgbImage& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  out << "P6\n" << img.width << " " << img.height << "\n255\n";
+  for (const auto& px : img.pixels) {
+    out.put(static_cast<char>(px[0]));
+    out.put(static_cast<char>(px[1]));
+    out.put(static_cast<char>(px[2]));
+  }
+  if (!out) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+}  // namespace hdface::image

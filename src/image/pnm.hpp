@@ -1,0 +1,43 @@
+#pragma once
+
+// Binary PGM (P5) / PPM (P6) reader & writer — dependency-free image I/O for
+// dataset import/export and the Fig 6 detection-map visualizations.
+
+#include <array>
+#include <string>
+
+#include "image/image.hpp"
+
+namespace hdface::image {
+
+// Writes `img` as an 8-bit binary PGM. Throws std::runtime_error on I/O error.
+void write_pgm(const Image& img, const std::string& path);
+
+// Reads an 8-bit binary PGM (P5). Throws std::runtime_error on parse error.
+Image read_pgm(const std::string& path);
+
+// RGB overlay image for detection visualizations.
+struct RgbImage {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::array<std::uint8_t, 3>> pixels;
+
+  RgbImage() = default;
+  RgbImage(std::size_t w, std::size_t h)
+      : width(w), height(h), pixels(w * h, {0, 0, 0}) {}
+
+  std::array<std::uint8_t, 3>& at(std::size_t x, std::size_t y) {
+    return pixels[y * width + x];
+  }
+  const std::array<std::uint8_t, 3>& at(std::size_t x, std::size_t y) const {
+    return pixels[y * width + x];
+  }
+};
+
+// Grayscale image lifted to RGB.
+RgbImage to_rgb(const Image& img);
+
+// Writes an RGB image as binary PPM (P6).
+void write_ppm(const RgbImage& img, const std::string& path);
+
+}  // namespace hdface::image

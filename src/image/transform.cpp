@@ -1,0 +1,149 @@
+#include "image/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hdface::image {
+
+namespace {
+float sample_bilinear(const Image& src, double x, double y) {
+  const auto x0 = static_cast<std::ptrdiff_t>(std::floor(x));
+  const auto y0 = static_cast<std::ptrdiff_t>(std::floor(y));
+  const float fx = static_cast<float>(x - static_cast<double>(x0));
+  const float fy = static_cast<float>(y - static_cast<double>(y0));
+  const float v00 = src.at_clamped(x0, y0);
+  const float v10 = src.at_clamped(x0 + 1, y0);
+  const float v01 = src.at_clamped(x0, y0 + 1);
+  const float v11 = src.at_clamped(x0 + 1, y0 + 1);
+  return v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) + v01 * (1 - fx) * fy +
+         v11 * fx * fy;
+}
+}  // namespace
+
+Image resize(const Image& src, std::size_t new_w, std::size_t new_h) {
+  Image dst(new_w, new_h);
+  const double sx = static_cast<double>(src.width()) / static_cast<double>(new_w);
+  const double sy = static_cast<double>(src.height()) / static_cast<double>(new_h);
+  for (std::size_t y = 0; y < new_h; ++y) {
+    for (std::size_t x = 0; x < new_w; ++x) {
+      dst.at(x, y) = sample_bilinear(src, (x + 0.5) * sx - 0.5, (y + 0.5) * sy - 0.5);
+    }
+  }
+  return dst;
+}
+
+Image crop(const Image& src, std::size_t x, std::size_t y, std::size_t w,
+           std::size_t h) {
+  if (x + w > src.width() || y + h > src.height()) {
+    throw std::invalid_argument("crop: rectangle out of bounds");
+  }
+  Image dst(w, h);
+  for (std::size_t j = 0; j < h; ++j) {
+    for (std::size_t i = 0; i < w; ++i) {
+      dst.at(i, j) = src.at(x + i, y + j);
+    }
+  }
+  return dst;
+}
+
+void paste(Image& dst, const Image& src, std::ptrdiff_t x, std::ptrdiff_t y) {
+  for (std::size_t j = 0; j < src.height(); ++j) {
+    const std::ptrdiff_t dy = y + static_cast<std::ptrdiff_t>(j);
+    if (dy < 0 || dy >= static_cast<std::ptrdiff_t>(dst.height())) continue;
+    for (std::size_t i = 0; i < src.width(); ++i) {
+      const std::ptrdiff_t dx = x + static_cast<std::ptrdiff_t>(i);
+      if (dx < 0 || dx >= static_cast<std::ptrdiff_t>(dst.width())) continue;
+      dst.at(static_cast<std::size_t>(dx), static_cast<std::size_t>(dy)) = src.at(i, j);
+    }
+  }
+}
+
+Image flip_horizontal(const Image& src) {
+  Image dst(src.width(), src.height());
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      dst.at(x, y) = src.at(src.width() - 1 - x, y);
+    }
+  }
+  return dst;
+}
+
+Image gaussian_blur(const Image& src, double sigma) {
+  if (sigma <= 0.0) return src;
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<float> kernel(2 * radius + 1);
+  float sum = 0.0f;
+  for (int k = -radius; k <= radius; ++k) {
+    const float v = static_cast<float>(std::exp(-(k * k) / (2.0 * sigma * sigma)));
+    kernel[static_cast<std::size_t>(k + radius)] = v;
+    sum += v;
+  }
+  for (auto& v : kernel) v /= sum;
+
+  Image tmp(src.width(), src.height());
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += kernel[static_cast<std::size_t>(k + radius)] *
+               src.at_clamped(static_cast<std::ptrdiff_t>(x) + k,
+                              static_cast<std::ptrdiff_t>(y));
+      }
+      tmp.at(x, y) = acc;
+    }
+  }
+  Image dst(src.width(), src.height());
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += kernel[static_cast<std::size_t>(k + radius)] *
+               tmp.at_clamped(static_cast<std::ptrdiff_t>(x),
+                              static_cast<std::ptrdiff_t>(y) + k);
+      }
+      dst.at(x, y) = acc;
+    }
+  }
+  return dst;
+}
+
+Image normalize_range(const Image& src) {
+  const float lo = src.min();
+  const float hi = src.max();
+  Image dst = src;
+  if (hi - lo < 1e-12f) return dst;
+  for (auto& p : dst.pixels()) p = (p - lo) / (hi - lo);
+  return dst;
+}
+
+Image rotate(const Image& src, double angle) {
+  Image dst(src.width(), src.height());
+  const double cx = static_cast<double>(src.width()) / 2.0;
+  const double cy = static_cast<double>(src.height()) / 2.0;
+  const double ca = std::cos(-angle);
+  const double sa = std::sin(-angle);
+  for (std::size_t y = 0; y < dst.height(); ++y) {
+    for (std::size_t x = 0; x < dst.width(); ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      const double sx_pos = cx + dx * ca - dy * sa;
+      const double sy_pos = cy + dx * sa + dy * ca;
+      dst.at(x, y) = sample_bilinear(src, sx_pos, sy_pos);
+    }
+  }
+  return dst;
+}
+
+Image quantize(const Image& src, int bits) {
+  if (bits < 1 || bits > 16) throw std::invalid_argument("quantize: bits out of range");
+  const float levels = static_cast<float>((1 << bits) - 1);
+  Image dst = src;
+  for (auto& p : dst.pixels()) {
+    p = std::round(std::clamp(p, 0.0f, 1.0f) * levels) / levels;
+  }
+  return dst;
+}
+
+}  // namespace hdface::image

@@ -1,0 +1,38 @@
+#pragma once
+
+// Geometric / photometric transforms shared by dataset generation and the
+// sliding-window detector.
+
+#include "image/image.hpp"
+
+namespace hdface::image {
+
+// Bilinear resize to (new_w, new_h).
+Image resize(const Image& src, std::size_t new_w, std::size_t new_h);
+
+// Crop the rectangle [x, x+w) × [y, y+h); must lie inside the source.
+Image crop(const Image& src, std::size_t x, std::size_t y, std::size_t w,
+           std::size_t h);
+
+// Paste src into dst with its top-left corner at (x, y); pixels falling
+// outside dst are dropped.
+void paste(Image& dst, const Image& src, std::ptrdiff_t x, std::ptrdiff_t y);
+
+// Horizontal mirror.
+Image flip_horizontal(const Image& src);
+
+// Separable Gaussian blur with the given sigma (pixels).
+Image gaussian_blur(const Image& src, double sigma);
+
+// Linear remap so that pixel range becomes exactly [0, 1] (no-op for a
+// constant image).
+Image normalize_range(const Image& src);
+
+// Rotate around the center by `angle` radians with bilinear sampling; pixels
+// sampled outside the source read the clamped edge.
+Image rotate(const Image& src, double angle);
+
+// Quantize to n bits and back (models the paper's n-bit pixel precision).
+Image quantize(const Image& src, int bits);
+
+}  // namespace hdface::image

@@ -1,0 +1,78 @@
+#include "learn/encoder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace hdface::learn {
+
+NonlinearEncoder::NonlinearEncoder(const EncoderConfig& config) : config_(config) {
+  if (config.input_dim == 0) throw std::invalid_argument("NonlinearEncoder: input_dim 0");
+  if (config.dim == 0) throw std::invalid_argument("NonlinearEncoder: dim 0");
+  core::Rng rng(core::mix64(config.seed, 0x9403));
+  const double sigma =
+      config.gamma / std::sqrt(static_cast<double>(config.input_dim));
+  projection_.resize(config.dim * config.input_dim);
+  for (auto& p : projection_) {
+    p = static_cast<float>(sigma * rng.gaussian());
+  }
+  phase_.resize(config.dim);
+  for (auto& p : phase_) {
+    p = static_cast<float>(rng.uniform() * 6.283185307179586);
+  }
+}
+
+void NonlinearEncoder::calibrate(const std::vector<std::vector<float>>& features) {
+  if (features.empty()) throw std::invalid_argument("calibrate: empty");
+  const std::size_t d = config_.input_dim;
+  mean_.assign(d, 0.0f);
+  inv_std_.assign(d, 0.0f);
+  for (const auto& f : features) {
+    if (f.size() != d) throw std::invalid_argument("calibrate: feature size mismatch");
+    for (std::size_t i = 0; i < d; ++i) mean_[i] += f[i];
+  }
+  for (auto& m : mean_) m /= static_cast<float>(features.size());
+  std::vector<double> var(d, 0.0);
+  for (const auto& f : features) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double delta = f[i] - mean_[i];
+      var[i] += delta * delta;
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    const double sd = std::sqrt(var[i] / static_cast<double>(features.size()));
+    inv_std_[i] = sd > 1e-8 ? static_cast<float>(1.0 / sd) : 0.0f;
+  }
+}
+
+core::Hypervector NonlinearEncoder::encode(std::span<const float> features,
+                                           core::OpCounter* counter) const {
+  if (features.size() != config_.input_dim) {
+    throw std::invalid_argument("encode: feature size mismatch");
+  }
+  if (!calibrated()) {
+    throw std::logic_error("encode: calibrate() must run before encode()");
+  }
+  const std::size_t in = config_.input_dim;
+  std::vector<float> z(in);
+  for (std::size_t i = 0; i < in; ++i) {
+    z[i] = (features[i] - mean_[i]) * inv_std_[i];
+  }
+  core::Hypervector out(config_.dim);
+  for (std::size_t d = 0; d < config_.dim; ++d) {
+    const float* row = &projection_[d * in];
+    float dot = phase_[d];
+    for (std::size_t i = 0; i < in; ++i) dot += row[i] * z[i];
+    if (std::cos(dot) > 0.0f) out.set(d, true);
+  }
+  if (counter) {
+    counter->add(core::OpKind::kFloatMul, config_.dim * in + in);
+    counter->add(core::OpKind::kFloatAdd, config_.dim * in + in);
+    counter->add(core::OpKind::kFloatTrig, config_.dim);
+    counter->add(core::OpKind::kFloatCmp, config_.dim);
+  }
+  return out;
+}
+
+}  // namespace hdface::learn

@@ -1,0 +1,52 @@
+#pragma once
+
+// Nonlinear random-projection encoder: float feature vector → binary
+// hypervector.
+//
+// This is the encoding module the paper's first HDC configuration uses
+// ("HOG feature extraction running on original space ... HDC exploits
+// non-linear encoder to map extracted features into high dimension",
+// §6.2). Each hypervector dimension is sign(cos(⟨x, B_i⟩ + φ_i)) with a
+// Gaussian projection B_i and uniform phase φ_i — a binarized random Fourier
+// feature, the standard nonlinear HDC encoder. Features are standardized
+// with training statistics so the kernel bandwidth is data-independent.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/hypervector.hpp"
+#include "core/op_counter.hpp"
+
+namespace hdface::learn {
+
+struct EncoderConfig {
+  std::size_t dim = 4096;
+  std::size_t input_dim = 0;  // must be set
+  double gamma = 1.0;         // kernel bandwidth multiplier
+  std::uint64_t seed = 0xE2C;
+};
+
+class NonlinearEncoder {
+ public:
+  explicit NonlinearEncoder(const EncoderConfig& config);
+
+  const EncoderConfig& config() const { return config_; }
+
+  // Computes per-dimension mean/std from training data (call once).
+  void calibrate(const std::vector<std::vector<float>>& features);
+  bool calibrated() const { return !mean_.empty(); }
+
+  core::Hypervector encode(std::span<const float> features,
+                           core::OpCounter* counter = nullptr) const;
+
+ private:
+  EncoderConfig config_;
+  // Row-major projection matrix: dim × input_dim.
+  std::vector<float> projection_;
+  std::vector<float> phase_;
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+}  // namespace hdface::learn

@@ -1,0 +1,118 @@
+#include "learn/hdc_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdface::learn {
+
+HdcClassifier::HdcClassifier(const HdcConfig& config)
+    : config_(config), rng_(core::mix64(config.seed, 0xC1A55)) {
+  if (config.classes < 2) throw std::invalid_argument("HdcClassifier: need >= 2 classes");
+  prototypes_.reserve(config.classes);
+  for (std::size_t c = 0; c < config.classes; ++c) {
+    prototypes_.emplace_back(config.dim);
+  }
+}
+
+void HdcClassifier::set_counter(core::OpCounter* counter) {
+  counter_ = counter;
+  for (auto& p : prototypes_) p.set_counter(counter);
+}
+
+bool HdcClassifier::update(const core::Hypervector& feature, int label) {
+  const auto y = static_cast<std::size_t>(label);
+  if (y >= config_.classes) throw std::invalid_argument("HdcClassifier: bad label");
+
+  if (!config_.adaptive) {
+    prototypes_[y].add(feature, config_.learning_rate);
+    return true;
+  }
+  const std::vector<double> s = scores(feature);
+  const auto pred = static_cast<std::size_t>(
+      std::max_element(s.begin(), s.end()) - s.begin());
+  if (pred == y && prototypes_[y].norm() > 0.0) {
+    // Correct and confident enough: memorize nothing (saturation control).
+    return true;
+  }
+  // Reinforce the true class proportionally to how far it was from firing,
+  // and push the confused class away symmetrically.
+  prototypes_[y].add(feature, config_.learning_rate * (1.0 - s[y]));
+  if (pred != y && prototypes_[pred].norm() > 0.0) {
+    prototypes_[pred].add(feature, -config_.learning_rate * (1.0 - s[pred]));
+  }
+  return pred == y;
+}
+
+void HdcClassifier::fit(const std::vector<core::Hypervector>& features,
+                        const std::vector<int>& labels) {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("HdcClassifier::fit: bad inputs");
+  }
+  std::vector<std::size_t> order(features.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.below(i)]);
+    }
+    for (auto idx : order) update(features[idx], labels[idx]);
+  }
+}
+
+std::vector<double> HdcClassifier::scores(const core::Hypervector& feature) const {
+  std::vector<double> s(config_.classes);
+  for (std::size_t c = 0; c < config_.classes; ++c) {
+    s[c] = prototypes_[c].cosine(feature);
+  }
+  return s;
+}
+
+int HdcClassifier::predict(const core::Hypervector& feature) const {
+  const auto s = scores(feature);
+  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+std::vector<int> HdcClassifier::predict(
+    const std::vector<core::Hypervector>& features) const {
+  std::vector<int> out;
+  out.reserve(features.size());
+  for (const auto& f : features) out.push_back(predict(f));
+  return out;
+}
+
+double HdcClassifier::evaluate(const std::vector<core::Hypervector>& features,
+                               const std::vector<int>& labels) const {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("HdcClassifier::evaluate: bad inputs");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (predict(features[i]) == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(features.size());
+}
+
+std::vector<core::Hypervector> HdcClassifier::binary_prototypes() const {
+  std::vector<core::Hypervector> out;
+  out.reserve(prototypes_.size());
+  core::Rng tie_rng(core::mix64(config_.seed, 0xB1A));
+  for (const auto& p : prototypes_) out.push_back(p.threshold(tie_rng));
+  return out;
+}
+
+int HdcClassifier::predict_binary(const std::vector<core::Hypervector>& prototypes,
+                                  const core::Hypervector& feature) {
+  if (prototypes.empty()) throw std::invalid_argument("predict_binary: no prototypes");
+  int best = 0;
+  std::size_t best_hamming = hamming(prototypes[0], feature);
+  for (std::size_t c = 1; c < prototypes.size(); ++c) {
+    const std::size_t h = hamming(prototypes[c], feature);
+    if (h < best_hamming) {
+      best_hamming = h;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace hdface::learn

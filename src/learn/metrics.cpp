@@ -1,0 +1,67 @@
+#include "learn/metrics.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdface::learn {
+
+double accuracy(const std::vector<int>& predictions, const std::vector<int>& labels) {
+  if (predictions.size() != labels.size() || predictions.empty()) {
+    throw std::invalid_argument("accuracy: size mismatch or empty");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predictions.size());
+}
+
+std::vector<std::size_t> confusion_matrix(const std::vector<int>& predictions,
+                                          const std::vector<int>& labels,
+                                          std::size_t classes) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  std::vector<std::size_t> m(classes * classes, 0);
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const auto t = static_cast<std::size_t>(labels[i]);
+    const auto p = static_cast<std::size_t>(predictions[i]);
+    if (t >= classes || p >= classes) {
+      throw std::invalid_argument("confusion_matrix: label out of range");
+    }
+    m[t * classes + p]++;
+  }
+  return m;
+}
+
+std::vector<double> per_class_recall(const std::vector<std::size_t>& confusion,
+                                     std::size_t classes) {
+  std::vector<double> recall(classes, 0.0);
+  for (std::size_t t = 0; t < classes; ++t) {
+    std::size_t row = 0;
+    for (std::size_t p = 0; p < classes; ++p) row += confusion[t * classes + p];
+    if (row > 0) {
+      recall[t] = static_cast<double>(confusion[t * classes + t]) /
+                  static_cast<double>(row);
+    }
+  }
+  return recall;
+}
+
+std::string format_confusion(const std::vector<std::size_t>& confusion,
+                             const std::vector<std::string>& class_names) {
+  const std::size_t k = class_names.size();
+  std::ostringstream os;
+  os << std::setw(10) << "true\\pred";
+  for (const auto& n : class_names) os << std::setw(9) << n.substr(0, 8);
+  os << "\n";
+  for (std::size_t t = 0; t < k; ++t) {
+    os << std::setw(10) << class_names[t].substr(0, 9);
+    for (std::size_t p = 0; p < k; ++p) os << std::setw(9) << confusion[t * k + p];
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hdface::learn

@@ -1,0 +1,27 @@
+#pragma once
+
+// Classification metrics shared by all learners.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hdface::learn {
+
+// Fraction of matching entries; vectors must have equal, nonzero length.
+double accuracy(const std::vector<int>& predictions, const std::vector<int>& labels);
+
+// confusion[t * classes + p] = count of true class t predicted as p.
+std::vector<std::size_t> confusion_matrix(const std::vector<int>& predictions,
+                                          const std::vector<int>& labels,
+                                          std::size_t classes);
+
+// Per-class recall (diagonal / row sum), 0 for empty classes.
+std::vector<double> per_class_recall(const std::vector<std::size_t>& confusion,
+                                     std::size_t classes);
+
+// Pretty confusion matrix for logs.
+std::string format_confusion(const std::vector<std::size_t>& confusion,
+                             const std::vector<std::string>& class_names);
+
+}  // namespace hdface::learn

@@ -1,0 +1,235 @@
+#include "learn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdface::learn {
+
+Mlp::Mlp(const MlpConfig& config)
+    : config_(config), rng_(core::mix64(config.seed, 0x317)) {
+  if (config.layers.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output layers");
+  }
+  for (std::size_t l = 0; l + 1 < config.layers.size(); ++l) {
+    Layer layer;
+    layer.in = config.layers[l];
+    layer.out = config.layers[l + 1];
+    if (layer.in == 0 || layer.out == 0) {
+      throw std::invalid_argument("Mlp: zero-width layer");
+    }
+    layer.weights.resize(layer.in * layer.out);
+    layer.bias.assign(layer.out, 0.0f);
+    // He initialization for ReLU stacks.
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (auto& w : layer.weights) {
+      w = static_cast<float>(scale * rng_.gaussian());
+    }
+    layers_.push_back(std::move(layer));
+  }
+  velocity_ = layers_;
+  for (auto& l : velocity_) {
+    std::fill(l.weights.begin(), l.weights.end(), 0.0f);
+    std::fill(l.bias.begin(), l.bias.end(), 0.0f);
+  }
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.weights.size() + l.bias.size();
+  return n;
+}
+
+std::vector<float> Mlp::forward(std::span<const float> input,
+                                std::vector<std::vector<float>>* activations) const {
+  if (input.size() != layers_.front().in) {
+    throw std::invalid_argument("Mlp: input size mismatch");
+  }
+  std::vector<float> x(input.begin(), input.end());
+  if (activations) {
+    activations->clear();
+    activations->push_back(x);
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<float> y(layer.out);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const float* row = &layer.weights[o * layer.in];
+      float acc = layer.bias[o];
+      for (std::size_t i = 0; i < layer.in; ++i) acc += row[i] * x[i];
+      y[o] = acc;
+    }
+    const bool last = (l + 1 == layers_.size());
+    if (!last) {
+      for (auto& v : y) v = std::max(v, 0.0f);  // ReLU
+    }
+    x = std::move(y);
+    if (activations) activations->push_back(x);
+  }
+  // Softmax on the logits.
+  const float mx = *std::max_element(x.begin(), x.end());
+  double denom = 0.0;
+  for (auto& v : x) {
+    v = std::exp(v - mx);
+    denom += v;
+  }
+  for (auto& v : x) v = static_cast<float>(v / denom);
+  return x;
+}
+
+std::vector<float> Mlp::probabilities(std::span<const float> features) const {
+  return forward(features, nullptr);
+}
+
+int Mlp::predict(std::span<const float> features) const {
+  const auto p = probabilities(features);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double Mlp::evaluate(const std::vector<std::vector<float>>& features,
+                     const std::vector<int>& labels) const {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("Mlp::evaluate: bad inputs");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (predict(features[i]) == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(features.size());
+}
+
+double Mlp::train_epoch(const std::vector<std::vector<float>>& features,
+                        const std::vector<int>& labels) {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("Mlp::train_epoch: bad inputs");
+  }
+  std::vector<std::size_t> order(features.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng_.below(i)]);
+  }
+
+  // Gradient buffers matching layer shapes.
+  std::vector<Layer> grads = layers_;
+  auto zero_grads = [&] {
+    for (auto& g : grads) {
+      std::fill(g.weights.begin(), g.weights.end(), 0.0f);
+      std::fill(g.bias.begin(), g.bias.end(), 0.0f);
+    }
+  };
+
+  double total_loss = 0.0;
+  std::size_t done = 0;
+  while (done < order.size()) {
+    const std::size_t batch_end = std::min(done + config_.batch_size, order.size());
+    const std::size_t batch = batch_end - done;
+    zero_grads();
+    for (std::size_t b = done; b < batch_end; ++b) {
+      const auto idx = order[b];
+      std::vector<std::vector<float>> acts;
+      const std::vector<float> probs = forward(features[idx], &acts);
+      const auto y = static_cast<std::size_t>(labels[idx]);
+      total_loss += -std::log(std::max(probs[y], 1e-12f));
+
+      // delta at the output: softmax-CE gradient.
+      std::vector<float> delta = probs;
+      delta[y] -= 1.0f;
+      for (std::size_t l = layers_.size(); l-- > 0;) {
+        const Layer& layer = layers_[l];
+        Layer& grad = grads[l];
+        const std::vector<float>& input_act = acts[l];
+        for (std::size_t o = 0; o < layer.out; ++o) {
+          grad.bias[o] += delta[o];
+          float* grow = &grad.weights[o * layer.in];
+          for (std::size_t i = 0; i < layer.in; ++i) {
+            grow[i] += delta[o] * input_act[i];
+          }
+        }
+        if (l == 0) break;
+        // Propagate: delta_prev = Wᵀ delta, gated by ReLU.
+        std::vector<float> prev(layer.in, 0.0f);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+          const float* row = &layer.weights[o * layer.in];
+          for (std::size_t i = 0; i < layer.in; ++i) prev[i] += row[i] * delta[o];
+        }
+        for (std::size_t i = 0; i < layer.in; ++i) {
+          if (acts[l][i] <= 0.0f) prev[i] = 0.0f;
+        }
+        delta = std::move(prev);
+      }
+    }
+    // Global gradient-norm clipping (before the batch averaging below the
+    // norm is computed on the batch-mean gradient).
+    if (config_.max_grad_norm > 0.0) {
+      double norm_sq = 0.0;
+      const double inv_b = 1.0 / static_cast<double>(batch);
+      for (const auto& g : grads) {
+        for (float v : g.weights) norm_sq += (v * inv_b) * (v * inv_b);
+        for (float v : g.bias) norm_sq += (v * inv_b) * (v * inv_b);
+      }
+      const double norm = std::sqrt(norm_sq);
+      if (norm > config_.max_grad_norm) {
+        const float scale = static_cast<float>(config_.max_grad_norm / norm);
+        for (auto& g : grads) {
+          for (auto& v : g.weights) v *= scale;
+          for (auto& v : g.bias) v *= scale;
+        }
+      }
+    }
+    // SGD + momentum + weight decay.
+    const float lr = static_cast<float>(config_.learning_rate);
+    const float mom = static_cast<float>(config_.momentum);
+    const float wd = static_cast<float>(config_.weight_decay);
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      for (std::size_t k = 0; k < layers_[l].weights.size(); ++k) {
+        const float g = grads[l].weights[k] * inv_batch + wd * layers_[l].weights[k];
+        velocity_[l].weights[k] = mom * velocity_[l].weights[k] - lr * g;
+        layers_[l].weights[k] += velocity_[l].weights[k];
+      }
+      for (std::size_t k = 0; k < layers_[l].bias.size(); ++k) {
+        const float g = grads[l].bias[k] * inv_batch;
+        velocity_[l].bias[k] = mom * velocity_[l].bias[k] - lr * g;
+        layers_[l].bias[k] += velocity_[l].bias[k];
+      }
+    }
+    done = batch_end;
+  }
+  return total_loss / static_cast<double>(order.size());
+}
+
+double Mlp::fit(const std::vector<std::vector<float>>& features,
+                const std::vector<int>& labels) {
+  double loss = 0.0;
+  for (std::size_t e = 0; e < config_.epochs; ++e) {
+    loss = train_epoch(features, labels);
+  }
+  return loss;
+}
+
+void Mlp::count_forward_ops(core::OpCounter& counter) const {
+  for (const auto& l : layers_) {
+    const auto macs = static_cast<std::uint64_t>(l.in) * l.out;
+    counter.add(core::OpKind::kFloatMul, macs);
+    counter.add(core::OpKind::kFloatAdd, macs + l.out);
+    counter.add(core::OpKind::kFloatCmp, l.out);  // ReLU / argmax class ops
+  }
+  counter.add(core::OpKind::kFloatTrig, layers_.back().out);  // softmax exp
+}
+
+void Mlp::count_training_ops_per_sample(core::OpCounter& counter) const {
+  // Forward + backward (≈2× forward MACs: dW outer product + delta backprop)
+  // + parameter update (2 mul/add per parameter).
+  count_forward_ops(counter);
+  for (const auto& l : layers_) {
+    const auto macs = static_cast<std::uint64_t>(l.in) * l.out;
+    counter.add(core::OpKind::kFloatMul, 2 * macs);
+    counter.add(core::OpKind::kFloatAdd, 2 * macs);
+  }
+  const auto params = static_cast<std::uint64_t>(num_parameters());
+  counter.add(core::OpKind::kFloatMul, 2 * params);
+  counter.add(core::OpKind::kFloatAdd, 2 * params);
+}
+
+}  // namespace hdface::learn

@@ -1,0 +1,80 @@
+#pragma once
+
+// Multilayer perceptron — the paper's DNN baseline.
+//
+// The paper's comparator is a 4-layer network (input, two hidden layers,
+// output; Fig 5b sweeps the hidden sizes) trained on the same HOG features as
+// HDFace. Implementation: ReLU hidden activations, softmax cross-entropy,
+// minibatch SGD with momentum. Forward/backward FLOP counts feed the Fig 7
+// efficiency model.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/op_counter.hpp"
+#include "core/rng.hpp"
+
+namespace hdface::learn {
+
+struct MlpConfig {
+  std::vector<std::size_t> layers;  // {input, hidden..., classes}
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  // Per-batch global gradient-norm clip (0 disables). Keeps small/narrow
+  // configurations from diverging under the shared learning rate.
+  double max_grad_norm = 5.0;
+  std::size_t epochs = 30;
+  std::size_t batch_size = 16;
+  std::uint64_t seed = 0xD2;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(const MlpConfig& config);
+
+  const MlpConfig& config() const { return config_; }
+  std::size_t num_classes() const { return config_.layers.back(); }
+  std::size_t num_parameters() const;
+
+  // Minibatch SGD training; returns final-epoch mean training loss.
+  double fit(const std::vector<std::vector<float>>& features,
+             const std::vector<int>& labels);
+
+  // One epoch (exposed for training-time measurements); returns mean loss.
+  double train_epoch(const std::vector<std::vector<float>>& features,
+                     const std::vector<int>& labels);
+
+  // Softmax class probabilities.
+  std::vector<float> probabilities(std::span<const float> features) const;
+  int predict(std::span<const float> features) const;
+  double evaluate(const std::vector<std::vector<float>>& features,
+                  const std::vector<int>& labels) const;
+
+  // Op counts for a single forward pass / a single training step per sample
+  // (forward + backward + update), used by the Fig 7 cost model.
+  void count_forward_ops(core::OpCounter& counter) const;
+  void count_training_ops_per_sample(core::OpCounter& counter) const;
+
+  // Weight access for quantization (layer-major, row-major weights then bias).
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<float> weights;  // out × in
+    std::vector<float> bias;     // out
+  };
+  const std::vector<Layer>& layers() const { return layers_; }
+  std::vector<Layer>& mutable_layers() { return layers_; }
+
+ private:
+  std::vector<float> forward(std::span<const float> input,
+                             std::vector<std::vector<float>>* activations) const;
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  std::vector<Layer> velocity_;
+  core::Rng rng_;
+};
+
+}  // namespace hdface::learn

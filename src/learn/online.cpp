@@ -1,0 +1,57 @@
+#include "learn/online.hpp"
+
+#include <stdexcept>
+
+namespace hdface::learn {
+
+OnlineTrainer::OnlineTrainer(HdcClassifier& model, const OnlineConfig& config)
+    : model_(model), config_(config) {
+  if (config.accuracy_window == 0) {
+    throw std::invalid_argument("OnlineTrainer: accuracy_window must be > 0");
+  }
+  if (config.decay <= 0.0 || config.decay > 1.0) {
+    throw std::invalid_argument("OnlineTrainer: decay must be in (0, 1]");
+  }
+  if (config.decay_interval == 0) {
+    throw std::invalid_argument("OnlineTrainer: decay_interval must be > 0");
+  }
+}
+
+int OnlineTrainer::observe(const core::Hypervector& feature, int label) {
+  const int prediction = model_.predict(feature);
+  const bool hit = prediction == label;
+
+  model_.update(feature, label);
+  ++seen_;
+  lifetime_hits_ += hit ? 1 : 0;
+  window_.push_back(hit);
+  window_hits_ += hit ? 1 : 0;
+  if (window_.size() > config_.accuracy_window) {
+    window_hits_ -= window_.front() ? 1 : 0;
+    window_.pop_front();
+  }
+  maybe_decay();
+  return prediction;
+}
+
+void OnlineTrainer::maybe_decay() {
+  if (config_.decay >= 1.0) return;
+  if (seen_ % config_.decay_interval != 0) return;
+  for (std::size_t c = 0; c < model_.config().classes; ++c) {
+    auto counts = model_.prototype(c).counts();
+    for (auto& v : counts) v *= config_.decay;
+    model_.set_prototype_counts(c, std::move(counts));
+  }
+}
+
+double OnlineTrainer::windowed_accuracy() const {
+  if (window_.empty()) return 0.0;
+  return static_cast<double>(window_hits_) / static_cast<double>(window_.size());
+}
+
+double OnlineTrainer::lifetime_accuracy() const {
+  if (seen_ == 0) return 0.0;
+  return static_cast<double>(lifetime_hits_) / static_cast<double>(seen_);
+}
+
+}  // namespace hdface::learn

@@ -1,0 +1,66 @@
+#pragma once
+
+// Online / on-device learning wrapper around the HDC classifier.
+//
+// The paper's first claimed advantage is that HDFace is "highly parallel and
+// suitable for online on-device learning" (§1, §7). This module makes that
+// concrete: a streaming trainer that
+//   * performs one adaptive update per arriving sample (predict-then-train,
+//     so every sample is scored before the model sees its label),
+//   * tracks prequential accuracy over a sliding window, and
+//   * optionally decays the class prototypes so the model tracks concept
+//     drift (lighting changes, new identities) instead of freezing on the
+//     oldest data.
+//
+// bench/ablation_learning's few-shot rows and the online_learning example
+// exercise it; the drift test injects a mid-stream distribution change.
+
+#include <cstddef>
+#include <deque>
+
+#include "learn/hdc_model.hpp"
+
+namespace hdface::learn {
+
+struct OnlineConfig {
+  // Sliding window for the prequential (test-then-train) accuracy estimate.
+  std::size_t accuracy_window = 100;
+  // Multiplicative prototype decay applied every `decay_interval` samples;
+  // 1.0 disables forgetting. Values slightly below 1 let the prototypes
+  // track drift while retaining most accumulated structure.
+  double decay = 1.0;
+  std::size_t decay_interval = 50;
+};
+
+class OnlineTrainer {
+ public:
+  OnlineTrainer(HdcClassifier& model, const OnlineConfig& config);
+
+  // Test-then-train on one labeled sample; returns the pre-update prediction.
+  int observe(const core::Hypervector& feature, int label);
+
+  // Prediction without learning (unlabeled traffic).
+  int predict(const core::Hypervector& feature) const {
+    return model_.predict(feature);
+  }
+
+  std::size_t samples_seen() const { return seen_; }
+
+  // Prequential accuracy over the sliding window (0 before any sample).
+  double windowed_accuracy() const;
+
+  // Lifetime prequential accuracy.
+  double lifetime_accuracy() const;
+
+ private:
+  void maybe_decay();
+
+  HdcClassifier& model_;
+  OnlineConfig config_;
+  std::size_t seen_ = 0;
+  std::size_t lifetime_hits_ = 0;
+  std::deque<bool> window_;
+  std::size_t window_hits_ = 0;
+};
+
+}  // namespace hdface::learn

@@ -1,0 +1,97 @@
+#include "learn/quantized_mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "noise/bit_flip.hpp"
+
+namespace hdface::learn {
+
+QuantizedMlp::QuantizedMlp(const Mlp& source, int bits)
+    : bits_(bits), num_classes_(source.num_classes()) {
+  if (bits < 2 || bits > 16) throw std::invalid_argument("QuantizedMlp: bits out of range");
+  const std::int32_t qmax = (1 << (bits - 1)) - 1;
+  for (const auto& l : source.layers()) {
+    QLayer q;
+    q.in = l.in;
+    q.out = l.out;
+    q.bias = l.bias;
+    float maxw = 1e-12f;
+    for (float w : l.weights) maxw = std::max(maxw, std::fabs(w));
+    // Power-of-two range (fixed-point convention).
+    const float range = std::exp2(std::ceil(std::log2(maxw)));
+    q.step = range / static_cast<float>(1 << (bits - 1));
+    q.weights.reserve(l.weights.size());
+    for (float w : l.weights) {
+      const auto v = static_cast<std::int32_t>(std::lround(w / q.step));
+      q.weights.push_back(std::clamp(v, -qmax - 1, qmax));
+    }
+    layers_.push_back(std::move(q));
+  }
+  clean_ = layers_;
+}
+
+void QuantizedMlp::inject_bit_errors(double rate, core::Rng& rng) {
+  for (auto& l : layers_) {
+    noise::flip_fixed_bits(l.weights, bits_, rate, rng);
+  }
+}
+
+void QuantizedMlp::reset() { layers_ = clean_; }
+
+std::vector<float> QuantizedMlp::forward(std::span<const float> input) const {
+  if (input.size() != layers_.front().in) {
+    throw std::invalid_argument("QuantizedMlp: input size mismatch");
+  }
+  std::vector<float> x(input.begin(), input.end());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const QLayer& l = layers_[li];
+    std::vector<float> y(l.out);
+    for (std::size_t o = 0; o < l.out; ++o) {
+      const std::int32_t* row = &l.weights[o * l.in];
+      float acc = l.bias[o];
+      for (std::size_t i = 0; i < l.in; ++i) {
+        acc += static_cast<float>(row[i]) * l.step * x[i];
+      }
+      y[o] = acc;
+    }
+    if (li + 1 < layers_.size()) {
+      for (auto& v : y) v = std::max(v, 0.0f);
+    }
+    x = std::move(y);
+  }
+  return x;
+}
+
+int QuantizedMlp::predict(std::span<const float> features) const {
+  const auto logits = forward(features);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double QuantizedMlp::evaluate(const std::vector<std::vector<float>>& features,
+                              const std::vector<int>& labels) const {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("QuantizedMlp::evaluate: bad inputs");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (predict(features[i]) == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(features.size());
+}
+
+double QuantizedMlp::max_abs_error(const Mlp& source) const {
+  double err = 0.0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& fw = source.layers()[l].weights;
+    for (std::size_t k = 0; k < fw.size(); ++k) {
+      const double deq = static_cast<double>(clean_[l].weights[k]) * clean_[l].step;
+      err = std::max(err, std::fabs(deq - static_cast<double>(fw[k])));
+    }
+  }
+  return err;
+}
+
+}  // namespace hdface::learn

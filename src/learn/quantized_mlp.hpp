@@ -1,0 +1,57 @@
+#pragma once
+
+// Post-training uniform quantization of an MLP to 16/8/4-bit fixed point,
+// with bit-error injection into the quantized weight words (paper Table 2).
+//
+// Scaling is per-layer power-of-two max-abs (the common fixed-point DSP
+// convention): step = 2^ceil(log2(max|w|)) / 2^(bits−1). Bit flips happen in
+// the integer weight words at a given per-bit rate; inference then proceeds
+// on the dequantized weights.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "learn/mlp.hpp"
+
+namespace hdface::learn {
+
+class QuantizedMlp {
+ public:
+  // bits in [2, 16].
+  QuantizedMlp(const Mlp& source, int bits);
+
+  int bits() const { return bits_; }
+  std::size_t num_classes() const { return num_classes_; }
+
+  // Flips each stored weight bit independently with probability `rate`.
+  // Cumulative: call reset() to restore the clean quantized weights.
+  void inject_bit_errors(double rate, core::Rng& rng);
+  void reset();
+
+  int predict(std::span<const float> features) const;
+  double evaluate(const std::vector<std::vector<float>>& features,
+                  const std::vector<int>& labels) const;
+
+  // Quantization error metrics (for tests): max |w − dequant(quant(w))|.
+  double max_abs_error(const Mlp& source) const;
+
+ private:
+  struct QLayer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<std::int32_t> weights;  // quantized, low `bits` significant
+    std::vector<float> bias;            // biases stay float (tiny memory)
+    float step = 1.0f;
+  };
+
+  std::vector<float> forward(std::span<const float> input) const;
+
+  int bits_;
+  std::size_t num_classes_;
+  std::vector<QLayer> layers_;
+  std::vector<QLayer> clean_;  // pristine copy for reset()
+};
+
+}  // namespace hdface::learn

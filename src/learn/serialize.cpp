@@ -1,0 +1,194 @@
+#include "learn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace hdface::learn {
+
+namespace {
+
+constexpr std::uint32_t kHvMagic = 0x48444856;   // "HDHV"
+constexpr std::uint32_t kHdcMagic = 0x48444343;  // "HDCC"
+constexpr std::uint32_t kMlpMagic = 0x48444D4C;  // "HDML"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("serialize: truncated stream");
+  return value;
+}
+
+void write_doubles(std::ostream& out, const std::vector<double>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::vector<double> read_doubles(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  std::vector<double> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (!in) throw std::runtime_error("serialize: truncated doubles");
+  return v;
+}
+
+void write_floats(std::ostream& out, const std::vector<float>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  std::vector<float> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in) throw std::runtime_error("serialize: truncated floats");
+  return v;
+}
+
+void expect_header(std::istream& in, std::uint32_t magic, const char* what) {
+  if (read_pod<std::uint32_t>(in) != magic) {
+    throw std::runtime_error(std::string("serialize: bad magic for ") + what);
+  }
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error(std::string("serialize: unsupported version for ") + what);
+  }
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("serialize: cannot open for write: " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("serialize: cannot open for read: " + path);
+  return in;
+}
+
+}  // namespace
+
+void write_hypervector(std::ostream& out, const core::Hypervector& v) {
+  write_pod(out, kHvMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(v.dim()));
+  const auto words = v.words();
+  out.write(reinterpret_cast<const char*>(words.data()),
+            static_cast<std::streamsize>(words.size() * sizeof(std::uint64_t)));
+}
+
+core::Hypervector read_hypervector(std::istream& in) {
+  expect_header(in, kHvMagic, "hypervector");
+  const auto dim = read_pod<std::uint64_t>(in);
+  if (dim == 0 || dim > (1ull << 32)) {
+    throw std::runtime_error("serialize: implausible hypervector dimension");
+  }
+  core::Hypervector v(static_cast<std::size_t>(dim));
+  auto words = v.mutable_words();
+  in.read(reinterpret_cast<char*>(words.data()),
+          static_cast<std::streamsize>(words.size() * sizeof(std::uint64_t)));
+  if (!in) throw std::runtime_error("serialize: truncated hypervector");
+  v.mask_tail();
+  return v;
+}
+
+void save_classifier(const HdcClassifier& model, const std::string& path) {
+  auto out = open_out(path);
+  write_pod(out, kHdcMagic);
+  write_pod(out, kVersion);
+  const HdcConfig& cfg = model.config();
+  write_pod(out, static_cast<std::uint64_t>(cfg.dim));
+  write_pod(out, static_cast<std::uint64_t>(cfg.classes));
+  write_pod(out, cfg.learning_rate);
+  write_pod(out, static_cast<std::uint64_t>(cfg.epochs));
+  write_pod(out, static_cast<std::uint8_t>(cfg.adaptive ? 1 : 0));
+  write_pod(out, cfg.seed);
+  for (std::size_t c = 0; c < cfg.classes; ++c) {
+    write_doubles(out, model.prototype(c).counts());
+  }
+  if (!out) throw std::runtime_error("serialize: write failed: " + path);
+}
+
+HdcClassifier load_classifier(const std::string& path) {
+  auto in = open_in(path);
+  expect_header(in, kHdcMagic, "HDC classifier");
+  HdcConfig cfg;
+  cfg.dim = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  cfg.classes = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  cfg.learning_rate = read_pod<double>(in);
+  cfg.epochs = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  cfg.adaptive = read_pod<std::uint8_t>(in) != 0;
+  cfg.seed = read_pod<std::uint64_t>(in);
+  HdcClassifier model(cfg);
+  for (std::size_t c = 0; c < cfg.classes; ++c) {
+    const auto counts = read_doubles(in);
+    if (counts.size() != cfg.dim) {
+      throw std::runtime_error("serialize: prototype dimension mismatch");
+    }
+    model.set_prototype_counts(c, counts);
+  }
+  return model;
+}
+
+void save_mlp(const Mlp& model, const std::string& path) {
+  auto out = open_out(path);
+  write_pod(out, kMlpMagic);
+  write_pod(out, kVersion);
+  const MlpConfig& cfg = model.config();
+  write_pod(out, static_cast<std::uint64_t>(cfg.layers.size()));
+  for (auto l : cfg.layers) write_pod(out, static_cast<std::uint64_t>(l));
+  write_pod(out, cfg.learning_rate);
+  write_pod(out, cfg.momentum);
+  write_pod(out, cfg.weight_decay);
+  write_pod(out, static_cast<std::uint64_t>(cfg.epochs));
+  write_pod(out, static_cast<std::uint64_t>(cfg.batch_size));
+  write_pod(out, cfg.seed);
+  for (const auto& layer : model.layers()) {
+    write_floats(out, layer.weights);
+    write_floats(out, layer.bias);
+  }
+  if (!out) throw std::runtime_error("serialize: write failed: " + path);
+}
+
+Mlp load_mlp(const std::string& path) {
+  auto in = open_in(path);
+  expect_header(in, kMlpMagic, "MLP");
+  MlpConfig cfg;
+  const auto n_layers = read_pod<std::uint64_t>(in);
+  if (n_layers < 2 || n_layers > 64) {
+    throw std::runtime_error("serialize: implausible layer count");
+  }
+  for (std::uint64_t i = 0; i < n_layers; ++i) {
+    cfg.layers.push_back(static_cast<std::size_t>(read_pod<std::uint64_t>(in)));
+  }
+  cfg.learning_rate = read_pod<double>(in);
+  cfg.momentum = read_pod<double>(in);
+  cfg.weight_decay = read_pod<double>(in);
+  cfg.epochs = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  cfg.batch_size = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  cfg.seed = read_pod<std::uint64_t>(in);
+  Mlp model(cfg);
+  for (auto& layer : model.mutable_layers()) {
+    auto weights = read_floats(in);
+    auto bias = read_floats(in);
+    if (weights.size() != layer.weights.size() || bias.size() != layer.bias.size()) {
+      throw std::runtime_error("serialize: layer shape mismatch");
+    }
+    layer.weights = std::move(weights);
+    layer.bias = std::move(bias);
+  }
+  return model;
+}
+
+}  // namespace hdface::learn

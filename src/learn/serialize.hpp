@@ -1,0 +1,31 @@
+#pragma once
+
+// Binary model persistence: train once, deploy the model file.
+//
+// Format: little-endian, magic + version header per object. Hypervectors
+// store packed 64-bit words; HDC classifiers store their config and float
+// prototype accumulators; MLPs store layer shapes and weights. Loaders
+// validate magic/version/shape and throw std::runtime_error on corruption.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/hypervector.hpp"
+#include "learn/hdc_model.hpp"
+#include "learn/mlp.hpp"
+
+namespace hdface::learn {
+
+// --- hypervectors -----------------------------------------------------------
+void write_hypervector(std::ostream& out, const core::Hypervector& v);
+core::Hypervector read_hypervector(std::istream& in);
+
+// --- HDC classifier ---------------------------------------------------------
+void save_classifier(const HdcClassifier& model, const std::string& path);
+HdcClassifier load_classifier(const std::string& path);
+
+// --- MLP --------------------------------------------------------------------
+void save_mlp(const Mlp& model, const std::string& path);
+Mlp load_mlp(const std::string& path);
+
+}  // namespace hdface::learn

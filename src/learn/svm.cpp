@@ -1,0 +1,85 @@
+#include "learn/svm.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdface::learn {
+
+LinearSvm::LinearSvm(const SvmConfig& config)
+    : config_(config),
+      weights_(config.classes, std::vector<float>(config.input_dim, 0.0f)),
+      bias_(config.classes, 0.0f),
+      rng_(core::mix64(config.seed, 0x5F3)) {
+  if (config.input_dim == 0) throw std::invalid_argument("LinearSvm: input_dim 0");
+  if (config.classes < 2) throw std::invalid_argument("LinearSvm: need >= 2 classes");
+}
+
+void LinearSvm::fit(const std::vector<std::vector<float>>& features,
+                    const std::vector<int>& labels) {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("LinearSvm::fit: bad inputs");
+  }
+  std::vector<std::size_t> order(features.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.below(i)]);
+    }
+    for (auto idx : order) {
+      ++t;
+      const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+      const auto& x = features[idx];
+      for (std::size_t c = 0; c < config_.classes; ++c) {
+        const float target = labels[idx] == static_cast<int>(c) ? 1.0f : -1.0f;
+        auto& w = weights_[c];
+        double margin = bias_[c];
+        for (std::size_t k = 0; k < x.size(); ++k) margin += w[k] * x[k];
+        margin *= target;
+        // Pegasos update: shrink, plus a hinge step on margin violations.
+        const float shrink = static_cast<float>(1.0 - eta * config_.lambda);
+        for (auto& wk : w) wk *= shrink;
+        if (margin < 1.0) {
+          const float step = static_cast<float>(eta) * target;
+          for (std::size_t k = 0; k < x.size(); ++k) w[k] += step * x[k];
+          bias_[c] += 0.1f * step;  // unregularized, smaller-rate bias
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> LinearSvm::scores(std::span<const float> features) const {
+  if (features.size() != config_.input_dim) {
+    throw std::invalid_argument("LinearSvm: feature size mismatch");
+  }
+  std::vector<double> s(config_.classes);
+  for (std::size_t c = 0; c < config_.classes; ++c) {
+    double acc = bias_[c];
+    for (std::size_t k = 0; k < features.size(); ++k) {
+      acc += weights_[c][k] * features[k];
+    }
+    s[c] = acc;
+  }
+  return s;
+}
+
+int LinearSvm::predict(std::span<const float> features) const {
+  const auto s = scores(features);
+  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+double LinearSvm::evaluate(const std::vector<std::vector<float>>& features,
+                           const std::vector<int>& labels) const {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("LinearSvm::evaluate: bad inputs");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (predict(features[i]) == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(features.size());
+}
+
+}  // namespace hdface::learn

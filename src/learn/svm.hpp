@@ -1,0 +1,44 @@
+#pragma once
+
+// Linear one-vs-rest SVM trained with Pegasos-style hinge-loss SGD — the
+// paper's second classical baseline (§6.2).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace hdface::learn {
+
+struct SvmConfig {
+  std::size_t input_dim = 0;
+  std::size_t classes = 2;
+  double lambda = 1e-4;   // L2 regularization strength
+  std::size_t epochs = 40;
+  std::uint64_t seed = 0x57;
+};
+
+class LinearSvm {
+ public:
+  explicit LinearSvm(const SvmConfig& config);
+
+  const SvmConfig& config() const { return config_; }
+
+  void fit(const std::vector<std::vector<float>>& features,
+           const std::vector<int>& labels);
+
+  std::vector<double> scores(std::span<const float> features) const;
+  int predict(std::span<const float> features) const;
+  double evaluate(const std::vector<std::vector<float>>& features,
+                  const std::vector<int>& labels) const;
+
+ private:
+  SvmConfig config_;
+  // One (w, b) per class, one-vs-rest.
+  std::vector<std::vector<float>> weights_;
+  std::vector<float> bias_;
+  core::Rng rng_;
+};
+
+}  // namespace hdface::learn

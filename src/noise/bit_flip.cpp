@@ -1,0 +1,65 @@
+#include "noise/bit_flip.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace hdface::noise {
+
+core::Hypervector flip_bits(const core::Hypervector& v, double rate,
+                            core::Rng& rng) {
+  core::Hypervector out = v;
+  if (rate <= 0.0) return out;
+  for (std::size_t i = 0; i < v.dim(); ++i) {
+    if (rng.uniform() < rate) out.flip(i);
+  }
+  return out;
+}
+
+void flip_float_bits(std::span<float> values, double rate, core::Rng& rng) {
+  if (rate <= 0.0) return;
+  for (auto& v : values) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 32; ++b) {
+      if (rng.uniform() < rate) bits ^= (1u << b);
+    }
+    std::memcpy(&v, &bits, sizeof(bits));
+  }
+}
+
+void flip_fixed_bits(std::span<std::int32_t> words, int bits, double rate,
+                     core::Rng& rng) {
+  if (rate <= 0.0) return;
+  for (auto& w : words) {
+    auto u = static_cast<std::uint32_t>(w);
+    for (int b = 0; b < bits; ++b) {
+      if (rng.uniform() < rate) u ^= (1u << b);
+    }
+    // Sign-extend from the quantized width so the value stays in range
+    // semantics of the fixed-point format.
+    const std::uint32_t sign_bit = 1u << (bits - 1);
+    if (bits < 32 && (u & sign_bit)) {
+      u |= ~((sign_bit << 1) - 1);
+    } else if (bits < 32) {
+      u &= (sign_bit << 1) - 1;
+    }
+    w = static_cast<std::int32_t>(u);
+  }
+}
+
+image::Image flip_image_bits(const image::Image& img, double rate, core::Rng& rng) {
+  image::Image out = img;
+  if (rate <= 0.0) return out;
+  for (auto& p : out.pixels()) {
+    std::uint8_t byte = image::to_u8(p);
+    for (int b = 0; b < 8; ++b) {
+      if (rng.uniform() < rate) byte ^= static_cast<std::uint8_t>(1u << b);
+    }
+    p = image::from_u8(byte);
+  }
+  return out;
+}
+
+double expected_similarity_after_flips(double rate) { return 1.0 - 2.0 * rate; }
+
+}  // namespace hdface::noise

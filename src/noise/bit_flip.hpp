@@ -1,0 +1,44 @@
+#pragma once
+
+// Random bit-error injection (paper §6.6, Table 2).
+//
+// The paper's robustness study flips random bits in the computation/storage
+// of each pipeline: hypervector payloads for HDFace, quantized weight words
+// for the DNN, and raw float feature words for feature extraction performed
+// in the original data representation. Holographic representations degrade
+// gracefully (each bit carries 1/D of the information); positional binary
+// representations do not (one exponent bit can swing a value by orders of
+// magnitude).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/hypervector.hpp"
+#include "core/rng.hpp"
+#include "image/image.hpp"
+
+namespace hdface::noise {
+
+// Flips each dimension of v independently with probability `rate`.
+core::Hypervector flip_bits(const core::Hypervector& v, double rate,
+                            core::Rng& rng);
+
+// Flips each bit of each 32-bit float independently with probability `rate`.
+// NaN/Inf results are left as-is: that is exactly the failure mode the paper
+// measures (downstream code must tolerate them).
+void flip_float_bits(std::span<float> values, double rate, core::Rng& rng);
+
+// Flips each bit of fixed-point words with the given bit width (for the
+// quantized DNN study). Values are stored in the low `bits` of each word.
+void flip_fixed_bits(std::span<std::int32_t> words, int bits, double rate,
+                     core::Rng& rng);
+
+// Flips bits of the 8-bit pixel representation of an image.
+image::Image flip_image_bits(const image::Image& img, double rate, core::Rng& rng);
+
+// Expected fraction of dimensions differing after flipping (for tests):
+// similarity of a flipped hypervector with its original is 1 − 2·rate.
+double expected_similarity_after_flips(double rate);
+
+}  // namespace hdface::noise

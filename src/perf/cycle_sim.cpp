@@ -1,0 +1,139 @@
+#include "perf/cycle_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hdface::perf {
+
+PipelineSimulator::PipelineSimulator(std::vector<PipelineStage> stages)
+    : stages_(std::move(stages)) {
+  if (stages_.empty()) throw std::invalid_argument("PipelineSimulator: no stages");
+  for (const auto& s : stages_) {
+    if (s.latency == 0 || s.ii == 0 || s.items == 0) {
+      throw std::invalid_argument("PipelineSimulator: stage " + s.name +
+                                  " has zero latency/ii/items");
+    }
+  }
+  for (std::size_t i = 1; i < stages_.size(); ++i) {
+    const auto prev = stages_[i - 1].items;
+    const auto cur = stages_[i].items;
+    if (cur > prev || prev % cur != 0) {
+      throw std::invalid_argument(
+          "PipelineSimulator: stage item counts must decimate integrally");
+    }
+  }
+}
+
+CycleReport PipelineSimulator::run(double clock_hz) const {
+  const std::size_t n = stages_.size();
+  // Per-stage state: items accepted, cycle at which the stage can next
+  // accept, and the completion cycle of each handed-off item (the downstream
+  // stage consumes groups of prev_items/cur_items completions).
+  struct State {
+    std::uint64_t accepted = 0;
+    std::uint64_t next_free = 0;   // earliest cycle the stage may accept again
+    std::uint64_t busy = 0;
+    std::vector<std::uint64_t> completions;
+  };
+  std::vector<State> st(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    st[i].completions.reserve(stages_[i].items);
+  }
+
+  // Event-driven over item acceptances (equivalent to cycle stepping for a
+  // linear chain, but runs in O(total items)).
+  // Stage 0 inputs are available from cycle 0.
+  for (std::uint64_t k = 0; k < stages_[0].items; ++k) {
+    const std::uint64_t start = std::max(st[0].next_free,
+                                         static_cast<std::uint64_t>(0));
+    st[0].next_free = start + stages_[0].ii;
+    st[0].busy += stages_[0].ii;
+    st[0].completions.push_back(start + stages_[0].latency);
+    st[0].accepted++;
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint64_t group =
+        stages_[i - 1].items / stages_[i].items;  // completions per input item
+    for (std::uint64_t k = 0; k < stages_[i].items; ++k) {
+      // Ready when the whole group of upstream completions has arrived.
+      const std::uint64_t ready = st[i - 1].completions[(k + 1) * group - 1];
+      const std::uint64_t start = std::max(st[i].next_free, ready);
+      st[i].next_free = start + stages_[i].ii;
+      st[i].busy += stages_[i].ii;
+      st[i].completions.push_back(start + stages_[i].latency);
+      st[i].accepted++;
+    }
+  }
+
+  CycleReport report;
+  report.total_cycles = st.back().completions.back();
+  report.seconds = static_cast<double>(report.total_cycles) / clock_hz;
+  double worst = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    StageReport sr;
+    sr.name = stages_[i].name;
+    sr.busy_cycles = st[i].busy;
+    sr.items = st[i].accepted;
+    sr.utilization = static_cast<double>(st[i].busy) /
+                     static_cast<double>(report.total_cycles);
+    if (sr.utilization > worst) {
+      worst = sr.utilization;
+      report.bottleneck = sr.name;
+    }
+    report.stages.push_back(std::move(sr));
+  }
+  return report;
+}
+
+std::uint64_t PipelineSimulator::analytic_bound() const {
+  std::uint64_t fill = 0;
+  std::uint64_t steady = 0;
+  for (const auto& s : stages_) {
+    fill += s.latency;
+    steady = std::max(steady, (s.items - 1) * s.ii);
+  }
+  return fill + steady;
+}
+
+PipelineSimulator make_classification_pipeline(const FpgaDatapath& datapath,
+                                               std::size_t dim,
+                                               std::size_t window,
+                                               std::size_t cell_size,
+                                               std::size_t bins,
+                                               std::size_t classes) {
+  if (window % cell_size != 0) {
+    throw std::invalid_argument("make_classification_pipeline: cells must tile");
+  }
+  const std::uint64_t pixels = window * window;
+  const std::uint64_t cells = (window / cell_size) * (window / cell_size);
+  const std::uint64_t words = (dim + 63) / 64;
+  const auto& plan = datapath.plan();
+  const std::uint64_t lane_words = std::max<std::uint64_t>(1, plan.hv_lane_bits / 64);
+  // Cycles to stream one hypervector through the bitwise lanes.
+  const auto hv_pass = [&](std::uint64_t passes) {
+    return std::max<std::uint64_t>(1, passes * words / lane_words);
+  };
+  const int sqrt_iters = 7;  // ≈ log2(√D) for D = 4k..10k
+
+  std::vector<PipelineStage> stages;
+  // Item memory: one hypervector read per pixel (plus neighbors streamed by
+  // the same port group; modeled as 4 passes).
+  stages.push_back({"item memory", 2, hv_pass(4), pixels});
+  // Gradient: two weighted averages (mask fetch + select), 2 passes each.
+  stages.push_back({"gradient", 3, hv_pass(4), pixels});
+  // Magnitude: squares + sqrt binary search (compare per iteration).
+  stages.push_back({"magnitude", 4,
+                    hv_pass(2 + 3 * static_cast<std::uint64_t>(sqrt_iters)),
+                    pixels});
+  // Orientation bin: sign decodes + boundary compares.
+  stages.push_back({"bin select", 3, hv_pass(2 + bins / 4), pixels});
+  // Cell accumulation: one running-average pass per pixel.
+  stages.push_back({"cell average", 2, hv_pass(2), pixels});
+  // Bundle: one bound add per (cell,bin) slot.
+  stages.push_back({"bundle", 2, hv_pass(2 * bins), cells});
+  // Similarity search: one Hamming pass per class over the final vector.
+  stages.push_back({"similarity", 2, hv_pass(classes), 1});
+  return PipelineSimulator(std::move(stages));
+}
+
+}  // namespace hdface::perf

@@ -1,0 +1,75 @@
+#pragma once
+
+// Cycle-level pipeline simulator for the FPGA classification datapath.
+//
+// The paper's evaluation uses "a cycle-accurate simulator ... that emulates
+// HDFace functionality during classification" (§6.1). This is our equivalent:
+// a discrete-time simulation of the window-classification pipeline — pixels
+// stream through item-memory lookup, gradient selection, the magnitude
+// square/sqrt chain and orientation binning; cells drain into the bundler and
+// the final similarity search. Each stage has a latency (pipeline depth) and
+// an initiation interval (cycles between accepted items) derived from the
+// datapath plan in fpga_datapath.hpp.
+//
+// The simulator advances cycle by cycle with explicit stage occupancy — no
+// closed-form shortcuts — and reports total cycles, per-stage busy counts and
+// the bottleneck stage. A unit test cross-checks the simulation against the
+// analytic fill + (n−1)·max(II) bound.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/fpga_datapath.hpp"
+
+namespace hdface::perf {
+
+struct PipelineStage {
+  std::string name;
+  std::uint64_t latency = 1;  // cycles from accept to hand-off
+  std::uint64_t ii = 1;       // min cycles between accepted items
+  std::uint64_t items = 0;    // how many items this stage must process
+};
+
+struct StageReport {
+  std::string name;
+  std::uint64_t busy_cycles = 0;
+  std::uint64_t items = 0;
+  double utilization = 0.0;  // busy / total
+};
+
+struct CycleReport {
+  std::uint64_t total_cycles = 0;
+  double seconds = 0.0;
+  std::string bottleneck;
+  std::vector<StageReport> stages;
+};
+
+class PipelineSimulator {
+ public:
+  // Stages form a linear chain; stage i+1 consumes stage i's output items.
+  // Every stage must declare the same item count as its predecessor or an
+  // integer decimation of it (e.g. pixels → cells).
+  explicit PipelineSimulator(std::vector<PipelineStage> stages);
+
+  // Discrete simulation at the given clock; returns the full report.
+  CycleReport run(double clock_hz) const;
+
+  // Analytic lower bound: Σ latencies + (max_items − 1) · max(II).
+  std::uint64_t analytic_bound() const;
+
+ private:
+  std::vector<PipelineStage> stages_;
+};
+
+// Builds the classification pipeline for one window under a datapath plan:
+// dim-dependent IIs (wider lanes accept an item sooner), HOG geometry from
+// the window/cell sizes.
+PipelineSimulator make_classification_pipeline(const FpgaDatapath& datapath,
+                                               std::size_t dim,
+                                               std::size_t window,
+                                               std::size_t cell_size,
+                                               std::size_t bins,
+                                               std::size_t classes);
+
+}  // namespace hdface::perf

@@ -1,0 +1,82 @@
+#include "perf/fpga_datapath.hpp"
+
+#include <stdexcept>
+
+namespace hdface::perf {
+
+FpgaDatapath::FpgaDatapath(const FpgaDevice& device, const DatapathPlan& plan)
+    : device_(device), plan_(plan) {
+  if (plan.hv_lane_bits == 0 || plan.mac_units == 0) {
+    throw std::invalid_argument("FpgaDatapath: empty datapath");
+  }
+}
+
+ResourceUsage FpgaDatapath::resource_usage() const {
+  ResourceUsage u;
+  // LUT costs (6-input LUTs, 28 nm generation rules of thumb):
+  //  * 1 LUT per bitwise lane bit (a LUT6 computes any 2-3 input bit op),
+  //  * popcount compressor trees: ~1.25 LUTs per reduced bit,
+  //  * LFSR banks: ~0.5 LUT per random bit per cycle,
+  //  * MAC array control/routing: ~60 LUTs per DSP,
+  //  * CORDIC cores: ~900 LUTs each.
+  u.luts = plan_.hv_lane_bits +
+           plan_.popcount_bits + plan_.popcount_bits / 4 +
+           plan_.lfsr_bits / 2 +
+           60 * plan_.mac_units +
+           900 * plan_.cordic_cores;
+  u.dsps = plan_.mac_units;  // one DSP48 per fused MAC
+  u.lut_utilization = static_cast<double>(u.luts) / static_cast<double>(device_.luts);
+  u.dsp_utilization = static_cast<double>(u.dsps) / static_cast<double>(device_.dsp_slices);
+  u.fits = u.luts <= device_.luts && u.dsps <= device_.dsp_slices;
+  return u;
+}
+
+double FpgaDatapath::ops_per_cycle(core::OpKind kind) const {
+  using core::OpKind;
+  switch (kind) {
+    case OpKind::kWordLogic:
+      return static_cast<double>(plan_.hv_lane_bits) / 64.0;
+    case OpKind::kPopcount:
+      return static_cast<double>(plan_.popcount_bits) / 64.0;
+    case OpKind::kRngWord:
+      return static_cast<double>(plan_.lfsr_bits) / 64.0;
+    case OpKind::kIntAdd:
+      // Integer accumulators ride the popcount adder fabric.
+      return static_cast<double>(plan_.popcount_bits) / 128.0;
+    case OpKind::kFloatAdd:
+    case OpKind::kFloatMul:
+      return static_cast<double>(plan_.mac_units);
+    case OpKind::kFloatDiv:
+    case OpKind::kFloatSqrt:
+      return static_cast<double>(plan_.cordic_cores * 2) /
+             static_cast<double>(plan_.cordic_latency / 8);
+    case OpKind::kFloatTrig:
+      return static_cast<double>(plan_.cordic_cores * 2) /
+             static_cast<double>(plan_.cordic_latency / 8) / 2.0;
+    case OpKind::kFloatCmp:
+      return static_cast<double>(plan_.hv_lane_bits) / 256.0;
+    case OpKind::kCount:
+      break;
+  }
+  throw std::invalid_argument("FpgaDatapath: bad op kind");
+}
+
+double FpgaDatapath::estimate_cycles(const core::OpCounter& counter) const {
+  double cycles = 0.0;
+  for (std::size_t k = 0; k < core::kOpKindCount; ++k) {
+    const double n = static_cast<double>(counter.counts[k]);
+    if (n > 0.0) cycles += n / ops_per_cycle(static_cast<core::OpKind>(k));
+  }
+  return cycles;
+}
+
+double FpgaDatapath::estimate_seconds(const core::OpCounter& counter) const {
+  return estimate_cycles(counter) / device_.clock_hz;
+}
+
+const FpgaDatapath& kintex7_reference_datapath() {
+  static const FpgaDatapath datapath{FpgaDevice{}, DatapathPlan{}};
+  return datapath;
+}
+
+}  // namespace hdface::perf

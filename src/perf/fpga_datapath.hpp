@@ -1,0 +1,76 @@
+#pragma once
+
+// Structured FPGA datapath model — the derivation layer behind the Kintex-7
+// platform constants (the offline substitution for the paper's Verilog +
+// Vivado implementation, see DESIGN.md §3).
+//
+// The model allocates the device's LUT/DSP budget to a hypervector datapath
+// (bitwise lanes + popcount compressor trees + LFSR mask banks) and a float
+// datapath (DSP MAC array + a few CORDIC/divider cores), derives each
+// operation class's sustained throughput, and checks the allocation against
+// the device budget. kintex7_fpga() in platform.cpp uses throughput numbers
+// consistent with this derivation; the unit tests tie them together.
+
+#include <cstdint>
+#include <string>
+
+#include "core/op_counter.hpp"
+
+namespace hdface::perf {
+
+struct FpgaDevice {
+  std::string name = "Kintex-7 KC705 (XC7K325T)";
+  std::uint64_t luts = 203'800;
+  std::uint64_t dsp_slices = 840;
+  double clock_hz = 2.0e8;
+};
+
+struct DatapathPlan {
+  // Hypervector datapath.
+  std::uint64_t hv_lane_bits = 16'384;  // bitwise lane width per cycle
+  // Popcount tree width (bits reduced per cycle).
+  std::uint64_t popcount_bits = 8'192;
+  // LFSR bank width (random bits per cycle).
+  std::uint64_t lfsr_bits = 16'384;
+  // Float datapath.
+  std::uint64_t mac_units = 256;   // DSP-based fused MACs per cycle
+  std::uint64_t cordic_cores = 2;  // shared sqrt/div/atan cores
+  std::uint64_t cordic_latency = 16;  // cycles per transcendental (II > 1)
+};
+
+struct ResourceUsage {
+  std::uint64_t luts = 0;
+  std::uint64_t dsps = 0;
+  double lut_utilization = 0.0;
+  double dsp_utilization = 0.0;
+  bool fits = false;
+};
+
+class FpgaDatapath {
+ public:
+  FpgaDatapath(const FpgaDevice& device, const DatapathPlan& plan);
+
+  const FpgaDevice& device() const { return device_; }
+  const DatapathPlan& plan() const { return plan_; }
+
+  // LUT/DSP cost of the plan and whether it fits the device.
+  ResourceUsage resource_usage() const;
+
+  // Sustained throughput (operations per cycle) for an op class under the
+  // plan. Word-granular classes count 64-bit words.
+  double ops_per_cycle(core::OpKind kind) const;
+
+  // Cycle estimate for a counted workload (sequential-phase model, matching
+  // PlatformModel's convention).
+  double estimate_cycles(const core::OpCounter& counter) const;
+  double estimate_seconds(const core::OpCounter& counter) const;
+
+ private:
+  FpgaDevice device_;
+  DatapathPlan plan_;
+};
+
+// The datapath plan behind the published kintex7_fpga() constants.
+const FpgaDatapath& kintex7_reference_datapath();
+
+}  // namespace hdface::perf

@@ -1,0 +1,88 @@
+#include "perf/platform.hpp"
+
+namespace hdface::perf {
+
+PlatformModel::PlatformModel(std::string name, double clock_hz,
+                             std::array<OpCost, core::kOpKindCount> costs)
+    : name_(std::move(name)), clock_hz_(clock_hz), costs_(costs) {}
+
+CostEstimate PlatformModel::estimate(const core::OpCounter& counter) const {
+  CostEstimate e;
+  for (std::size_t k = 0; k < core::kOpKindCount; ++k) {
+    const double n = static_cast<double>(counter.counts[k]);
+    e.cycles += n / costs_[k].ops_per_cycle;
+    e.micro_joules += n * costs_[k].energy_pj * 1e-6;
+  }
+  e.seconds = e.cycles / clock_hz_;
+  return e;
+}
+
+namespace {
+
+using core::OpKind;
+
+std::array<PlatformModel::OpCost, core::kOpKindCount> make_costs(
+    std::initializer_list<std::pair<OpKind, PlatformModel::OpCost>> entries) {
+  std::array<PlatformModel::OpCost, core::kOpKindCount> costs{};
+  for (const auto& [kind, cost] : entries) {
+    costs[static_cast<std::size_t>(kind)] = cost;
+  }
+  return costs;
+}
+
+}  // namespace
+
+const PlatformModel& arm_a53() {
+  // A53 @ 1.4 GHz, dual-issue in-order, 128-bit NEON.
+  //  - 64-bit logic ops vectorize 2-wide → 2/cycle; ~6 pJ each (embedded
+  //    core, including pipeline/register overheads).
+  //  - popcount: NEON cnt + pairwise adds ≈ 1 word/cycle.
+  //  - RNG words: xoshiro256** scalar chain ≈ 1 word / 4 cycles.
+  //  - f32 mul/add: NEON 4-wide but memory-bound GEMMs sustain ≈ 2/cycle.
+  //  - div/sqrt not pipelined; atan2/cos ≈ 40-cycle libm sequences.
+  static const PlatformModel model(
+      "ARM Cortex A53 (CPU)", 1.4e9,
+      make_costs({
+          {OpKind::kWordLogic, {2.0, 6.0}},
+          {OpKind::kPopcount, {1.0, 8.0}},
+          {OpKind::kRngWord, {0.25, 30.0}},
+          {OpKind::kIntAdd, {2.0, 5.0}},
+          {OpKind::kFloatAdd, {2.0, 9.0}},
+          {OpKind::kFloatMul, {2.0, 12.0}},
+          {OpKind::kFloatDiv, {0.1, 80.0}},
+          {OpKind::kFloatSqrt, {0.08, 90.0}},
+          {OpKind::kFloatTrig, {0.025, 250.0}},
+          {OpKind::kFloatCmp, {2.0, 5.0}},
+      }));
+  return model;
+}
+
+const PlatformModel& kintex7_fpga() {
+  // Kintex-7 @ 200 MHz.
+  //  - Bitwise hypervector lanes on LUTs: a 16k-bit datapath (≈16k of 200k
+  //    LUTs) processes 256 words/cycle at ~1 pJ per 64-bit op (28 nm LUT
+  //    dynamic energy).
+  //  - Popcount: pipelined compressor trees, 128 words/cycle.
+  //  - RNG: parallel LFSR banks alongside the datapath, 256 words/cycle.
+  //  - Float add/mul contend for DSP48 slices: ~256 sustained MACs/cycle
+  //    (840 DSPs minus control/routing), ~20 pJ per op (DSP + routing).
+  //  - div/sqrt/atan2: deeply pipelined CORDIC/divider cores; few instances
+  //    fit beside the MAC array → low sustained throughput, high energy.
+  static const PlatformModel model(
+      "Kintex-7 (FPGA)", 2.0e8,
+      make_costs({
+          {OpKind::kWordLogic, {256.0, 1.0}},
+          {OpKind::kPopcount, {128.0, 2.0}},
+          {OpKind::kRngWord, {256.0, 1.5}},
+          {OpKind::kIntAdd, {64.0, 2.0}},
+          {OpKind::kFloatAdd, {256.0, 15.0}},
+          {OpKind::kFloatMul, {256.0, 20.0}},
+          {OpKind::kFloatDiv, {4.0, 120.0}},
+          {OpKind::kFloatSqrt, {4.0, 120.0}},
+          {OpKind::kFloatTrig, {2.0, 300.0}},
+          {OpKind::kFloatCmp, {64.0, 2.0}},
+      }));
+  return model;
+}
+
+}  // namespace hdface::perf

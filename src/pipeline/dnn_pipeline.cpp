@@ -1,0 +1,45 @@
+#include "pipeline/dnn_pipeline.hpp"
+
+#include "pipeline/features.hpp"
+
+namespace hdface::pipeline {
+
+DnnPipeline::DnnPipeline(const DnnConfig& config, std::size_t image_width,
+                         std::size_t image_height, std::size_t classes)
+    : config_(config), hog_(config.hog) {
+  learn::MlpConfig mc;
+  mc.layers.push_back(hog_.feature_size(image_width, image_height));
+  for (auto h : config.hidden) mc.layers.push_back(h);
+  mc.layers.push_back(classes);
+  mc.learning_rate = config.learning_rate;
+  mc.epochs = config.epochs;
+  mc.batch_size = config.batch_size;
+  mc.seed = config.seed;
+  mlp_ = std::make_unique<learn::Mlp>(mc);
+}
+
+std::vector<std::vector<float>> DnnPipeline::extract_features(
+    const dataset::Dataset& data, core::OpCounter* counter) {
+  return extract_hog_features(data, hog_, counter);
+}
+
+void DnnPipeline::fit(const dataset::Dataset& train) {
+  mlp_->fit(extract_features(train), train.labels);
+}
+
+void DnnPipeline::fit_features(const std::vector<std::vector<float>>& features,
+                               const std::vector<int>& labels) {
+  mlp_->fit(features, labels);
+}
+
+double DnnPipeline::evaluate(const dataset::Dataset& test) {
+  return mlp_->evaluate(extract_features(test), test.labels);
+}
+
+double DnnPipeline::evaluate_features(
+    const std::vector<std::vector<float>>& features,
+    const std::vector<int>& labels) const {
+  return mlp_->evaluate(features, labels);
+}
+
+}  // namespace hdface::pipeline

@@ -1,0 +1,50 @@
+#pragma once
+
+// HOG → MLP pipeline (the paper's DNN comparator).
+
+#include <memory>
+#include <vector>
+
+#include "core/op_counter.hpp"
+#include "dataset/dataset.hpp"
+#include "hog/hog.hpp"
+#include "learn/mlp.hpp"
+
+namespace hdface::pipeline {
+
+struct DnnConfig {
+  hog::HogConfig hog;
+  std::vector<std::size_t> hidden = {1024, 1024};  // paper's best (Fig 5b)
+  double learning_rate = 0.05;
+  std::size_t epochs = 30;
+  std::size_t batch_size = 16;
+  std::uint64_t seed = 0xD22;
+};
+
+class DnnPipeline {
+ public:
+  DnnPipeline(const DnnConfig& config, std::size_t image_width,
+              std::size_t image_height, std::size_t classes);
+
+  const DnnConfig& config() const { return config_; }
+  const learn::Mlp& mlp() const { return *mlp_; }
+  learn::Mlp& mutable_mlp() { return *mlp_; }
+  const hog::HogExtractor& hog() const { return hog_; }
+
+  std::vector<std::vector<float>> extract_features(const dataset::Dataset& data,
+                                                   core::OpCounter* counter = nullptr);
+
+  void fit(const dataset::Dataset& train);
+  void fit_features(const std::vector<std::vector<float>>& features,
+                    const std::vector<int>& labels);
+  double evaluate(const dataset::Dataset& test);
+  double evaluate_features(const std::vector<std::vector<float>>& features,
+                           const std::vector<int>& labels) const;
+
+ private:
+  DnnConfig config_;
+  hog::HogExtractor hog_;
+  std::unique_ptr<learn::Mlp> mlp_;
+};
+
+}  // namespace hdface::pipeline

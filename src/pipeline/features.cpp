@@ -1,0 +1,16 @@
+#include "pipeline/features.hpp"
+
+namespace hdface::pipeline {
+
+std::vector<std::vector<float>> extract_hog_features(
+    const dataset::Dataset& data, const hog::HogExtractor& extractor,
+    core::OpCounter* counter) {
+  std::vector<std::vector<float>> out;
+  out.reserve(data.size());
+  for (const auto& img : data.images) {
+    out.push_back(extractor.extract(img, counter));
+  }
+  return out;
+}
+
+}  // namespace hdface::pipeline

@@ -1,0 +1,18 @@
+#pragma once
+
+// Batch feature-extraction helpers shared by the pipelines and benches.
+
+#include <vector>
+
+#include "core/op_counter.hpp"
+#include "dataset/dataset.hpp"
+#include "hog/hog.hpp"
+
+namespace hdface::pipeline {
+
+// Classical HOG features for every image in the dataset.
+std::vector<std::vector<float>> extract_hog_features(
+    const dataset::Dataset& data, const hog::HogExtractor& extractor,
+    core::OpCounter* counter = nullptr);
+
+}  // namespace hdface::pipeline

@@ -1,0 +1,105 @@
+#include "pipeline/hdface_pipeline.hpp"
+
+#include <stdexcept>
+
+namespace hdface::pipeline {
+
+HdFacePipeline::HdFacePipeline(const HdFaceConfig& config, std::size_t image_width,
+                               std::size_t image_height, std::size_t classes)
+    : config_(config),
+      classes_(classes),
+      ctx_(core::StochasticConfig{.dim = config.dim,
+                                  .seed = core::mix64(config.seed, 0xC0DE)}) {
+  if (config_.mode == HdFaceMode::kHdHog) {
+    hog::HdHogConfig hd;
+    hd.hog = config_.hog;
+    hd.hog.block_normalize = false;  // HD-HOG emits raw cell histograms
+    hd.mode = config_.hd_hog_mode;
+    hd_extractor_ = std::make_unique<hog::HdHogExtractor>(ctx_, hd, image_width,
+                                                          image_height);
+  } else {
+    hog_extractor_ = std::make_unique<hog::HogExtractor>(config_.hog);
+    learn::EncoderConfig ec;
+    ec.dim = config_.dim;
+    ec.input_dim = hog_extractor_->feature_size(image_width, image_height);
+    ec.gamma = config_.encoder_gamma;
+    ec.seed = core::mix64(config_.seed, 0xE2C);
+    encoder_ = std::make_unique<learn::NonlinearEncoder>(ec);
+  }
+  learn::HdcConfig hc;
+  hc.dim = config_.dim;
+  hc.classes = classes;
+  hc.learning_rate = config_.learning_rate;
+  hc.epochs = config_.epochs;
+  hc.adaptive = config_.adaptive;
+  hc.seed = core::mix64(config_.seed, 0x11D);
+  classifier_ = std::make_unique<learn::HdcClassifier>(hc);
+}
+
+void HdFacePipeline::set_counters(core::OpCounter* feature_counter,
+                                  core::OpCounter* learn_counter) {
+  feature_counter_ = feature_counter;
+  ctx_.set_counter(feature_counter);
+  classifier_->set_counter(learn_counter);
+}
+
+core::Hypervector HdFacePipeline::encode_image(const image::Image& img) {
+  if (config_.mode == HdFaceMode::kHdHog) {
+    return hd_extractor_->extract(img);
+  }
+  const std::vector<float> hog_features =
+      hog_extractor_->extract(img, feature_counter_);
+  return encoder_->encode(hog_features, feature_counter_);
+}
+
+void HdFacePipeline::ensure_encoder_calibrated(const dataset::Dataset& data) {
+  if (config_.mode != HdFaceMode::kOrigHogEncoder || encoder_->calibrated()) {
+    return;
+  }
+  std::vector<std::vector<float>> features;
+  features.reserve(data.size());
+  for (const auto& img : data.images) {
+    features.push_back(hog_extractor_->extract(img, nullptr));
+  }
+  encoder_->calibrate(features);
+}
+
+std::vector<core::Hypervector> HdFacePipeline::encode_dataset(
+    const dataset::Dataset& data) {
+  ensure_encoder_calibrated(data);
+  std::vector<core::Hypervector> out;
+  out.reserve(data.size());
+  for (const auto& img : data.images) out.push_back(encode_image(img));
+  return out;
+}
+
+void HdFacePipeline::fit(const dataset::Dataset& train) {
+  train.validate();
+  if (train.num_classes() != classes_) {
+    throw std::invalid_argument("HdFacePipeline::fit: class count mismatch");
+  }
+  const auto features = encode_dataset(train);
+  classifier_->fit(features, train.labels);
+}
+
+void HdFacePipeline::fit_features(const std::vector<core::Hypervector>& features,
+                                  const std::vector<int>& labels) {
+  classifier_->fit(features, labels);
+}
+
+int HdFacePipeline::predict(const image::Image& img) {
+  return classifier_->predict(encode_image(img));
+}
+
+double HdFacePipeline::evaluate(const dataset::Dataset& test) {
+  const auto features = encode_dataset(test);
+  return classifier_->evaluate(features, test.labels);
+}
+
+double HdFacePipeline::evaluate_features(
+    const std::vector<core::Hypervector>& features,
+    const std::vector<int>& labels) const {
+  return classifier_->evaluate(features, labels);
+}
+
+}  // namespace hdface::pipeline

@@ -1,0 +1,114 @@
+#include "pipeline/multiscale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "image/transform.hpp"
+
+namespace hdface::pipeline {
+
+double box_iou(const Detection& a, const Detection& b) {
+  const double ax1 = static_cast<double>(a.x) + a.size;
+  const double ay1 = static_cast<double>(a.y) + a.size;
+  const double bx1 = static_cast<double>(b.x) + b.size;
+  const double by1 = static_cast<double>(b.y) + b.size;
+  const double ix = std::max(0.0, std::min(ax1, bx1) -
+                                      std::max<double>(a.x, b.x));
+  const double iy = std::max(0.0, std::min(ay1, by1) -
+                                      std::max<double>(a.y, b.y));
+  const double inter = ix * iy;
+  const double uni = static_cast<double>(a.size) * a.size +
+                     static_cast<double>(b.size) * b.size - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+std::vector<Detection> non_max_suppression(std::vector<Detection> detections,
+                                           double iou_threshold) {
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  std::vector<Detection> kept;
+  for (const auto& d : detections) {
+    bool suppressed = false;
+    for (const auto& k : kept) {
+      if (box_iou(d, k) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+MultiScaleDetector::MultiScaleDetector(HdFacePipeline& pipeline,
+                                       std::size_t window,
+                                       const MultiScaleConfig& config)
+    : pipeline_(pipeline), window_(window), config_(config) {
+  if (window == 0) throw std::invalid_argument("MultiScaleDetector: window 0");
+  if (config.scales.empty()) {
+    throw std::invalid_argument("MultiScaleDetector: no scales");
+  }
+  for (double s : config.scales) {
+    if (s <= 0.0 || s > 1.0) {
+      throw std::invalid_argument("MultiScaleDetector: scales must be in (0, 1]");
+    }
+  }
+}
+
+std::vector<Detection> MultiScaleDetector::detect(const image::Image& scene) {
+  std::vector<Detection> all;
+  SlidingWindowDetector single(pipeline_, window_, config_.stride);
+  for (const double scale : config_.scales) {
+    const auto sw = static_cast<std::size_t>(
+        std::lround(scale * static_cast<double>(scene.width())));
+    const auto sh = static_cast<std::size_t>(
+        std::lround(scale * static_cast<double>(scene.height())));
+    if (sw < window_ || sh < window_) continue;
+    const image::Image scaled =
+        scale == 1.0 ? scene : image::resize(scene, sw, sh);
+    const DetectionMap map = single.detect(scaled);
+    for (std::size_t sy = 0; sy < map.steps_y; ++sy) {
+      for (std::size_t sx = 0; sx < map.steps_x; ++sx) {
+        const std::size_t idx = sy * map.steps_x + sx;
+        if (map.predictions[idx] != 1) continue;
+        if (map.scores[idx] < config_.score_threshold) continue;
+        Detection d;
+        // Map back to scene coordinates.
+        d.x = static_cast<std::size_t>(
+            std::lround(static_cast<double>(sx * config_.stride) / scale));
+        d.y = static_cast<std::size_t>(
+            std::lround(static_cast<double>(sy * config_.stride) / scale));
+        d.size = static_cast<std::size_t>(
+            std::lround(static_cast<double>(window_) / scale));
+        d.score = map.scores[idx];
+        all.push_back(d);
+      }
+    }
+  }
+  auto kept = non_max_suppression(std::move(all), config_.iou_threshold);
+  std::sort(kept.begin(), kept.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  return kept;
+}
+
+image::RgbImage MultiScaleDetector::render(
+    const image::Image& scene, const std::vector<Detection>& detections) const {
+  image::RgbImage rgb = image::to_rgb(scene);
+  auto mark = [&](std::size_t x, std::size_t y) {
+    if (x >= rgb.width || y >= rgb.height) return;
+    auto& px = rgb.at(x, y);
+    px = {60, 120, 255};
+  };
+  for (const auto& d : detections) {
+    for (std::size_t i = 0; i <= d.size; ++i) {
+      mark(d.x + i, d.y);
+      mark(d.x + i, d.y + d.size);
+      mark(d.x, d.y + i);
+      mark(d.x + d.size, d.y + i);
+    }
+  }
+  return rgb;
+}
+
+}  // namespace hdface::pipeline

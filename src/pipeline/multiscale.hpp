@@ -1,0 +1,60 @@
+#pragma once
+
+// Multi-scale face detection: an image pyramid feeds the single-scale
+// sliding-window detector, detections are mapped back to scene coordinates
+// and merged with non-maximum suppression. This is the standard deployment
+// wrapper around the paper's Fig 6 single-scale scan (faces in real scenes
+// are not window-sized).
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "image/pnm.hpp"
+#include "pipeline/sliding_window.hpp"
+
+namespace hdface::pipeline {
+
+struct Detection {
+  // Box in scene pixel coordinates.
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t size = 0;  // square box edge
+  double score = 0.0;    // positive-class cosine
+};
+
+// Intersection-over-union of two square boxes.
+double box_iou(const Detection& a, const Detection& b);
+
+// Greedy non-maximum suppression: keeps the highest-scoring box of every
+// group overlapping above `iou_threshold`.
+std::vector<Detection> non_max_suppression(std::vector<Detection> detections,
+                                           double iou_threshold);
+
+struct MultiScaleConfig {
+  // Pyramid scales applied to the *scene* (1.0 = native; 0.5 finds faces
+  // twice the window size).
+  std::vector<double> scales = {1.0, 0.75, 0.5};
+  std::size_t stride = 8;           // at window resolution
+  double score_threshold = 0.0;     // min positive-class cosine
+  double iou_threshold = 0.3;
+};
+
+class MultiScaleDetector {
+ public:
+  MultiScaleDetector(HdFacePipeline& pipeline, std::size_t window,
+                     const MultiScaleConfig& config);
+
+  // All post-NMS detections, sorted by descending score.
+  std::vector<Detection> detect(const image::Image& scene);
+
+  // Draws detection rectangles onto an RGB copy of the scene.
+  image::RgbImage render(const image::Image& scene,
+                         const std::vector<Detection>& detections) const;
+
+ private:
+  HdFacePipeline& pipeline_;
+  std::size_t window_;
+  MultiScaleConfig config_;
+};
+
+}  // namespace hdface::pipeline

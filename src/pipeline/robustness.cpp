@@ -1,0 +1,86 @@
+#include "pipeline/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "noise/bit_flip.hpp"
+
+namespace hdface::pipeline {
+
+double hdc_binary_accuracy_under_errors(
+    const learn::HdcClassifier& classifier,
+    const std::vector<core::Hypervector>& features,
+    const std::vector<int>& labels, double rate, std::uint64_t seed) {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("hdc_binary_accuracy_under_errors: bad inputs");
+  }
+  core::Rng rng(core::mix64(seed, 0xB17E));
+  std::vector<core::Hypervector> prototypes = classifier.binary_prototypes();
+  for (auto& p : prototypes) p = noise::flip_bits(p, rate, rng);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const core::Hypervector noisy = noise::flip_bits(features[i], rate, rng);
+    if (learn::HdcClassifier::predict_binary(prototypes, noisy) == labels[i]) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(features.size());
+}
+
+namespace {
+
+// Round-trips a descriptor through 16-bit fixed point with per-bit errors.
+void corrupt_fixed16(std::vector<float>& values, double rate, core::Rng& rng) {
+  float max_abs = 1e-6f;
+  for (float v : values) max_abs = std::max(max_abs, std::fabs(v));
+  const float step = max_abs / 32767.0f;
+  std::vector<std::int32_t> words;
+  words.reserve(values.size());
+  for (float v : values) {
+    words.push_back(static_cast<std::int32_t>(std::lround(v / step)));
+  }
+  noise::flip_fixed_bits(words, 16, rate, rng);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(words[i]) * step;
+  }
+}
+
+}  // namespace
+
+double hdc_orig_rep_accuracy_under_errors(
+    const learn::HdcClassifier& classifier, const learn::NonlinearEncoder& encoder,
+    const std::vector<std::vector<float>>& hog_features,
+    const std::vector<int>& labels, double rate, std::uint64_t seed,
+    FeatureCorruption corruption) {
+  if (hog_features.size() != labels.size() || hog_features.empty()) {
+    throw std::invalid_argument("hdc_orig_rep_accuracy_under_errors: bad inputs");
+  }
+  core::Rng rng(core::mix64(seed, 0x0716));
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < hog_features.size(); ++i) {
+    std::vector<float> corrupted = hog_features[i];
+    if (corruption == FeatureCorruption::kFloat32) {
+      noise::flip_float_bits(corrupted, rate, rng);
+    } else {
+      corrupt_fixed16(corrupted, rate, rng);
+    }
+    const core::Hypervector query = encoder.encode(corrupted);
+    if (classifier.predict(query) == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(hog_features.size());
+}
+
+double dnn_accuracy_under_errors(learn::QuantizedMlp& mlp,
+                                 const std::vector<std::vector<float>>& features,
+                                 const std::vector<int>& labels, double rate,
+                                 std::uint64_t seed) {
+  core::Rng rng(core::mix64(seed, 0xD2E2));
+  mlp.reset();
+  mlp.inject_bit_errors(rate, rng);
+  const double acc = mlp.evaluate(features, labels);
+  mlp.reset();
+  return acc;
+}
+
+}  // namespace hdface::pipeline

@@ -1,0 +1,52 @@
+#pragma once
+
+// Bit-error robustness evaluation (paper §6.6, Table 2, and the §2
+// motivation numbers).
+//
+// Three systems under fault injection, matching the paper's rows:
+//   * HDFace+HoG+Learn — fully hyperspace pipeline: errors land in the binary
+//     feature hypervectors and the binarized class prototypes.
+//   * HDFace+Learn — HOG computed on the original float representation:
+//     errors land in the float HOG descriptor words before encoding
+//     (the configuration the paper shows loses all robustness).
+//   * DNN — errors land in the quantized weight words (16/8/4-bit models).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hypervector.hpp"
+#include "learn/encoder.hpp"
+#include "learn/hdc_model.hpp"
+#include "learn/quantized_mlp.hpp"
+
+namespace hdface::pipeline {
+
+// Binary-inference accuracy with per-bit error `rate` injected into both the
+// query hypervectors and the binarized class prototypes.
+double hdc_binary_accuracy_under_errors(
+    const learn::HdcClassifier& classifier,
+    const std::vector<core::Hypervector>& features,
+    const std::vector<int>& labels, double rate, std::uint64_t seed);
+
+// Storage format of the original-representation HOG descriptor under fault
+// injection: IEEE-754 words (exponent flips cause unbounded excursions) or
+// 16-bit fixed point (bounded excursions — the representation an embedded
+// implementation would hold the descriptor in).
+enum class FeatureCorruption { kFloat32, kFixed16 };
+
+// Accuracy when the HOG descriptor words suffer per-bit errors before the
+// nonlinear encoding; the HDC model itself is clean.
+double hdc_orig_rep_accuracy_under_errors(
+    const learn::HdcClassifier& classifier, const learn::NonlinearEncoder& encoder,
+    const std::vector<std::vector<float>>& hog_features,
+    const std::vector<int>& labels, double rate, std::uint64_t seed,
+    FeatureCorruption corruption = FeatureCorruption::kFixed16);
+
+// Quantized-DNN accuracy with per-bit weight errors (restores clean weights
+// afterwards).
+double dnn_accuracy_under_errors(learn::QuantizedMlp& mlp,
+                                 const std::vector<std::vector<float>>& features,
+                                 const std::vector<int>& labels, double rate,
+                                 std::uint64_t seed);
+
+}  // namespace hdface::pipeline

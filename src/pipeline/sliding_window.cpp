@@ -1,0 +1,71 @@
+#include "pipeline/sliding_window.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "image/transform.hpp"
+
+namespace hdface::pipeline {
+
+SlidingWindowDetector::SlidingWindowDetector(HdFacePipeline& pipeline,
+                                             std::size_t window,
+                                             std::size_t stride,
+                                             int positive_class)
+    : pipeline_(pipeline),
+      window_(window),
+      stride_(stride),
+      positive_class_(positive_class) {
+  if (window == 0 || stride == 0) {
+    throw std::invalid_argument("SlidingWindowDetector: zero geometry");
+  }
+}
+
+DetectionMap SlidingWindowDetector::detect(const image::Image& scene) {
+  if (scene.width() < window_ || scene.height() < window_) {
+    throw std::invalid_argument("SlidingWindowDetector: scene smaller than window");
+  }
+  DetectionMap map;
+  map.window = window_;
+  map.stride = stride_;
+  map.steps_x = (scene.width() - window_) / stride_ + 1;
+  map.steps_y = (scene.height() - window_) / stride_ + 1;
+  map.predictions.reserve(map.steps_x * map.steps_y);
+  map.scores.reserve(map.steps_x * map.steps_y);
+  for (std::size_t sy = 0; sy < map.steps_y; ++sy) {
+    for (std::size_t sx = 0; sx < map.steps_x; ++sx) {
+      const image::Image patch =
+          image::crop(scene, sx * stride_, sy * stride_, window_, window_);
+      const core::Hypervector feature = pipeline_.encode_image(patch);
+      const auto class_scores = pipeline_.classifier().scores(feature);
+      const auto pred = static_cast<int>(
+          std::max_element(class_scores.begin(), class_scores.end()) -
+          class_scores.begin());
+      map.predictions.push_back(pred);
+      map.scores.push_back(
+          class_scores[static_cast<std::size_t>(positive_class_)]);
+    }
+  }
+  return map;
+}
+
+image::RgbImage SlidingWindowDetector::render_overlay(
+    const image::Image& scene, const DetectionMap& map) const {
+  image::RgbImage rgb = image::to_rgb(scene);
+  for (std::size_t sy = 0; sy < map.steps_y; ++sy) {
+    for (std::size_t sx = 0; sx < map.steps_x; ++sx) {
+      if (map.prediction_at(sx, sy) != positive_class_) continue;
+      // Blue tint over the detected window (paper Fig 6 coloring).
+      for (std::size_t dy = 0; dy < map.window; ++dy) {
+        for (std::size_t dx = 0; dx < map.window; ++dx) {
+          auto& px = rgb.at(sx * map.stride + dx, sy * map.stride + dy);
+          px[0] = static_cast<std::uint8_t>(px[0] * 0.6);
+          px[1] = static_cast<std::uint8_t>(px[1] * 0.6);
+          px[2] = static_cast<std::uint8_t>(std::min(255.0, px[2] * 0.6 + 100.0));
+        }
+      }
+    }
+  }
+  return rgb;
+}
+
+}  // namespace hdface::pipeline

@@ -1,0 +1,49 @@
+#pragma once
+
+// Sliding-window detector over a scene image (paper Fig 6): the trained
+// HDFace pipeline classifies overlapping windows; windows predicted as the
+// positive class are tinted in the visualization overlay.
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "image/pnm.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+
+namespace hdface::pipeline {
+
+struct DetectionMap {
+  std::size_t window = 0;
+  std::size_t stride = 0;
+  std::size_t steps_x = 0;
+  std::size_t steps_y = 0;
+  // Row-major per-window predicted class (for face detection: 1 = face).
+  std::vector<int> predictions;
+  // Positive-class cosine score per window.
+  std::vector<double> scores;
+
+  int prediction_at(std::size_t sx, std::size_t sy) const {
+    return predictions[sy * steps_x + sx];
+  }
+};
+
+class SlidingWindowDetector {
+ public:
+  // The pipeline's window geometry defines the detector window size.
+  SlidingWindowDetector(HdFacePipeline& pipeline, std::size_t window,
+                        std::size_t stride, int positive_class = 1);
+
+  DetectionMap detect(const image::Image& scene);
+
+  // Overlay: windows predicted positive are tinted blue (Fig 6 rendering).
+  image::RgbImage render_overlay(const image::Image& scene,
+                                 const DetectionMap& map) const;
+
+ private:
+  HdFacePipeline& pipeline_;
+  std::size_t window_;
+  std::size_t stride_;
+  int positive_class_;
+};
+
+}  // namespace hdface::pipeline

@@ -1,0 +1,27 @@
+#include "pipeline/svm_pipeline.hpp"
+
+#include "pipeline/features.hpp"
+
+namespace hdface::pipeline {
+
+SvmPipeline::SvmPipeline(const SvmPipelineConfig& config, std::size_t image_width,
+                         std::size_t image_height, std::size_t classes)
+    : config_(config), hog_(config.hog) {
+  learn::SvmConfig sc;
+  sc.input_dim = hog_.feature_size(image_width, image_height);
+  sc.classes = classes;
+  sc.lambda = config.lambda;
+  sc.epochs = config.epochs;
+  sc.seed = config.seed;
+  svm_ = std::make_unique<learn::LinearSvm>(sc);
+}
+
+void SvmPipeline::fit(const dataset::Dataset& train) {
+  svm_->fit(extract_hog_features(train, hog_), train.labels);
+}
+
+double SvmPipeline::evaluate(const dataset::Dataset& test) {
+  return svm_->evaluate(extract_hog_features(test, hog_), test.labels);
+}
+
+}  // namespace hdface::pipeline

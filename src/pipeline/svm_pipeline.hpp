@@ -1,0 +1,36 @@
+#pragma once
+
+// HOG → linear SVM pipeline (the paper's second classical baseline).
+
+#include <memory>
+
+#include "dataset/dataset.hpp"
+#include "hog/hog.hpp"
+#include "learn/svm.hpp"
+
+namespace hdface::pipeline {
+
+struct SvmPipelineConfig {
+  hog::HogConfig hog;
+  double lambda = 1e-4;
+  std::size_t epochs = 40;
+  std::uint64_t seed = 0x57;
+};
+
+class SvmPipeline {
+ public:
+  SvmPipeline(const SvmPipelineConfig& config, std::size_t image_width,
+              std::size_t image_height, std::size_t classes);
+
+  void fit(const dataset::Dataset& train);
+  double evaluate(const dataset::Dataset& test);
+
+  const learn::LinearSvm& svm() const { return *svm_; }
+
+ private:
+  SvmPipelineConfig config_;
+  hog::HogExtractor hog_;
+  std::unique_ptr<learn::LinearSvm> svm_;
+};
+
+}  // namespace hdface::pipeline

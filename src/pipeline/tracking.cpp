@@ -1,0 +1,88 @@
+#include "pipeline/tracking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdface::pipeline {
+
+FaceTracker::FaceTracker(const TrackerConfig& config) : config_(config) {
+  if (config.iou_match_threshold <= 0.0 || config.iou_match_threshold >= 1.0) {
+    throw std::invalid_argument("FaceTracker: iou_match_threshold in (0,1)");
+  }
+  if (config.position_alpha <= 0.0 || config.position_alpha > 1.0) {
+    throw std::invalid_argument("FaceTracker: position_alpha in (0,1]");
+  }
+}
+
+const std::vector<Track>& FaceTracker::update(
+    const std::vector<Detection>& detections) {
+  std::vector<bool> detection_used(detections.size(), false);
+
+  // Greedy association: highest-IoU (track, detection) pairs first.
+  struct Pair {
+    std::size_t track;
+    std::size_t det;
+    double iou;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    for (std::size_t d = 0; d < detections.size(); ++d) {
+      const double iou = box_iou(tracks_[t].box, detections[d]);
+      if (iou >= config_.iou_match_threshold) pairs.push_back({t, d, iou});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.iou > b.iou; });
+
+  std::vector<bool> track_matched(tracks_.size(), false);
+  const double a = config_.position_alpha;
+  for (const auto& p : pairs) {
+    if (track_matched[p.track] || detection_used[p.det]) continue;
+    track_matched[p.track] = true;
+    detection_used[p.det] = true;
+    Track& tr = tracks_[p.track];
+    const Detection& d = detections[p.det];
+    // EMA smoothing of geometry and score.
+    tr.box.x = static_cast<std::size_t>(
+        std::lround((1 - a) * static_cast<double>(tr.box.x) + a * d.x));
+    tr.box.y = static_cast<std::size_t>(
+        std::lround((1 - a) * static_cast<double>(tr.box.y) + a * d.y));
+    tr.box.size = static_cast<std::size_t>(
+        std::lround((1 - a) * static_cast<double>(tr.box.size) + a * d.size));
+    tr.box.score = (1 - a) * tr.box.score + a * d.score;
+    tr.hits++;
+    tr.missed = 0;
+  }
+
+  // Unmatched tracks age; expired ones retire.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    if (!track_matched[t]) tracks_[t].missed++;
+  }
+  tracks_.erase(std::remove_if(tracks_.begin(), tracks_.end(),
+                               [&](const Track& tr) {
+                                 return tr.missed > config_.max_missed_frames;
+                               }),
+                tracks_.end());
+
+  // Unmatched detections open new tracks.
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    if (detection_used[d]) continue;
+    Track tr;
+    tr.id = next_id_++;
+    tr.box = detections[d];
+    tr.hits = 1;
+    tracks_.push_back(tr);
+  }
+  return tracks_;
+}
+
+std::vector<Track> FaceTracker::confirmed_tracks() const {
+  std::vector<Track> out;
+  for (const auto& tr : tracks_) {
+    if (tr.hits >= config_.min_hits_to_confirm) out.push_back(tr);
+  }
+  return out;
+}
+
+}  // namespace hdface::pipeline

@@ -1,0 +1,51 @@
+#pragma once
+
+// Face tracking across frames (the paper's §1 motivating application:
+// "face tracking for surveillance").
+//
+// Frame-by-frame detections (from the single- or multi-scale detectors)
+// associate with existing tracks by greedy IoU matching; matched tracks are
+// exponentially smoothed, unmatched detections open new tracks, and tracks
+// that miss too many consecutive frames retire. Decoupled from the detector
+// so it is testable with synthetic detection streams.
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/multiscale.hpp"
+
+namespace hdface::pipeline {
+
+struct TrackerConfig {
+  double iou_match_threshold = 0.3;  // min IoU to continue a track
+  double position_alpha = 0.5;       // EMA weight of the new observation
+  std::size_t max_missed_frames = 3; // frames a track survives unmatched
+  std::size_t min_hits_to_confirm = 2;
+};
+
+struct Track {
+  std::uint64_t id = 0;
+  Detection box;               // smoothed
+  std::size_t hits = 0;        // matched frames
+  std::size_t missed = 0;      // consecutive unmatched frames
+};
+
+class FaceTracker {
+ public:
+  explicit FaceTracker(const TrackerConfig& config);
+
+  // Consumes one frame's detections; returns the live tracks after update.
+  const std::vector<Track>& update(const std::vector<Detection>& detections);
+
+  const std::vector<Track>& tracks() const { return tracks_; }
+
+  // Tracks that have been confirmed (matched at least min_hits frames).
+  std::vector<Track> confirmed_tracks() const;
+
+ private:
+  TrackerConfig config_;
+  std::vector<Track> tracks_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace hdface::pipeline

@@ -1,0 +1,49 @@
+#include "util/args.hpp"
+
+#include <stdexcept>
+
+namespace hdface::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(a));
+      continue;
+    }
+    a = a.substr(2);
+    const auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      kv_[a.substr(0, eq)] = a.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[a] = argv[++i];
+    } else {
+      kv_[a] = "true";  // bare flag
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::stoll(it->second);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::stod(it->second);
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace hdface::util

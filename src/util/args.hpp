@@ -1,0 +1,31 @@
+#pragma once
+
+// Tiny command-line argument parser for examples and benches.
+// Supports `--key value`, `--key=value` and boolean `--flag` forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hdface::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  // Positional (non --key) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hdface::util

@@ -1,0 +1,27 @@
+#pragma once
+
+// CSV writer for experiment outputs (plot-ready companions to the ASCII
+// tables the benches print).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hdface::util {
+
+class CsvWriter {
+ public:
+  // Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& row);
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+// Quotes a field if it contains separators/quotes.
+std::string csv_escape(const std::string& field);
+
+}  // namespace hdface::util

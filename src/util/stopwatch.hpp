@@ -1,0 +1,26 @@
+#pragma once
+
+// Wall-clock stopwatch for coarse pipeline timing (benches report model-based
+// cycle counts for the paper's platforms; the stopwatch covers host timing).
+
+#include <chrono>
+
+namespace hdface::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace hdface::util

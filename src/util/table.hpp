@@ -1,0 +1,31 @@
+#pragma once
+
+// Fixed-width ASCII table printer used by the benchmark harness to emit the
+// paper's tables/figure series in a readable, diffable form.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdface::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string percent(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hdface::util

@@ -1,0 +1,58 @@
+#pragma once
+
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// HDFace pipelines are embarrassingly parallel across images; the pool lets
+// dataset generation, feature extraction and evaluation scale with cores while
+// degrading gracefully to serial execution on single-core machines.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hdface::util {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task; the returned future reports completion / exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  // Block until every task submitted so far has completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+// Run body(i) for i in [begin, end). Serial when the pool has one worker or
+// the range is tiny; otherwise splits the range into contiguous chunks.
+// body must be safe to call concurrently for distinct i.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+// Shared process-wide pool (constructed on first use).
+ThreadPool& global_pool();
+
+}  // namespace hdface::util

@@ -1,0 +1,103 @@
+#include "core/accumulator.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::core {
+namespace {
+
+TEST(Accumulator, ZeroDimThrows) {
+  EXPECT_THROW(Accumulator(0), std::invalid_argument);
+}
+
+TEST(Accumulator, SingleVectorThresholdsToItself) {
+  Rng rng(1);
+  const auto v = Hypervector::random(256, rng);
+  Accumulator acc(256);
+  acc.add(v);
+  Rng tie(2);
+  EXPECT_EQ(acc.threshold(tie), v);
+}
+
+TEST(Accumulator, MajorityOfThree) {
+  Rng rng(3);
+  const auto a = Hypervector::random(4096, rng);
+  const auto b = Hypervector::random(4096, rng);
+  const auto c = Hypervector::random(4096, rng);
+  Accumulator acc(4096);
+  acc.add(a);
+  acc.add(b);
+  acc.add(c);
+  Rng tie(4);
+  const auto m = acc.threshold(tie);
+  // The majority vector is ~0.5-similar to each component.
+  EXPECT_NEAR(similarity(m, a), 0.5, 0.06);
+  EXPECT_NEAR(similarity(m, b), 0.5, 0.06);
+  EXPECT_NEAR(similarity(m, c), 0.5, 0.06);
+}
+
+TEST(Accumulator, NegativeWeightSubtracts) {
+  Rng rng(5);
+  const auto v = Hypervector::random(512, rng);
+  Accumulator acc(512);
+  acc.add(v, 2.0);
+  acc.add(v, -1.0);
+  Rng tie(6);
+  EXPECT_EQ(acc.threshold(tie), v);  // net weight still positive
+}
+
+TEST(Accumulator, CosineMatchesSimilarityForSingleVector) {
+  Rng rng(7);
+  const auto v = Hypervector::random(2048, rng);
+  Accumulator acc(2048);
+  acc.add(v);
+  EXPECT_NEAR(acc.cosine(v), 1.0, 1e-9);
+  EXPECT_NEAR(acc.cosine(~v), -1.0, 1e-9);
+}
+
+TEST(Accumulator, CosineZeroForEmptyAccumulator) {
+  Rng rng(8);
+  const auto v = Hypervector::random(128, rng);
+  Accumulator acc(128);
+  EXPECT_DOUBLE_EQ(acc.cosine(v), 0.0);
+}
+
+TEST(Accumulator, DimensionMismatchThrows) {
+  Rng rng(9);
+  const auto v = Hypervector::random(128, rng);
+  Accumulator acc(64);
+  EXPECT_THROW(acc.add(v), std::invalid_argument);
+  EXPECT_THROW(acc.cosine(v), std::invalid_argument);
+}
+
+TEST(Accumulator, ResetClearsCounts) {
+  Rng rng(10);
+  const auto v = Hypervector::random(128, rng);
+  Accumulator acc(128);
+  acc.add(v, 3.0);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.norm(), 0.0);
+}
+
+TEST(Accumulator, TieBreakIsBalanced) {
+  // Empty accumulator: every dimension ties; threshold must coin-flip.
+  Accumulator acc(8192);
+  Rng tie(11);
+  const auto t = acc.threshold(tie);
+  const double frac = static_cast<double>(t.popcount()) / 8192.0;
+  EXPECT_NEAR(frac, 0.5, 0.03);
+}
+
+TEST(Accumulator, CountsOpsWhenCounterAttached) {
+  OpCounter counter;
+  Rng rng(12);
+  const auto v = Hypervector::random(128, rng);
+  Accumulator acc(128);
+  acc.set_counter(&counter);
+  acc.add(v);
+  EXPECT_EQ(counter.get(OpKind::kIntAdd), 128u);
+}
+
+}  // namespace
+}  // namespace hdface::core

@@ -1,0 +1,146 @@
+#include "core/hypervector.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::core {
+namespace {
+
+TEST(Hypervector, ZeroDimThrows) {
+  EXPECT_THROW(Hypervector(0), std::invalid_argument);
+}
+
+TEST(Hypervector, StartsAllMinusOne) {
+  Hypervector v(100);
+  EXPECT_EQ(v.popcount(), 0u);
+  EXPECT_EQ(v.element(3), -1);
+}
+
+TEST(Hypervector, SetGetFlipRoundtrip) {
+  Hypervector v(130);  // exercises multi-word + tail
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(Hypervector, RandomIsBalanced) {
+  Rng rng(5);
+  const auto v = Hypervector::random(10000, rng);
+  const double frac = static_cast<double>(v.popcount()) / 10000.0;
+  EXPECT_NEAR(frac, 0.5, 0.03);
+}
+
+TEST(Hypervector, RandomRespectsTailInvariant) {
+  Rng rng(5);
+  const auto v = Hypervector::random(100, rng);  // 36 tail bits must be 0
+  const auto words = v.words();
+  EXPECT_EQ(words[1] >> (100 - 64), 0u);
+}
+
+TEST(Hypervector, BernoulliMatchesProbability) {
+  Rng rng(6);
+  const auto v = Hypervector::bernoulli(20000, 0.25, rng);
+  const double frac = static_cast<double>(v.popcount()) / 20000.0;
+  EXPECT_NEAR(frac, 0.25, 0.02);
+}
+
+TEST(Hypervector, NegationFlipsEverythingAndKeepsTailZero) {
+  Rng rng(7);
+  const auto v = Hypervector::random(100, rng);
+  const auto n = ~v;
+  EXPECT_EQ(v.popcount() + n.popcount(), 100u);
+  EXPECT_EQ(hamming(v, n), 100u);
+  EXPECT_EQ(n.words()[1] >> (100 - 64), 0u);
+}
+
+TEST(Hypervector, XorSelfIsZero) {
+  Rng rng(8);
+  const auto v = Hypervector::random(256, rng);
+  EXPECT_EQ((v ^ v).popcount(), 0u);
+}
+
+TEST(Hypervector, DimensionMismatchThrows) {
+  Hypervector a(64);
+  Hypervector b(128);
+  EXPECT_THROW(a ^ b, std::invalid_argument);
+  EXPECT_THROW(a & b, std::invalid_argument);
+  EXPECT_THROW(a | b, std::invalid_argument);
+  EXPECT_THROW(hamming(a, b), std::invalid_argument);
+}
+
+TEST(Hypervector, SimilarityIdentities) {
+  Rng rng(9);
+  const auto v = Hypervector::random(4096, rng);
+  EXPECT_DOUBLE_EQ(similarity(v, v), 1.0);
+  EXPECT_DOUBLE_EQ(similarity(v, ~v), -1.0);
+}
+
+TEST(Hypervector, RandomVectorsNearlyOrthogonal) {
+  Rng rng(10);
+  const auto a = Hypervector::random(8192, rng);
+  const auto b = Hypervector::random(8192, rng);
+  EXPECT_NEAR(similarity(a, b), 0.0, 0.05);
+}
+
+TEST(Hypervector, BindIsSelfInverse) {
+  Rng rng(11);
+  const auto a = Hypervector::random(512, rng);
+  const auto b = Hypervector::random(512, rng);
+  EXPECT_EQ(bind(bind(a, b), b), a);
+}
+
+TEST(Hypervector, BindPreservesDistance) {
+  Rng rng(12);
+  const auto a = Hypervector::random(2048, rng);
+  const auto b = Hypervector::random(2048, rng);
+  const auto k = Hypervector::random(2048, rng);
+  EXPECT_EQ(hamming(a, b), hamming(bind(a, k), bind(b, k)));
+}
+
+TEST(Hypervector, RotationPreservesPopcount) {
+  Rng rng(13);
+  const auto v = Hypervector::random(100, rng);
+  EXPECT_EQ(v.rotated(17).popcount(), v.popcount());
+}
+
+TEST(Hypervector, RotationComposesAndWraps) {
+  Rng rng(14);
+  const auto v = Hypervector::random(100, rng);
+  EXPECT_EQ(v.rotated(100), v);
+  EXPECT_EQ(v.rotated(30).rotated(70), v);
+  EXPECT_EQ(v.rotated(130), v.rotated(30));
+}
+
+TEST(Hypervector, RotationMovesBits) {
+  Hypervector v(100);
+  v.set(0, true);
+  const auto r = v.rotated(5);
+  EXPECT_TRUE(r.get(5));
+  EXPECT_EQ(r.popcount(), 1u);
+  const auto wrap = v.rotated(99);
+  EXPECT_TRUE(wrap.get(99));
+}
+
+TEST(Hypervector, PermuteDecorrelates) {
+  Rng rng(15);
+  const auto v = Hypervector::random(8192, rng);
+  EXPECT_NEAR(similarity(v, permute(v, 1)), 0.0, 0.05);
+}
+
+TEST(Hypervector, MaskTailClearsStrayBits) {
+  Hypervector v(70);
+  v.mutable_words()[1] = ~0ULL;  // pollute tail
+  v.mask_tail();
+  EXPECT_EQ(v.popcount(), 6u);  // only bits 64..69 survive
+}
+
+}  // namespace
+}  // namespace hdface::core

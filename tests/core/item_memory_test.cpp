@@ -1,0 +1,95 @@
+#include "core/item_memory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::core {
+namespace {
+
+class ItemMemoryTest : public ::testing::Test {
+ protected:
+  StochasticContext ctx_{4096, 0x113};
+};
+
+TEST_F(ItemMemoryTest, ValidatesArguments) {
+  EXPECT_THROW(LevelItemMemory(ctx_, 1), std::invalid_argument);
+  EXPECT_THROW(LevelItemMemory(ctx_, 8, 0.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(LevelItemMemory(ctx_, 8, -2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LevelItemMemory(ctx_, 8, 0.0, 2.0), std::invalid_argument);
+}
+
+TEST_F(ItemMemoryTest, TopLevelIsBasis) {
+  LevelItemMemory mem(ctx_, 256, 0.0, 1.0);
+  EXPECT_EQ(mem.level(255), ctx_.basis());
+}
+
+TEST_F(ItemMemoryTest, LevelsRepresentTheirValues) {
+  LevelItemMemory mem(ctx_, 256, 0.0, 1.0);
+  for (const std::size_t i : {0u, 63u, 127u, 200u, 255u}) {
+    EXPECT_NEAR(ctx_.decode(mem.level(i)), mem.value_of_level(i), 0.01)
+        << "level " << i;
+  }
+}
+
+TEST_F(ItemMemoryTest, ExtremesNearlyOrthogonal) {
+  // Paper Fig 1a: white and black hypervectors have δ ≈ 0 ... our value
+  // semantics puts black (0) orthogonal to the basis and hence ~0.5 Hamming
+  // from white (1).
+  LevelItemMemory mem(ctx_, 256, 0.0, 1.0);
+  EXPECT_NEAR(similarity(mem.level(0), mem.level(255)), 0.0, 0.05);
+}
+
+TEST_F(ItemMemoryTest, AdjacentLevelsHighlyCorrelated) {
+  LevelItemMemory mem(ctx_, 256, 0.0, 1.0);
+  EXPECT_GT(similarity(mem.level(100), mem.level(101)), 0.98);
+}
+
+TEST_F(ItemMemoryTest, SimilarityDecaysLinearlyWithValueDistance) {
+  LevelItemMemory mem(ctx_, 256, 0.0, 1.0);
+  // δ(level(u), level(v)) = 1 − |u − v| for the progressive-flip coding.
+  const double s_quarter = similarity(mem.level(128), mem.level(192));
+  const double s_half = similarity(mem.level(128), mem.level(255));
+  EXPECT_NEAR(s_quarter, 1.0 - 0.25, 0.03);
+  EXPECT_NEAR(s_half, 1.0 - 0.5, 0.03);
+}
+
+TEST_F(ItemMemoryTest, IndexOfClampsAndRounds) {
+  LevelItemMemory mem(ctx_, 11, 0.0, 1.0);
+  EXPECT_EQ(mem.index_of(-0.5), 0u);
+  EXPECT_EQ(mem.index_of(1.5), 10u);
+  EXPECT_EQ(mem.index_of(0.5), 5u);
+  EXPECT_EQ(mem.index_of(0.54), 5u);
+  EXPECT_EQ(mem.index_of(0.56), 6u);
+}
+
+TEST_F(ItemMemoryTest, AtValueReturnsNearestLevel) {
+  LevelItemMemory mem(ctx_, 11, 0.0, 1.0);
+  EXPECT_EQ(&mem.at_value(0.5), &mem.level(5));
+}
+
+TEST_F(ItemMemoryTest, SupportsSignedRanges) {
+  LevelItemMemory mem(ctx_, 64, -1.0, 1.0);
+  EXPECT_NEAR(ctx_.decode(mem.at_value(-1.0)), -1.0, 0.02);
+  EXPECT_NEAR(ctx_.decode(mem.at_value(0.0)), 0.0, 0.05);
+  EXPECT_NEAR(ctx_.decode(mem.at_value(1.0)), 1.0, 0.02);
+}
+
+TEST_F(ItemMemoryTest, ValueOfLevelOutOfRangeThrows) {
+  LevelItemMemory mem(ctx_, 8, 0.0, 1.0);
+  EXPECT_THROW(mem.value_of_level(8), std::out_of_range);
+}
+
+TEST_F(ItemMemoryTest, ArithmeticOnLevelsWorks) {
+  // The item memory levels plug directly into stochastic arithmetic: the
+  // gradient of two pixel levels decodes to their halved difference.
+  LevelItemMemory mem(ctx_, 256, 0.0, 1.0);
+  const auto& bright = mem.at_value(0.9);
+  const auto& dark = mem.at_value(0.1);
+  const auto grad = ctx_.add_halved(bright, ~dark);
+  EXPECT_NEAR(ctx_.decode(grad), (0.9 - 0.1) / 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace hdface::core

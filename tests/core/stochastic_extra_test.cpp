@@ -1,0 +1,168 @@
+// Additional property sweeps over the stochastic arithmetic: scaling,
+// absolute value, division, comparison statistics, and mask-pool behavior.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/stochastic.hpp"
+
+namespace hdface::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// scale() across constants and values.
+
+class ScaleSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ScaleSweep, ExpectationIsProductWithConstant) {
+  const auto [a, c] = GetParam();
+  StochasticContext ctx(8192, 0x5CA);
+  double mean = 0.0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    mean += ctx.decode(ctx.scale(ctx.construct(a), c));
+  }
+  mean /= trials;
+  EXPECT_NEAR(mean, a * c, 4.0 / std::sqrt(8192.0) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScaleSweep,
+    ::testing::Combine(::testing::Values(-0.8, -0.3, 0.4, 0.9),
+                       ::testing::Values(-1.0, -0.5, 0.25, 0.75, 1.0)));
+
+// ---------------------------------------------------------------------------
+// abs() across the range.
+
+class AbsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AbsSweep, MatchesAbsoluteValue) {
+  const double a = GetParam();
+  StochasticContext ctx(8192, 0xAB5);
+  EXPECT_NEAR(ctx.decode(ctx.abs(ctx.construct(a))), std::fabs(a),
+              4.0 / std::sqrt(8192.0) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(ValueGrid, AbsSweep,
+                         ::testing::Values(-0.9, -0.5, -0.2, 0.2, 0.5, 0.9));
+
+// ---------------------------------------------------------------------------
+// divide() across quotients (|a| <= |b| so the quotient is representable).
+
+class DivideSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DivideSweep, QuotientWithinTolerance) {
+  const auto [a, b] = GetParam();
+  StochasticContext ctx(8192, 0xD1F);
+  double mean = 0.0;
+  const int trials = 4;
+  for (int t = 0; t < trials; ++t) {
+    mean += ctx.decode(ctx.divide(ctx.construct(a), ctx.construct(b)));
+  }
+  mean /= trials;
+  EXPECT_NEAR(mean, a / b, 8.0 / std::sqrt(8192.0) + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DivideSweep,
+    ::testing::Values(std::tuple(0.2, 0.8), std::tuple(0.3, 0.5),
+                      std::tuple(-0.4, 0.8), std::tuple(0.4, -0.8),
+                      std::tuple(-0.2, -0.4), std::tuple(0.6, 0.9)));
+
+// ---------------------------------------------------------------------------
+// compare() statistics: correct ordering rate for gaps above the margin.
+
+class CompareGapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CompareGapSweep, OrdersReliablyAboveTheMargin) {
+  const double gap = GetParam();
+  StochasticContext ctx(8192, 0xC43);
+  int correct = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    const double base = -0.4 + 0.02 * t;
+    const auto hi = ctx.construct(base + gap);
+    const auto lo = ctx.construct(base);
+    if (ctx.compare(hi, lo) >= 0) ++correct;  // never inverted
+  }
+  EXPECT_GE(correct, trials - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, CompareGapSweep,
+                         ::testing::Values(0.1, 0.2, 0.4));
+
+// ---------------------------------------------------------------------------
+// mask pool behavior.
+
+TEST(MaskPool, DifferentDrawsDiffer) {
+  StochasticContext ctx(4096, 0x9001);
+  const auto m1 = ctx.bernoulli_mask(0.37);
+  const auto m2 = ctx.bernoulli_mask(0.37);
+  // Rotation decorrelation: the chance of an identical repeat is ~1/(64·64).
+  EXPECT_NE(m1, m2);
+}
+
+TEST(MaskPool, RotatedMasksKeepDensity) {
+  StochasticContext ctx(4096, 0x9002);
+  for (int i = 0; i < 16; ++i) {
+    const auto m = ctx.bernoulli_mask(0.2);
+    EXPECT_NEAR(static_cast<double>(m.popcount()) / 4096.0, 0.2, 0.05);
+  }
+}
+
+TEST(MaskPool, NonWordMultipleDimsStillWork) {
+  StochasticContext ctx(1000, 0x9003);  // bit-rotation fallback path
+  for (int i = 0; i < 8; ++i) {
+    const auto m = ctx.bernoulli_mask(0.5);
+    EXPECT_NEAR(static_cast<double>(m.popcount()) / 1000.0, 0.5, 0.08);
+    // Tail invariant survives rotation.
+    EXPECT_EQ(m.words().back() >> (1000 - 15 * 64), 0u);
+  }
+}
+
+TEST(MaskPool, SquareStillDecorrelatesUnderPooling) {
+  // Regression guard for the pool-collision hazard: squares must track a²,
+  // not collapse toward 1, across many draws.
+  StochasticContext ctx(4096, 0x9004);
+  int collapsed = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const double got = ctx.decode(ctx.square(ctx.construct(0.3)));
+    if (got > 0.8) ++collapsed;  // a literal V*V would give 1.0
+  }
+  EXPECT_LE(collapsed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// chained arithmetic: a HOG-magnitude-shaped expression end to end.
+
+class MagnitudeChainSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MagnitudeChainSweep, SqrtOfMeanOfSquares) {
+  const auto [gx, gy] = GetParam();
+  StochasticContext ctx(8192, 0x3A6);
+  double mean = 0.0;
+  const int trials = 4;
+  for (int t = 0; t < trials; ++t) {
+    const auto vx = ctx.construct(gx);
+    const auto vy = ctx.construct(gy);
+    const auto m2 = ctx.add_halved(ctx.square(vx), ctx.square(vy));
+    mean += ctx.decode(ctx.sqrt(m2));
+  }
+  mean /= trials;
+  const double want = std::sqrt((gx * gx + gy * gy) / 2.0);
+  EXPECT_NEAR(mean, want, 8.0 / std::sqrt(8192.0) + 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gradients, MagnitudeChainSweep,
+    ::testing::Values(std::tuple(0.4, 0.3), std::tuple(-0.5, 0.2),
+                      std::tuple(0.3, -0.3), std::tuple(-0.2, -0.6),
+                      std::tuple(0.7, 0.0)));
+
+}  // namespace
+}  // namespace hdface::core

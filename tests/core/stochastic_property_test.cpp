@@ -1,0 +1,146 @@
+// Property-style parameterized sweeps over the stochastic arithmetic:
+// expectation correctness across the value range, and the Fig-2 property
+// that error shrinks with dimensionality.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/stochastic.hpp"
+
+namespace hdface::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Construct/decode round trip across the representable interval.
+
+class ConstructSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConstructSweep, RoundTripsWithinStatisticalNoise) {
+  const double a = GetParam();
+  StochasticContext ctx(8192, 0xC0);
+  const double tol = 4.0 / std::sqrt(8192.0);
+  // Average several constructions to separate bias from noise.
+  double mean = 0.0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) mean += ctx.decode(ctx.construct(a));
+  mean /= trials;
+  EXPECT_NEAR(mean, a, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(ValueGrid, ConstructSweep,
+                         ::testing::Values(-1.0, -0.75, -0.5, -0.25, -0.1, 0.0,
+                                           0.1, 0.25, 0.5, 0.75, 1.0));
+
+// ---------------------------------------------------------------------------
+// Multiplication expectation over a grid of operand pairs.
+
+class MultiplySweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MultiplySweep, ExpectationIsProduct) {
+  const auto [a, b] = GetParam();
+  StochasticContext ctx(8192, 0xAB);
+  double mean = 0.0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    mean += ctx.decode(ctx.multiply(ctx.construct(a), ctx.construct(b)));
+  }
+  mean /= trials;
+  EXPECT_NEAR(mean, a * b, 4.0 / std::sqrt(8192.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PairGrid, MultiplySweep,
+    ::testing::Combine(::testing::Values(-0.9, -0.4, 0.0, 0.3, 0.8),
+                       ::testing::Values(-0.7, -0.2, 0.5, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Weighted average linearity across weights.
+
+class AverageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AverageSweep, ExpectationIsConvexCombination) {
+  const double p = GetParam();
+  StochasticContext ctx(8192, 0xAE);
+  const double a = 0.7;
+  const double b = -0.3;
+  double mean = 0.0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    mean += ctx.decode(ctx.weighted_average(ctx.construct(a), ctx.construct(b), p));
+  }
+  mean /= trials;
+  EXPECT_NEAR(mean, p * a + (1 - p) * b, 4.0 / std::sqrt(8192.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightGrid, AverageSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0));
+
+// ---------------------------------------------------------------------------
+// Fig 2 property: RMS error decreases with dimensionality ~ 1/√D.
+
+class DimensionalityError : public ::testing::TestWithParam<std::size_t> {};
+
+double rms_multiply_error(std::size_t dim, std::uint64_t seed) {
+  StochasticContext ctx(dim, seed);
+  const double values[] = {-0.8, -0.3, 0.2, 0.6, 0.9};
+  double sq = 0.0;
+  int n = 0;
+  for (double a : values) {
+    for (double b : values) {
+      const double got = ctx.decode(ctx.multiply(ctx.construct(a), ctx.construct(b)));
+      sq += (got - a * b) * (got - a * b);
+      ++n;
+    }
+  }
+  return std::sqrt(sq / n);
+}
+
+TEST_P(DimensionalityError, ErrorWithinTheoreticalEnvelope) {
+  const std::size_t dim = GetParam();
+  const double rms = rms_multiply_error(dim, 0xD1);
+  // Binomial noise envelope with generous constant.
+  EXPECT_LT(rms, 5.0 / std::sqrt(static_cast<double>(dim)));
+}
+
+TEST(DimensionalityErrorTrend, ErrorShrinksAcrossTwoOctaves) {
+  // Averaged over seeds to keep the comparison stable.
+  auto avg = [](std::size_t dim) {
+    double s = 0.0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      s += rms_multiply_error(dim, seed);
+    }
+    return s / 4.0;
+  };
+  EXPECT_GT(avg(512), avg(8192));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DimensionalityError,
+                         ::testing::Values(512, 1024, 2048, 4096, 8192));
+
+// ---------------------------------------------------------------------------
+// sqrt across the positive range at two dimensionalities.
+
+class SqrtSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(SqrtSweep, MatchesRealSqrt) {
+  const auto [a, dim] = GetParam();
+  StochasticContext ctx(dim, 0x59);
+  const auto r = ctx.sqrt(ctx.construct(a));
+  // Tolerance: stochastic noise plus the 8-bit pooled-mask probability
+  // quantization, amplified by d(sqrt)/da = 1/(2*sqrt(a)) near zero.
+  const double tol = 6.0 / std::sqrt(static_cast<double>(dim)) +
+                     (1.0 / 255.0) / (2.0 * std::sqrt(a)) + 0.01;
+  EXPECT_NEAR(ctx.decode(r), std::sqrt(a), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SqrtSweep,
+    ::testing::Combine(::testing::Values(0.04, 0.16, 0.36, 0.81),
+                       ::testing::Values<std::size_t>(4096, 16384)));
+
+}  // namespace
+}  // namespace hdface::core

@@ -1,0 +1,117 @@
+#include "dataset/dataset.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::dataset {
+namespace {
+
+Dataset tiny(std::size_t n, std::size_t classes) {
+  Dataset d;
+  d.name = "tiny";
+  for (std::size_t c = 0; c < classes; ++c) {
+    d.class_names.push_back("c" + std::to_string(c));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    d.images.emplace_back(4, 4, static_cast<float>(i) / static_cast<float>(n));
+    d.labels.push_back(static_cast<int>(i % classes));
+  }
+  return d;
+}
+
+TEST(Dataset, ValidatePassesOnWellFormed) {
+  EXPECT_NO_THROW(tiny(10, 2).validate());
+}
+
+TEST(Dataset, ValidateCatchesSizeMismatch) {
+  Dataset d = tiny(4, 2);
+  d.labels.pop_back();
+  EXPECT_THROW(d.validate(), std::logic_error);
+}
+
+TEST(Dataset, ValidateCatchesBadLabel) {
+  Dataset d = tiny(4, 2);
+  d.labels[0] = 5;
+  EXPECT_THROW(d.validate(), std::logic_error);
+}
+
+TEST(Dataset, ValidateCatchesInconsistentImageSizes) {
+  Dataset d = tiny(4, 2);
+  d.images[2] = image::Image(3, 3);
+  EXPECT_THROW(d.validate(), std::logic_error);
+}
+
+TEST(Dataset, ClassHistogramCounts) {
+  const Dataset d = tiny(10, 2);
+  const auto hist = d.class_histogram();
+  EXPECT_EQ(hist[0], 5u);
+  EXPECT_EQ(hist[1], 5u);
+}
+
+TEST(Split, PartitionsWithoutLossOrDuplication) {
+  const Dataset d = tiny(100, 4);
+  const Split s = split(d, 0.3, 7);
+  EXPECT_EQ(s.test.size(), 30u);
+  EXPECT_EQ(s.train.size(), 70u);
+  // Pixel fills are unique per sample; use them to check partition.
+  std::multiset<float> all;
+  for (const auto& img : s.train.images) all.insert(img.at(0, 0));
+  for (const auto& img : s.test.images) all.insert(img.at(0, 0));
+  std::multiset<float> orig;
+  for (const auto& img : d.images) orig.insert(img.at(0, 0));
+  EXPECT_EQ(all, orig);
+}
+
+TEST(Split, DeterministicForSameSeed) {
+  const Dataset d = tiny(50, 2);
+  const Split a = split(d, 0.5, 11);
+  const Split b = split(d, 0.5, 11);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+  EXPECT_EQ(a.test.labels, b.test.labels);
+}
+
+TEST(Split, DifferentSeedsShuffleDifferently) {
+  const Dataset d = tiny(50, 2);
+  const Split a = split(d, 0.5, 1);
+  const Split b = split(d, 0.5, 2);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    if (a.train.images[i].at(0, 0) != b.train.images[i].at(0, 0)) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Split, RejectsBadFraction) {
+  const Dataset d = tiny(10, 2);
+  EXPECT_THROW(split(d, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(split(d, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Subsample, ReturnsAllWhenNLarge) {
+  const Dataset d = tiny(10, 2);
+  EXPECT_EQ(subsample(d, 100, 3).size(), 10u);
+}
+
+TEST(Subsample, KeepsClassBalance) {
+  const Dataset d = tiny(100, 4);
+  const Dataset s = subsample(d, 40, 5);
+  EXPECT_EQ(s.size(), 40u);
+  for (auto c : s.class_histogram()) EXPECT_EQ(c, 10u);
+}
+
+TEST(Subsample, NoDuplicates) {
+  const Dataset d = tiny(60, 3);
+  const Dataset s = subsample(d, 30, 9);
+  std::set<float> seen;
+  for (const auto& img : s.images) {
+    EXPECT_TRUE(seen.insert(img.at(0, 0)).second) << "duplicate sample";
+  }
+}
+
+}  // namespace
+}  // namespace hdface::dataset

@@ -1,0 +1,215 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dataset/background_generator.hpp"
+#include "image/transform.hpp"
+#include "dataset/emotion_generator.hpp"
+#include "dataset/face_generator.hpp"
+#include "dataset/face_render.hpp"
+
+namespace hdface::dataset {
+namespace {
+
+TEST(FaceRender, DrawsFaceDistinctFromBackground) {
+  image::Image img(48, 48, 0.0f);
+  render_face(img, FaceParams{});
+  EXPECT_GT(img.mean(), 0.1);      // head fills a chunk of the window
+  EXPECT_GT(img.variance(), 1e-3); // features create structure
+}
+
+TEST(FaceRender, JitterIsDeterministicPerSeed) {
+  core::Rng a(42);
+  core::Rng b(42);
+  const FaceParams pa = jitter_face(FaceParams{}, a);
+  const FaceParams pb = jitter_face(FaceParams{}, b);
+  EXPECT_DOUBLE_EQ(pa.center_x, pb.center_x);
+  EXPECT_DOUBLE_EQ(pa.mouth_curve, pb.mouth_curve);
+  EXPECT_EQ(pa.hair_on, pb.hair_on);
+}
+
+TEST(FaceRender, JitterStaysInValidRanges) {
+  core::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const FaceParams p = jitter_face(FaceParams{}, rng);
+    EXPECT_GE(p.mouth_open, 0.0);
+    EXPECT_LE(p.mouth_open, 1.0);
+    EXPECT_GE(p.eye_open, -1.0);
+    EXPECT_LE(p.eye_open, 1.0);
+    EXPECT_GT(p.skin, 0.0f);
+    EXPECT_LT(p.skin, 1.0f);
+  }
+}
+
+TEST(Background, AllKindsRenderInRange) {
+  core::Rng rng(1);
+  for (const auto kind :
+       {BackgroundKind::kValueNoise, BackgroundKind::kStripes,
+        BackgroundKind::kBlobs, BackgroundKind::kGradient,
+        BackgroundKind::kChecker, BackgroundKind::kMixed}) {
+    image::Image img(32, 32, 0.0f);
+    render_background(img, kind, rng);
+    EXPECT_GE(img.min(), 0.0f);
+    EXPECT_LE(img.max(), 1.0f);
+  }
+}
+
+TEST(Background, ProducesTexture) {
+  core::Rng rng(2);
+  image::Image img(48, 48, 0.0f);
+  render_background(img, BackgroundKind::kValueNoise, rng);
+  EXPECT_GT(img.variance(), 1e-4);
+}
+
+TEST(FaceDataset, ShapeAndBalance) {
+  FaceDatasetConfig cfg;
+  cfg.num_samples = 40;
+  cfg.image_size = 32;
+  const Dataset d = make_face_dataset(cfg);
+  d.validate();
+  EXPECT_EQ(d.size(), 40u);
+  EXPECT_EQ(d.num_classes(), 2u);
+  const auto hist = d.class_histogram();
+  EXPECT_EQ(hist[0], 20u);
+  EXPECT_EQ(hist[1], 20u);
+  EXPECT_EQ(d.images.front().width(), 32u);
+}
+
+TEST(FaceDataset, DeterministicPerSeed) {
+  FaceDatasetConfig cfg;
+  cfg.num_samples = 8;
+  cfg.image_size = 24;
+  const Dataset a = make_face_dataset(cfg);
+  const Dataset b = make_face_dataset(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.images[i], b.images[i]) << "sample " << i;
+  }
+}
+
+TEST(FaceDataset, SeedChangesSamples) {
+  FaceDatasetConfig cfg;
+  cfg.num_samples = 4;
+  cfg.image_size = 24;
+  const Dataset a = make_face_dataset(cfg);
+  cfg.seed = 999;
+  const Dataset b = make_face_dataset(cfg);
+  EXPECT_NE(a.images[1], b.images[1]);
+}
+
+TEST(FaceDataset, PresetsMatchTableOneShape) {
+  const auto f1 = face1_config(10, 1);
+  const auto f2 = face2_config(10, 1);
+  EXPECT_EQ(f1.name, "FACE1");
+  EXPECT_EQ(f2.name, "FACE2");
+  EXPECT_GT(f1.image_size, 0u);
+  // Paper-scale flags restore Table 1 resolutions.
+  EXPECT_EQ(face1_config(10, 1, true).image_size, 1024u);
+  EXPECT_EQ(face2_config(10, 1, true).image_size, 512u);
+}
+
+TEST(FaceDataset, FacesDifferFromNegativesStatistically) {
+  // Faces contain a bright head ellipse: their windows should have higher
+  // central mean than pure-clutter negatives on average.
+  FaceDatasetConfig cfg;
+  cfg.num_samples = 60;
+  cfg.image_size = 32;
+  const Dataset d = make_face_dataset(cfg);
+  double face_center = 0.0;
+  double nonface_center = 0.0;
+  int nf = 0;
+  int nn = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto patch = image::crop(d.images[i], 12, 12, 8, 8);
+    if (d.labels[i] == 1) {
+      face_center += patch.mean();
+      ++nf;
+    } else {
+      nonface_center += patch.mean();
+      ++nn;
+    }
+  }
+  EXPECT_GT(face_center / nf, nonface_center / nn - 0.05);
+}
+
+TEST(EmotionDataset, ShapeBalanceAndDeterminism) {
+  EmotionDatasetConfig cfg;
+  cfg.num_samples = 28;
+  cfg.image_size = 48;
+  const Dataset a = make_emotion_dataset(cfg);
+  a.validate();
+  EXPECT_EQ(a.num_classes(), 7u);
+  for (auto c : a.class_histogram()) EXPECT_EQ(c, 4u);
+  const Dataset b = make_emotion_dataset(cfg);
+  EXPECT_EQ(a.images[5], b.images[5]);
+}
+
+TEST(EmotionDataset, ClassParamsAreDistinct) {
+  // Expression parameters must differ across classes (otherwise the labels
+  // would be noise).
+  const FaceParams happy = emotion_params(Emotion::kHappy);
+  const FaceParams sad = emotion_params(Emotion::kSad);
+  const FaceParams surprise = emotion_params(Emotion::kSurprise);
+  EXPECT_GT(happy.mouth_curve, 0.5);
+  EXPECT_LT(sad.mouth_curve, -0.5);
+  EXPECT_GT(surprise.mouth_open, 0.5);
+  EXPECT_GT(surprise.eye_open, 0.5);
+}
+
+TEST(EmotionDataset, NamesCoverAllClasses) {
+  for (int c = 0; c < kNumEmotions; ++c) {
+    EXPECT_STRNE(emotion_name(static_cast<Emotion>(c)), "");
+  }
+}
+
+TEST(EmotionDataset, RenderedClassesAreVisuallyDistinct) {
+  const auto happy = render_emotion_window(48, Emotion::kHappy, 3);
+  const auto surprise = render_emotion_window(48, Emotion::kSurprise, 3);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < happy.size(); ++i) {
+    diff += std::abs(happy.pixels()[i] - surprise.pixels()[i]);
+  }
+  EXPECT_GT(diff / happy.size(), 0.01);
+}
+
+TEST(FaceRender, MaskCoversLowerFace) {
+  // FACE1's source (Face-Mask-Lite) contains masked faces: with mask_on the
+  // mouth region renders at the mask tone instead of dark lip features.
+  image::Image bare(48, 48, 0.0f);
+  image::Image masked(48, 48, 0.0f);
+  FaceParams p;
+  p.mouth_curve = 0.8;  // strong dark mouth if unmasked
+  render_face(bare, p);
+  p.mask_on = true;
+  p.mask_tone = 0.9f;
+  render_face(masked, p);
+  // Sample the mouth area (center, ~70% down the head).
+  const auto mouth_region_mean = [](const image::Image& img) {
+    double s = 0.0;
+    int n = 0;
+    for (std::size_t y = 30; y < 38; ++y) {
+      for (std::size_t x = 18; x < 30; ++x) {
+        s += img.at(x, y);
+        ++n;
+      }
+    }
+    return s / n;
+  };
+  EXPECT_GT(mouth_region_mean(masked), mouth_region_mean(bare) + 0.05);
+}
+
+TEST(FaceDataset, Face1PresetRendersSomeMaskedFaces) {
+  auto cfg = dataset::face1_config(40, 3);
+  EXPECT_GT(cfg.masked_fraction, 0.0);
+  const Dataset d = make_face_dataset(cfg);
+  d.validate();
+  EXPECT_EQ(d.size(), 40u);
+}
+
+TEST(WindowRenderers, ProduceRequestedSizes) {
+  EXPECT_EQ(render_face_window(40, 1).width(), 40u);
+  EXPECT_EQ(render_nonface_window(40, 1, false).height(), 40u);
+  EXPECT_EQ(render_nonface_window(40, 1, true).width(), 40u);
+}
+
+}  // namespace
+}  // namespace hdface::dataset

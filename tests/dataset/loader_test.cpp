@@ -1,0 +1,70 @@
+#include "dataset/loader.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "dataset/face_generator.hpp"
+#include "image/pnm.hpp"
+
+namespace hdface::dataset {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const char* name) {
+  const auto dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(Loader, SaveLoadRoundtrip) {
+  FaceDatasetConfig cfg;
+  cfg.num_samples = 6;
+  cfg.image_size = 16;
+  const Dataset d = make_face_dataset(cfg);
+  const std::string dir = temp_dir("hdface_loader_rt");
+  save_dataset(d, dir);
+  const Dataset back = load_dataset(dir);
+  EXPECT_EQ(back.size(), d.size());
+  EXPECT_EQ(back.labels, d.labels);
+  EXPECT_EQ(back.class_names, d.class_names);
+  EXPECT_EQ(back.name, d.name);
+  // Pixels survive up to 8-bit quantization.
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t p = 0; p < d.images[i].size(); ++p) {
+      EXPECT_NEAR(back.images[i].pixels()[p], d.images[i].pixels()[p],
+                  1.0f / 255.0f);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Loader, MissingManifestThrows) {
+  EXPECT_THROW(load_dataset("/no/such/dir"), std::runtime_error);
+}
+
+TEST(Loader, MalformedManifestLineThrows) {
+  const std::string dir = temp_dir("hdface_loader_bad");
+  fs::create_directories(dir);
+  std::ofstream(fs::path(dir) / "labels.txt") << "not-a-valid-line\n";
+  EXPECT_THROW(load_dataset(dir), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(Loader, InfersClassNamesWhenHeaderMissing) {
+  const std::string dir = temp_dir("hdface_loader_noheader");
+  fs::create_directories(dir);
+  image::Image img(4, 4, 0.5f);
+  image::write_pgm(img, (fs::path(dir) / "0.pgm").string());
+  image::write_pgm(img, (fs::path(dir) / "1.pgm").string());
+  std::ofstream(fs::path(dir) / "labels.txt") << "0.pgm 0\n1.pgm 1\n";
+  const Dataset d = load_dataset(dir);
+  EXPECT_EQ(d.num_classes(), 2u);
+  EXPECT_EQ(d.class_names[1], "class1");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hdface::dataset

@@ -1,0 +1,97 @@
+#include "hog/angle_bins.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::hog {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(AngleBinner, RejectsNonMultipleOfFour) {
+  EXPECT_THROW(AngleBinner(0), std::invalid_argument);
+  EXPECT_THROW(AngleBinner(9), std::invalid_argument);
+  EXPECT_NO_THROW(AngleBinner(8));
+  EXPECT_NO_THROW(AngleBinner(12));
+}
+
+TEST(AngleBinner, BoundaryCountPerQuadrant) {
+  EXPECT_EQ(AngleBinner(8).boundary_tans().size(), 1u);   // 2 bins/quadrant
+  EXPECT_EQ(AngleBinner(16).boundary_tans().size(), 3u);  // 4 bins/quadrant
+  EXPECT_EQ(AngleBinner(4).boundary_tans().size(), 0u);   // 1 bin/quadrant
+}
+
+TEST(AngleBinner, EightBinBoundaryIsFortyFiveDegrees) {
+  const AngleBinner b(8);
+  EXPECT_NEAR(b.boundary_tans()[0], 1.0, 1e-12);
+}
+
+TEST(AngleBinner, QuadrantFromSigns) {
+  EXPECT_EQ(AngleBinner::quadrant(+1, +1), 0u);
+  EXPECT_EQ(AngleBinner::quadrant(-1, +1), 1u);
+  EXPECT_EQ(AngleBinner::quadrant(-1, -1), 2u);
+  EXPECT_EQ(AngleBinner::quadrant(+1, -1), 3u);
+  // Zeros count as positive.
+  EXPECT_EQ(AngleBinner::quadrant(0, 0), 0u);
+  EXPECT_EQ(AngleBinner::quadrant(0, -1), 3u);
+}
+
+TEST(AngleBinner, RatioRoleAlternatesByQuadrant) {
+  EXPECT_TRUE(AngleBinner::ratio_is_gy_over_gx(0));
+  EXPECT_FALSE(AngleBinner::ratio_is_gy_over_gx(1));
+  EXPECT_TRUE(AngleBinner::ratio_is_gy_over_gx(2));
+  EXPECT_FALSE(AngleBinner::ratio_is_gy_over_gx(3));
+}
+
+// The quadrant-decomposed binning must agree with direct atan2 binning
+// everywhere except exactly on boundaries.
+class BinOfMatchesAtan2 : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BinOfMatchesAtan2, OnDenseAngleGrid) {
+  const std::size_t bins = GetParam();
+  const AngleBinner binner(bins);
+  const double width = 2.0 * kPi / static_cast<double>(bins);
+  for (int k = 0; k < 720; ++k) {
+    // Offset keeps angles off exact bin boundaries.
+    const double theta = (k + 0.27) * 2.0 * kPi / 720.0;
+    const float gx = static_cast<float>(0.4 * std::cos(theta));
+    const float gy = static_cast<float>(0.4 * std::sin(theta));
+    const auto expected = static_cast<std::size_t>(theta / width) % bins;
+    EXPECT_EQ(binner.bin_of(gx, gy), expected)
+        << "theta=" << theta << " bins=" << bins;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, BinOfMatchesAtan2,
+                         ::testing::Values<std::size_t>(4, 8, 12, 16));
+
+TEST(AngleBinner, LocalBinCountsExceededBoundaries) {
+  const AngleBinner b(16);
+  EXPECT_EQ(b.local_bin_from_comparisons({false, false, false}), 0u);
+  EXPECT_EQ(b.local_bin_from_comparisons({true, false, false}), 1u);
+  EXPECT_EQ(b.local_bin_from_comparisons({true, true, true}), 3u);
+}
+
+TEST(AngleBinner, GlobalBinComposition) {
+  const AngleBinner b(8);
+  EXPECT_EQ(b.global_bin(0, 1), 1u);
+  EXPECT_EQ(b.global_bin(3, 1), 7u);
+}
+
+TEST(AngleBinner, ZeroGradientFallsInBinZero) {
+  const AngleBinner b(8);
+  EXPECT_EQ(b.bin_of(0.0f, 0.0f), 0u);
+}
+
+TEST(AngleBinner, BinCentersAreIncreasing) {
+  const AngleBinner b(8);
+  for (std::size_t k = 1; k < 8; ++k) {
+    EXPECT_GT(b.bin_center(k), b.bin_center(k - 1));
+  }
+  EXPECT_NEAR(b.bin_center(0), kPi / 8.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hdface::hog

@@ -1,0 +1,87 @@
+#include "hog/gradient.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hdface::hog {
+namespace {
+
+TEST(Gradient, HorizontalRampHasConstantGx) {
+  image::Image img(16, 8);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      img.at(x, y) = 0.05f * static_cast<float>(x);
+    }
+  }
+  const GradientField g = compute_gradients(img);
+  // Interior: central difference of a linear ramp = slope.
+  EXPECT_NEAR(g.gx_at(8, 4), 0.05f, 1e-6f);
+  EXPECT_NEAR(g.gy_at(8, 4), 0.0f, 1e-6f);
+  // Border: clamped sampling halves the difference.
+  EXPECT_NEAR(g.gx_at(0, 4), 0.025f, 1e-6f);
+}
+
+TEST(Gradient, VerticalRampHasConstantGy) {
+  image::Image img(8, 16);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      img.at(x, y) = 0.04f * static_cast<float>(y);
+    }
+  }
+  const GradientField g = compute_gradients(img);
+  EXPECT_NEAR(g.gy_at(4, 8), 0.04f, 1e-6f);
+  EXPECT_NEAR(g.gx_at(4, 8), 0.0f, 1e-6f);
+}
+
+TEST(Gradient, MagnitudeMatchesFormula) {
+  image::Image img(8, 8);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      img.at(x, y) = 0.06f * static_cast<float>(x) + 0.02f * static_cast<float>(y);
+    }
+  }
+  const GradientField g = compute_gradients(img);
+  const float expected =
+      std::sqrt((0.06f * 0.06f + 0.02f * 0.02f) / 2.0f);
+  EXPECT_NEAR(g.mag_at(4, 4), expected, 1e-6f);
+}
+
+TEST(Gradient, ConstantImageIsAllZero) {
+  image::Image img(8, 8, 0.7f);
+  const GradientField g = compute_gradients(img);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_FLOAT_EQ(g.gx[i], 0.0f);
+    EXPECT_FLOAT_EQ(g.gy[i], 0.0f);
+    EXPECT_FLOAT_EQ(g.magnitude[i], 0.0f);
+  }
+}
+
+TEST(Gradient, MagnitudeStaysInRepresentableRange) {
+  // Worst case: black-white checkerboard; halved differences are within
+  // [-0.5, 0.5] and the √((gx²+gy²)/2) magnitude within [0, ~0.707].
+  image::Image img(8, 8);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      img.at(x, y) = ((x + y) % 2 == 0) ? 0.0f : 1.0f;
+    }
+  }
+  const GradientField g = compute_gradients(img);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_GE(g.gx[i], -0.5f);
+    EXPECT_LE(g.gx[i], 0.5f);
+    EXPECT_GE(g.magnitude[i], 0.0f);
+    EXPECT_LE(g.magnitude[i], 0.71f);
+  }
+}
+
+TEST(Gradient, CountsFloatOps) {
+  core::OpCounter counter;
+  image::Image img(8, 8, 0.5f);
+  compute_gradients(img, &counter);
+  EXPECT_EQ(counter.get(core::OpKind::kFloatSqrt), 64u);
+  EXPECT_GT(counter.get(core::OpKind::kFloatMul), 0u);
+}
+
+}  // namespace
+}  // namespace hdface::hog

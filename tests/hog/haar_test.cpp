@@ -1,0 +1,151 @@
+#include "hog/haar.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "hog/integral.hpp"
+
+namespace hdface::hog {
+namespace {
+
+// Top half dark, bottom half bright.
+image::Image horizontal_edge(std::size_t n, float lo, float hi) {
+  image::Image img(n, n, lo);
+  for (std::size_t y = n / 2; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) img.at(x, y) = hi;
+  }
+  return img;
+}
+
+TEST(HaarEnumerate, GridCoversWindow) {
+  HaarConfig cfg;
+  cfg.patch_sizes = {8};
+  cfg.stride = 4;
+  const auto specs = enumerate_haar_features(cfg, 16, 16);
+  // 3x3 positions × 5 templates.
+  EXPECT_EQ(specs.size(), 45u);
+  for (const auto& s : specs) {
+    EXPECT_LE(s.x + s.w, 16u);
+    EXPECT_LE(s.y + s.h, 16u);
+  }
+}
+
+TEST(HaarEnumerate, SkipsOversizedPatches) {
+  HaarConfig cfg;
+  cfg.patch_sizes = {8, 64};
+  const auto specs = enumerate_haar_features(cfg, 16, 16);
+  for (const auto& s : specs) EXPECT_EQ(s.w, 8u);
+}
+
+TEST(HaarExtractor, ThrowsWhenNothingFits) {
+  HaarConfig cfg;
+  cfg.patch_sizes = {32};
+  EXPECT_THROW(HaarExtractor(cfg, 16, 16), std::invalid_argument);
+}
+
+TEST(HaarExtractor, EdgeTemplateRespondsToEdge) {
+  const image::Image img = horizontal_edge(16, 0.2f, 0.8f);
+  const IntegralImage ii(img);
+  const HaarFeatureSpec spec{HaarTemplate::kEdgeHorizontal, 0, 0, 16, 16};
+  // (top − bottom)/2 = (0.2 − 0.8)/2 = −0.3.
+  EXPECT_NEAR(HaarExtractor::evaluate(spec, ii), -0.3, 1e-5);
+}
+
+TEST(HaarExtractor, ConstantImageGivesZeroEverywhere) {
+  HaarConfig cfg;
+  cfg.patch_sizes = {8};
+  HaarExtractor haar(cfg, 16, 16);
+  const auto features = haar.extract(image::Image(16, 16, 0.4f));
+  for (float f : features) EXPECT_NEAR(f, 0.0f, 1e-5f);
+}
+
+TEST(HaarExtractor, FeatureSizeMatchesSpecs) {
+  HaarConfig cfg;
+  HaarExtractor haar(cfg, 32, 32);
+  const auto features = haar.extract(image::Image(32, 32, 0.5f));
+  EXPECT_EQ(features.size(), haar.feature_size());
+  EXPECT_EQ(features.size(), haar.specs().size());
+}
+
+TEST(HaarExtractor, GeometryMismatchThrows) {
+  HaarConfig cfg;
+  HaarExtractor haar(cfg, 32, 32);
+  EXPECT_THROW(haar.extract(image::Image(16, 16, 0.5f)), std::invalid_argument);
+}
+
+class HdHaarTest : public ::testing::Test {
+ protected:
+  core::StochasticContext ctx_{4096, 0x44A2};
+};
+
+TEST_F(HdHaarTest, FeatureHvTracksClassicalValue) {
+  HaarConfig cfg;
+  cfg.patch_sizes = {16};
+  cfg.stride = 16;
+  HdHaarExtractor hd(ctx_, cfg, 16, 16);
+  const image::Image img = horizontal_edge(16, 0.2f, 0.8f);
+  const IntegralImage ii(img);
+  const double tol = 6.0 / std::sqrt(4096.0) + 0.02;
+  for (const auto& spec : hd.specs()) {
+    const double want = HaarExtractor::evaluate(spec, ii);
+    const double got = ctx_.decode(hd.feature_hv(img, spec));
+    EXPECT_NEAR(got, want, tol) << "template " << static_cast<int>(spec.kind);
+  }
+}
+
+TEST_F(HdHaarTest, DecodeFeaturesCorrelateWithClassical) {
+  HaarConfig cfg;
+  cfg.patch_sizes = {8};
+  cfg.stride = 8;
+  HdHaarExtractor hd(ctx_, cfg, 16, 16);
+  HaarExtractor classical(cfg, 16, 16);
+  // A textured image with real structure.
+  image::Image img(16, 16);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      img.at(x, y) = 0.5f + 0.4f * static_cast<float>(
+                                        std::sin(0.7 * x) * std::cos(0.5 * y));
+    }
+  }
+  const auto got = hd.decode_features(img);
+  const auto want = classical.extract(img);
+  ASSERT_EQ(got.size(), want.size());
+  double dot = 0.0;
+  double na = 1e-12;
+  double nb = 1e-12;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    dot += got[i] * want[i];
+    na += got[i] * got[i];
+    nb += static_cast<double>(want[i]) * want[i];
+  }
+  EXPECT_GT(dot / std::sqrt(na * nb), 0.7);
+}
+
+TEST_F(HdHaarTest, ExtractIsDeterministicPerSeed) {
+  HaarConfig cfg;
+  cfg.patch_sizes = {8};
+  core::StochasticContext c1(2048, 5);
+  core::StochasticContext c2(2048, 5);
+  HdHaarExtractor h1(c1, cfg, 16, 16);
+  HdHaarExtractor h2(c2, cfg, 16, 16);
+  const image::Image img = horizontal_edge(16, 0.1f, 0.9f);
+  EXPECT_EQ(h1.extract(img), h2.extract(img));
+}
+
+TEST_F(HdHaarTest, DistinctImagesGetDistinctBundles) {
+  HaarConfig cfg;
+  cfg.patch_sizes = {8};
+  HdHaarExtractor hd(ctx_, cfg, 16, 16);
+  const auto f1 = hd.extract(horizontal_edge(16, 0.1f, 0.9f));
+  image::Image vertical(16, 16, 0.1f);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 8; x < 16; ++x) vertical.at(x, y) = 0.9f;
+  }
+  const auto f2 = hd.extract(vertical);
+  EXPECT_LT(similarity(f1, f2), 0.9);
+}
+
+}  // namespace
+}  // namespace hdface::hog

@@ -1,0 +1,117 @@
+// Parameterized properties of the HD-HOG extractor across geometries and
+// dimensionalities.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "dataset/face_generator.hpp"
+#include "hog/hd_hog.hpp"
+
+namespace hdface::hog {
+namespace {
+
+HdHogConfig config_for(std::size_t cell, std::size_t bins) {
+  HdHogConfig c;
+  c.hog.cell_size = cell;
+  c.hog.bins = bins;
+  c.hog.block_normalize = false;
+  c.mode = HdHogMode::kDecodeShortcut;  // property tests exercise structure
+  return c;
+}
+
+// --- slot geometry across cell sizes and bin counts -------------------------
+
+class GeometrySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(GeometrySweep, SlotLayoutMatchesGeometry) {
+  const auto [cell, bins] = GetParam();
+  core::StochasticContext ctx(1024, 0x6E0);
+  HdHogExtractor hd(ctx, config_for(cell, bins), 16, 16);
+  EXPECT_EQ(hd.cells_x(), 16 / cell);
+  EXPECT_EQ(hd.cells_y(), 16 / cell);
+  const auto record = hd.slot_record(image::Image(16, 16, 0.5f));
+  EXPECT_EQ(record.hvs.size(), hd.slots());
+  EXPECT_EQ(record.values.size(), hd.slots());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 8, 16),
+                       ::testing::Values<std::size_t>(4, 8, 12)));
+
+// --- normalized slot values stay in [0, 1] across content types -------------
+
+class ContentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContentSweep, NormalizedValuesInUnitInterval) {
+  const int kind = GetParam();
+  core::StochasticContext ctx(2048, 0xC03);
+  HdHogExtractor hd(ctx, config_for(4, 8), 16, 16);
+  image::Image img(16, 16, 0.5f);
+  core::Rng rng(7);
+  switch (kind) {
+    case 0: break;  // flat
+    case 1:
+      for (auto& p : img.pixels()) p = static_cast<float>(rng.uniform());
+      break;
+    case 2:
+      img = dataset::render_face_window(16, 99);
+      break;
+    case 3:  // extreme checkerboard
+      for (std::size_t y = 0; y < 16; ++y) {
+        for (std::size_t x = 0; x < 16; ++x) {
+          img.at(x, y) = ((x + y) % 2) ? 1.0f : 0.0f;
+        }
+      }
+      break;
+  }
+  const auto record = hd.slot_record(img);
+  double vmax = 0.0;
+  for (double v : record.values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    vmax = std::max(vmax, v);
+  }
+  if (kind != 0) {
+    // Any textured window normalizes its strongest slot to ~1.
+    EXPECT_GT(vmax, 0.9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Contents, ContentSweep, ::testing::Values(0, 1, 2, 3));
+
+// --- feature similarity is symmetric and bounded across dims ----------------
+
+class DimSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DimSweep, ExtractedFeatureHasMatchingDim) {
+  const std::size_t dim = GetParam();
+  core::StochasticContext ctx(dim, 0xD1);
+  HdHogExtractor hd(ctx, config_for(4, 8), 16, 16);
+  const auto f = hd.extract(dataset::render_face_window(16, 5));
+  EXPECT_EQ(f.dim(), dim);
+}
+
+TEST_P(DimSweep, SameImageReencodesMoreSimilarThanDifferentImage) {
+  const std::size_t dim = GetParam();
+  core::StochasticContext ctx(dim, 0xD2);
+  HdHogExtractor hd(ctx, config_for(4, 8), 16, 16);
+  const auto face = dataset::render_face_window(16, 5);
+  const auto clutter = dataset::render_nonface_window(16, 6, false);
+  const auto f1 = hd.extract(face);
+  const auto f2 = hd.extract(face);
+  const auto g = hd.extract(clutter);
+  // At 1k dimensions single-pair comparisons sit inside the stochastic noise
+  // (the paper's low-D accuracy story); allow the noise floor as slack there.
+  const double slack = dim < 2048 ? 4.0 / std::sqrt(static_cast<double>(dim)) : 0.0;
+  EXPECT_GT(similarity(f1, f2), similarity(f1, g) - slack);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DimSweep,
+                         ::testing::Values<std::size_t>(1024, 2048, 4096));
+
+}  // namespace
+}  // namespace hdface::hog

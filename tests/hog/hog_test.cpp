@@ -1,0 +1,167 @@
+#include "hog/hog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::hog {
+namespace {
+
+HogConfig small_config() {
+  HogConfig c;
+  c.cell_size = 8;
+  c.bins = 8;
+  return c;
+}
+
+image::Image ramp_x(std::size_t n, float slope) {
+  image::Image img(n, n);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      img.at(x, y) = slope * static_cast<float>(x);
+    }
+  }
+  return img;
+}
+
+TEST(Hog, ValidatesConfig) {
+  HogConfig c = small_config();
+  c.cell_size = 0;
+  EXPECT_THROW(HogExtractor{c}, std::invalid_argument);
+}
+
+TEST(Hog, ImageSmallerThanCellThrows) {
+  HogExtractor hog(small_config());
+  image::Image img(4, 4);
+  EXPECT_THROW(hog.cell_histograms(img), std::invalid_argument);
+}
+
+TEST(Hog, CellGridGeometry) {
+  HogExtractor hog(small_config());
+  const auto cells = hog.cell_histograms(image::Image(32, 24, 0.5f));
+  EXPECT_EQ(cells.cells_x, 4u);
+  EXPECT_EQ(cells.cells_y, 3u);
+  EXPECT_EQ(cells.bins, 8u);
+  EXPECT_EQ(cells.values.size(), 4u * 3u * 8u);
+}
+
+TEST(Hog, ConstantImageHasEmptyHistograms) {
+  HogExtractor hog(small_config());
+  const auto cells = hog.cell_histograms(image::Image(16, 16, 0.3f));
+  for (float v : cells.values) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Hog, HorizontalRampVotesIntoBinZero) {
+  // gx > 0, gy = 0 → quadrant I, ratio 0 → bin 0.
+  HogExtractor hog(small_config());
+  const auto cells = hog.cell_histograms(ramp_x(16, 0.03f));
+  EXPECT_GT(cells.at(0, 0, 0), 0.0f);
+  for (std::size_t b = 1; b < 8; ++b) {
+    EXPECT_FLOAT_EQ(cells.at(0, 0, b), 0.0f) << "bin " << b;
+  }
+}
+
+TEST(Hog, CellHistogramIsMeanMagnitude) {
+  // Linear ramp: every interior pixel contributes slope·(1/√2)... the halved
+  // gradient is slope and magnitude √(slope²/2); border columns contribute
+  // half the gradient. Expected bin-0 value = mean over the cell.
+  const float slope = 0.04f;
+  HogExtractor hog(small_config());
+  const auto cells = hog.cell_histograms(ramp_x(8, slope));
+  const float interior = std::sqrt(slope * slope / 2.0f);
+  const float border = std::sqrt((slope / 2) * (slope / 2) / 2.0f);
+  const float expected = (6.0f * 8.0f * interior + 2.0f * 8.0f * border) / 64.0f;
+  EXPECT_NEAR(cells.at(0, 0, 0), expected, 1e-5f);
+}
+
+TEST(Hog, OppositeRampsLandInOppositeBins) {
+  HogExtractor hog(small_config());
+  const auto up = hog.cell_histograms(ramp_x(8, 0.03f));
+  image::Image down_img(8, 8);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      down_img.at(x, y) = 0.03f * static_cast<float>(7 - x);
+    }
+  }
+  const auto down = hog.cell_histograms(down_img);
+  EXPECT_GT(up.at(0, 0, 0), 0.0f);
+  // gx < 0, gy = 0 → quadrant II start = bin 2·(8/4)= bin 2? No: quadrant II
+  // has local ratio |gx|/|gy| → ∞ ... the zero-gy convention puts it at the
+  // last local bin of quadrant II.
+  float down_mass = 0.0f;
+  for (std::size_t b = 2; b < 4; ++b) down_mass += down.at(0, 0, b);
+  EXPECT_GT(down_mass, 0.0f);
+  EXPECT_FLOAT_EQ(down.at(0, 0, 0), 0.0f);
+}
+
+TEST(Hog, ExtractWithoutNormalizationFlattensCells) {
+  HogConfig c = small_config();
+  c.block_normalize = false;
+  HogExtractor hog(c);
+  const image::Image img = ramp_x(16, 0.02f);
+  const auto feat = hog.extract(img);
+  EXPECT_EQ(feat.size(), hog.feature_size(16, 16));
+  EXPECT_EQ(feat.size(), 2u * 2u * 8u);
+}
+
+TEST(Hog, BlockNormalizedDescriptorHasUnitBlocks) {
+  HogConfig c = small_config();
+  c.block_normalize = true;
+  c.l2_clip = 0.0f;  // plain L2 so blocks are exactly unit-norm
+  HogExtractor hog(c);
+  const auto feat = hog.extract(ramp_x(24, 0.02f));
+  // 3×3 cells → 2×2 blocks of 2×2×8 = 32 values each.
+  ASSERT_EQ(feat.size(), 4u * 32u);
+  for (std::size_t blk = 0; blk < 4; ++blk) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < 32; ++i) {
+      norm += static_cast<double>(feat[blk * 32 + i]) * feat[blk * 32 + i];
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3) << "block " << blk;
+  }
+}
+
+TEST(Hog, FeatureSizeMatchesExtractAcrossGeometries) {
+  for (const std::size_t n : {16u, 24u, 32u, 48u}) {
+    HogExtractor hog(small_config());
+    const auto feat = hog.extract(image::Image(n, n, 0.4f));
+    EXPECT_EQ(feat.size(), hog.feature_size(n, n)) << "n=" << n;
+  }
+}
+
+TEST(Hog, L2HysClipSuppressesDominantComponents) {
+  // L2-Hys renormalizes after clipping, so values can exceed the clip again;
+  // the guarantee is that no component dominates more than without clipping
+  // and that everything stays within the unit ball.
+  HogConfig clipped_cfg = small_config();
+  clipped_cfg.block_normalize = true;
+  clipped_cfg.l2_clip = 0.2f;
+  HogConfig plain_cfg = clipped_cfg;
+  plain_cfg.l2_clip = 0.0f;
+  const image::Image img = ramp_x(16, 0.05f);
+  const auto clipped = HogExtractor(clipped_cfg).extract(img);
+  const auto plain = HogExtractor(plain_cfg).extract(img);
+  const float max_clipped = *std::max_element(clipped.begin(), clipped.end());
+  const float max_plain = *std::max_element(plain.begin(), plain.end());
+  EXPECT_LE(max_clipped, max_plain + 1e-5f);
+  for (float v : clipped) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Hog, TooSmallForBlocksFallsBackToCells) {
+  HogConfig c = small_config();
+  c.block_normalize = true;
+  HogExtractor hog(c);
+  // 8×8 image = 1×1 cells < 2×2 block.
+  const auto feat = hog.extract(ramp_x(8, 0.02f));
+  EXPECT_EQ(feat.size(), 8u);
+  EXPECT_EQ(hog.feature_size(8, 8), 8u);
+}
+
+}  // namespace
+}  // namespace hdface::hog

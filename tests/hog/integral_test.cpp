@@ -1,0 +1,54 @@
+#include "hog/integral.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace hdface::hog {
+namespace {
+
+TEST(IntegralImage, ConstantImageSums) {
+  image::Image img(8, 6, 0.5f);
+  IntegralImage ii(img);
+  EXPECT_NEAR(ii.box_sum(0, 0, 8, 6), 0.5 * 48, 1e-5);
+  EXPECT_NEAR(ii.box_sum(2, 1, 5, 4), 0.5 * 9, 1e-5);
+  EXPECT_NEAR(ii.box_mean(2, 1, 5, 4), 0.5, 1e-6);
+}
+
+TEST(IntegralImage, MatchesBruteForceOnRandomImage) {
+  core::Rng rng(3);
+  image::Image img(16, 12);
+  for (auto& p : img.pixels()) p = static_cast<float>(rng.uniform());
+  IntegralImage ii(img);
+  for (const auto [x0, y0, x1, y1] :
+       {std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>{0, 0, 16, 12},
+        {3, 2, 9, 7},
+        {15, 11, 16, 12},
+        {0, 5, 4, 6}}) {
+    double brute = 0.0;
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = x0; x < x1; ++x) brute += img.at(x, y);
+    }
+    EXPECT_NEAR(ii.box_sum(x0, y0, x1, y1), brute, 1e-4)
+        << x0 << "," << y0 << "," << x1 << "," << y1;
+  }
+}
+
+TEST(IntegralImage, EmptyBoxIsZero) {
+  image::Image img(4, 4, 1.0f);
+  IntegralImage ii(img);
+  EXPECT_DOUBLE_EQ(ii.box_sum(2, 2, 2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(ii.box_mean(2, 2, 2, 2), 0.0);
+}
+
+TEST(IntegralImage, OutOfRangeThrows) {
+  image::Image img(4, 4, 1.0f);
+  IntegralImage ii(img);
+  EXPECT_THROW(ii.box_sum(0, 0, 5, 4), std::invalid_argument);
+  EXPECT_THROW(ii.box_sum(3, 0, 2, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdface::hog

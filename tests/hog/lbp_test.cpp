@@ -1,0 +1,144 @@
+#include "hog/lbp.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace hdface::hog {
+namespace {
+
+TEST(LbpCode, ConstantNeighborhoodIsAllOnes) {
+  // neighbor >= center everywhere on a flat image.
+  image::Image img(5, 5, 0.5f);
+  EXPECT_EQ(lbp_code(img, 2, 2), 0xFF);
+}
+
+TEST(LbpCode, BrightCenterIsZero) {
+  image::Image img(3, 3, 0.2f);
+  img.at(1, 1) = 0.9f;
+  EXPECT_EQ(lbp_code(img, 1, 1), 0x00);
+}
+
+TEST(LbpCode, SingleBrightNeighborSetsOneBit) {
+  image::Image img(3, 3, 0.5f);
+  img.at(1, 1) = 0.6f;       // center above the flat background
+  img.at(1, 0) = 0.9f;       // top neighbor brighter than center
+  const auto code = lbp_code(img, 1, 1);
+  EXPECT_EQ(__builtin_popcount(code), 1);
+}
+
+TEST(LbpBucket, StaysInRangeAndIsStable) {
+  for (int c = 0; c < 256; ++c) {
+    const auto b = lbp_bucket(static_cast<std::uint8_t>(c), 32);
+    EXPECT_LT(b, 32u);
+    EXPECT_EQ(b, lbp_bucket(static_cast<std::uint8_t>(c), 32));
+  }
+}
+
+TEST(LbpBucket, FullHistogramIsIdentity) {
+  EXPECT_EQ(lbp_bucket(0xA7, 256), 0xA7u);
+}
+
+TEST(LbpExtractor, ValidatesConfig) {
+  LbpConfig cfg;
+  cfg.cell_size = 0;
+  EXPECT_THROW(LbpExtractor{cfg}, std::invalid_argument);
+  cfg.cell_size = 8;
+  cfg.bins = 0;
+  EXPECT_THROW(LbpExtractor{cfg}, std::invalid_argument);
+}
+
+TEST(LbpExtractor, HistogramsSumToOnePerCell) {
+  LbpConfig cfg;
+  cfg.cell_size = 8;
+  cfg.bins = 16;
+  LbpExtractor lbp(cfg);
+  core::Rng rng(1);
+  image::Image img(16, 16);
+  for (auto& p : img.pixels()) p = static_cast<float>(rng.uniform());
+  const auto features = lbp.extract(img);
+  ASSERT_EQ(features.size(), lbp.feature_size(16, 16));
+  for (std::size_t cell = 0; cell < 4; ++cell) {
+    float sum = 0.0f;
+    for (std::size_t b = 0; b < 16; ++b) sum += features[cell * 16 + b];
+    EXPECT_NEAR(sum, 1.0f, 1e-4f) << "cell " << cell;
+  }
+}
+
+TEST(LbpExtractor, DistinguishesTextures) {
+  LbpConfig cfg;
+  cfg.cell_size = 16;
+  LbpExtractor lbp(cfg);
+  image::Image flat(16, 16, 0.5f);
+  core::Rng rng(2);
+  image::Image noisy(16, 16);
+  for (auto& p : noisy.pixels()) p = static_cast<float>(rng.uniform());
+  const auto f1 = lbp.extract(flat);
+  const auto f2 = lbp.extract(noisy);
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    l1 += std::abs(static_cast<double>(f1[i]) - f2[i]);
+  }
+  EXPECT_GT(l1, 0.5);
+}
+
+class HdLbpTest : public ::testing::Test {
+ protected:
+  core::StochasticContext ctx_{4096, 0x1B9};
+};
+
+TEST_F(HdLbpTest, ValidatesGeometry) {
+  LbpConfig cfg;
+  cfg.cell_size = 32;
+  EXPECT_THROW(HdLbpExtractor(ctx_, cfg, 16, 16), std::invalid_argument);
+}
+
+TEST_F(HdLbpTest, HyperspaceCodeMatchesClassicalOnStrongContrast) {
+  // Pixel differences well above the decode noise floor → the stochastic
+  // comparisons reproduce the classical thresholds.
+  LbpConfig cfg;
+  HdLbpExtractor hd(ctx_, cfg, 16, 16);
+  image::Image img(16, 16, 0.2f);
+  img.at(8, 8) = 0.55f;
+  img.at(9, 8) = 0.9f;
+  img.at(7, 8) = 0.9f;
+  const auto classical = lbp_code(img, 8, 8);
+  const auto hyperspace = hd.pixel_code_hyperspace(img, 8, 8);
+  EXPECT_EQ(hyperspace, classical);
+}
+
+TEST_F(HdLbpTest, ExtractDeterministicPerSeed) {
+  LbpConfig cfg;
+  core::StochasticContext c1(2048, 9);
+  core::StochasticContext c2(2048, 9);
+  HdLbpExtractor h1(c1, cfg, 16, 16);
+  HdLbpExtractor h2(c2, cfg, 16, 16);
+  core::Rng rng(3);
+  image::Image img(16, 16);
+  for (auto& p : img.pixels()) p = static_cast<float>(rng.uniform());
+  EXPECT_EQ(h1.extract(img), h2.extract(img));
+}
+
+TEST_F(HdLbpTest, TexturesSeparateInFeatureSpace) {
+  LbpConfig cfg;
+  HdLbpExtractor hd(ctx_, cfg, 16, 16);
+  core::Rng rng(4);
+  image::Image noisy(16, 16);
+  for (auto& p : noisy.pixels()) p = static_cast<float>(rng.uniform());
+  image::Image stripes(16, 16);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      stripes.at(x, y) = (x % 2 == 0) ? 0.1f : 0.9f;
+    }
+  }
+  const auto f_noisy1 = hd.extract(noisy);
+  const auto f_noisy2 = hd.extract(noisy);  // re-encoding the same image
+  const auto f_stripes = hd.extract(stripes);
+  EXPECT_GT(similarity(f_noisy1, f_noisy2),
+            similarity(f_noisy1, f_stripes));
+}
+
+}  // namespace
+}  // namespace hdface::hog

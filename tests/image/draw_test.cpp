@@ -1,0 +1,105 @@
+#include "image/draw.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdface::image {
+namespace {
+
+TEST(Draw, EllipseFillsInteriorLeavesExterior) {
+  Image img(32, 32, 0.0f);
+  fill_ellipse(img, 16, 16, 8, 6, 1.0f);
+  EXPECT_GT(img.at(16, 16), 0.9f);
+  EXPECT_FLOAT_EQ(img.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.at(31, 16), 0.0f);
+}
+
+TEST(Draw, EllipseRespectsAlphaBlend) {
+  Image img(16, 16, 0.5f);
+  fill_ellipse(img, 8, 8, 5, 5, 1.0f, 0.5f);
+  EXPECT_NEAR(img.at(8, 8), 0.75f, 0.01f);
+}
+
+TEST(Draw, EllipseClipsAtImageBorder) {
+  Image img(16, 16, 0.0f);
+  fill_ellipse(img, 0, 0, 10, 10, 1.0f);  // mostly off-canvas
+  EXPECT_GT(img.at(0, 0), 0.9f);          // no crash, corner drawn
+}
+
+TEST(Draw, RotatedEllipseTiltsMass) {
+  Image img(64, 64, 0.0f);
+  fill_ellipse(img, 32, 32, 20, 4, 1.0f, 1.0f, 0.7853981633974483);  // 45°
+  EXPECT_GT(img.at(44, 44), 0.5f);   // on the long axis
+  EXPECT_FLOAT_EQ(img.at(44, 20), 0.0f);  // off the long axis
+}
+
+TEST(Draw, LineCoversEndpointsAndCenter) {
+  Image img(32, 32, 0.0f);
+  draw_line(img, 4, 4, 28, 4, 1.0f, 2.0);
+  EXPECT_GT(img.at(4, 4), 0.5f);
+  EXPECT_GT(img.at(16, 4), 0.5f);
+  EXPECT_GT(img.at(28, 4), 0.5f);
+  EXPECT_FLOAT_EQ(img.at(16, 20), 0.0f);
+}
+
+TEST(Draw, RectCoverageIsExactInside) {
+  Image img(16, 16, 0.0f);
+  fill_rect(img, 2, 2, 10, 6, 1.0f);
+  EXPECT_FLOAT_EQ(img.at(5, 4), 1.0f);
+  EXPECT_FLOAT_EQ(img.at(12, 4), 0.0f);
+}
+
+TEST(Draw, GaussianBlobPeaksAtCenter) {
+  Image img(32, 32, 0.0f);
+  add_gaussian_blob(img, 16, 16, 3.0, 0.8f);
+  EXPECT_NEAR(img.at(16, 16), 0.8f, 0.01f);
+  EXPECT_GT(img.at(16, 16), img.at(20, 16));
+  EXPECT_NEAR(img.at(30, 30), 0.0f, 1e-4f);
+}
+
+TEST(Draw, ArcStaysWithinEndpointsBand) {
+  Image img(32, 32, 0.0f);
+  draw_arc(img, 4, 16, 16, 24, 28, 16, 1.0f, 2.0);
+  EXPECT_GT(img.at(4, 16), 0.3f);
+  EXPECT_GT(img.at(28, 16), 0.3f);
+  EXPECT_GT(img.at(16, 20), 0.3f);  // sagging midpoint
+  EXPECT_FLOAT_EQ(img.at(16, 4), 0.0f);
+}
+
+TEST(Draw, ValueNoiseStaysInRangeAndVaries) {
+  Image img(64, 64, 0.5f);
+  core::Rng rng(1);
+  add_value_noise(img, rng, 8.0, 3, 0.6f);
+  EXPECT_GE(img.min(), 0.0f);
+  EXPECT_LE(img.max(), 1.0f);
+  EXPECT_GT(img.variance(), 1e-4);
+}
+
+TEST(Draw, LinearGradientIncreasesAlongDirection) {
+  Image img(32, 32, 0.5f);
+  add_linear_gradient(img, 0.0, 0.5f);  // along +x
+  EXPECT_LT(img.at(2, 16), img.at(29, 16));
+  EXPECT_NEAR(img.at(16, 4), img.at(16, 28), 1e-5f);
+}
+
+TEST(Draw, GaussianNoiseChangesPixelsButKeepsRange) {
+  Image img(32, 32, 0.5f);
+  core::Rng rng(2);
+  add_gaussian_noise(img, rng, 0.1f);
+  EXPECT_GE(img.min(), 0.0f);
+  EXPECT_LE(img.max(), 1.0f);
+  EXPECT_GT(img.variance(), 1e-4);
+}
+
+TEST(Draw, SaltPepperHitsExpectedFraction) {
+  Image img(100, 100, 0.5f);
+  core::Rng rng(3);
+  add_salt_pepper(img, rng, 0.2);
+  std::size_t extreme = 0;
+  for (float p : img.pixels()) {
+    if (p == 0.0f || p == 1.0f) ++extreme;
+  }
+  EXPECT_NEAR(static_cast<double>(extreme) / 10000.0, 0.2, 0.02);
+}
+
+}  // namespace
+}  // namespace hdface::image

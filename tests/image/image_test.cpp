@@ -1,0 +1,69 @@
+#include "image/image.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::image {
+namespace {
+
+TEST(Image, ZeroDimensionThrows) {
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+  EXPECT_THROW(Image(5, 0), std::invalid_argument);
+}
+
+TEST(Image, ConstructsWithFill) {
+  Image img(4, 3, 0.25f);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  EXPECT_EQ(img.size(), 12u);
+  EXPECT_FLOAT_EQ(img.at(3, 2), 0.25f);
+}
+
+TEST(Image, AtIsRowMajor) {
+  Image img(3, 2);
+  img.at(1, 0) = 0.5f;
+  img.at(2, 1) = 0.75f;
+  EXPECT_FLOAT_EQ(img.pixels()[1], 0.5f);
+  EXPECT_FLOAT_EQ(img.pixels()[5], 0.75f);
+}
+
+TEST(Image, ClampedAccessReadsEdges) {
+  Image img(2, 2);
+  img.at(0, 0) = 0.1f;
+  img.at(1, 1) = 0.9f;
+  EXPECT_FLOAT_EQ(img.at_clamped(-5, -5), 0.1f);
+  EXPECT_FLOAT_EQ(img.at_clamped(10, 10), 0.9f);
+}
+
+TEST(Image, ClampBoundsPixels) {
+  Image img(2, 1);
+  img.at(0, 0) = -0.5f;
+  img.at(1, 0) = 1.5f;
+  img.clamp();
+  EXPECT_FLOAT_EQ(img.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.at(1, 0), 1.0f);
+}
+
+TEST(Image, Statistics) {
+  Image img(2, 2);
+  img.at(0, 0) = 0.0f;
+  img.at(1, 0) = 1.0f;
+  img.at(0, 1) = 0.5f;
+  img.at(1, 1) = 0.5f;
+  EXPECT_FLOAT_EQ(img.min(), 0.0f);
+  EXPECT_FLOAT_EQ(img.max(), 1.0f);
+  EXPECT_NEAR(img.mean(), 0.5, 1e-9);
+  EXPECT_NEAR(img.variance(), 0.125, 1e-9);
+}
+
+TEST(Image, U8Roundtrip) {
+  EXPECT_EQ(to_u8(0.0f), 0);
+  EXPECT_EQ(to_u8(1.0f), 255);
+  EXPECT_EQ(to_u8(2.0f), 255);  // clamps
+  EXPECT_EQ(to_u8(-1.0f), 0);   // clamps
+  EXPECT_NEAR(from_u8(to_u8(0.5f)), 0.5f, 1.0f / 255.0f);
+}
+
+}  // namespace
+}  // namespace hdface::image

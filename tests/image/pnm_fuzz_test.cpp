@@ -1,0 +1,93 @@
+// Parser-robustness tests: arbitrary byte soup fed to the PGM reader must
+// either parse (if it accidentally forms a valid file) or throw — never
+// crash, hang, or allocate absurd amounts.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "image/pnm.hpp"
+
+namespace hdface::image {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(PnmFuzz, RandomByteSoupNeverCrashes) {
+  core::Rng rng(0xF022);
+  const std::string path = temp_path("hdface_fuzz.pgm");
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes;
+    const std::size_t len = rng.below(200);
+    for (std::size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.next() & 0xFF));
+    }
+    write_bytes(path, bytes);
+    try {
+      const Image img = read_pgm(path);
+      EXPECT_GT(img.size(), 0u);  // if it parsed, it must be non-empty
+    } catch (const std::runtime_error&) {
+      // expected for almost every input
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PnmFuzz, ValidHeaderRandomPayloadNeverCrashes) {
+  core::Rng rng(0xF023);
+  const std::string path = temp_path("hdface_fuzz2.pgm");
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string bytes = "P5\n7 5\n255\n";
+    const std::size_t len = rng.below(64);  // often short of the 35 needed
+    for (std::size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.next() & 0xFF));
+    }
+    write_bytes(path, bytes);
+    try {
+      const Image img = read_pgm(path);
+      EXPECT_EQ(img.width(), 7u);
+      EXPECT_EQ(img.height(), 5u);
+    } catch (const std::runtime_error&) {
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PnmFuzz, HugeDimensionsRejectedWithoutAllocation) {
+  const std::string path = temp_path("hdface_fuzz3.pgm");
+  write_bytes(path, "P5\n99999999999 99999999999\n255\nx");
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PnmFuzz, NegativeAndZeroDimensionsRejected) {
+  const std::string path = temp_path("hdface_fuzz4.pgm");
+  for (const char* header : {"P5\n0 5\n255\n", "P5\n-3 5\n255\n",
+                             "P5\n5 0\n255\n", "P5\n\n255\n"}) {
+    write_bytes(path, header);
+    EXPECT_THROW(read_pgm(path), std::runtime_error) << header;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PnmFuzz, BadMaxvalRejected) {
+  const std::string path = temp_path("hdface_fuzz5.pgm");
+  for (const char* header : {"P5\n2 2\n0\nabcd", "P5\n2 2\n70000\nabcd"}) {
+    write_bytes(path, header);
+    EXPECT_THROW(read_pgm(path), std::runtime_error) << header;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hdface::image

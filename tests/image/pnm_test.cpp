@@ -1,0 +1,92 @@
+#include "image/pnm.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace hdface::image {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Pnm, PgmRoundtrip) {
+  Image img(5, 3);
+  for (std::size_t y = 0; y < 3; ++y) {
+    for (std::size_t x = 0; x < 5; ++x) {
+      img.at(x, y) = static_cast<float>(x + y) / 7.0f;
+    }
+  }
+  const std::string path = temp_path("hdface_roundtrip.pgm");
+  write_pgm(img, path);
+  const Image back = read_pgm(path);
+  ASSERT_EQ(back.width(), 5u);
+  ASSERT_EQ(back.height(), 3u);
+  for (std::size_t y = 0; y < 3; ++y) {
+    for (std::size_t x = 0; x < 5; ++x) {
+      EXPECT_NEAR(back.at(x, y), img.at(x, y), 1.0f / 255.0f);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, ReadRejectsNonPgm) {
+  const std::string path = temp_path("hdface_bad.pgm");
+  std::ofstream(path) << "P6\n1 1\n255\nxxx";
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, ReadRejectsTruncated) {
+  const std::string path = temp_path("hdface_trunc.pgm");
+  std::ofstream(path) << "P5\n10 10\n255\nab";
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, ReadHandlesComments) {
+  const std::string path = temp_path("hdface_comment.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n# a comment\n2 1\n255\n";
+    out.put(static_cast<char>(0));
+    out.put(static_cast<char>(255));
+  }
+  const Image img = read_pgm(path);
+  EXPECT_FLOAT_EQ(img.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.at(1, 0), 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, MissingFileThrows) {
+  EXPECT_THROW(read_pgm("/definitely/not/here.pgm"), std::runtime_error);
+  Image img(2, 2);
+  EXPECT_THROW(write_pgm(img, "/definitely/not/here.pgm"), std::runtime_error);
+}
+
+TEST(Pnm, ToRgbCopiesGrayscale) {
+  Image img(2, 1);
+  img.at(0, 0) = 0.0f;
+  img.at(1, 0) = 1.0f;
+  const RgbImage rgb = to_rgb(img);
+  EXPECT_EQ(rgb.at(0, 0)[0], 0);
+  EXPECT_EQ(rgb.at(1, 0)[2], 255);
+}
+
+TEST(Pnm, PpmWriteProducesP6Header) {
+  RgbImage rgb(2, 2);
+  rgb.at(0, 0) = {255, 0, 0};
+  const std::string path = temp_path("hdface_overlay.ppm");
+  write_ppm(rgb, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic(2, '\0');
+  in.read(magic.data(), 2);
+  EXPECT_EQ(magic, "P6");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hdface::image

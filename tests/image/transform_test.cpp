@@ -1,0 +1,126 @@
+#include "image/transform.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::image {
+namespace {
+
+Image ramp(std::size_t w, std::size_t h) {
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      img.at(x, y) = static_cast<float>(x) / static_cast<float>(w - 1);
+    }
+  }
+  return img;
+}
+
+TEST(Transform, ResizePreservesConstantImage) {
+  Image img(8, 8, 0.6f);
+  const Image out = resize(img, 17, 5);
+  EXPECT_EQ(out.width(), 17u);
+  EXPECT_EQ(out.height(), 5u);
+  for (float p : out.pixels()) EXPECT_NEAR(p, 0.6f, 1e-6f);
+}
+
+TEST(Transform, ResizePreservesRampShape) {
+  const Image out = resize(ramp(32, 8), 16, 8);
+  EXPECT_LT(out.at(1, 4), out.at(8, 4));
+  EXPECT_LT(out.at(8, 4), out.at(14, 4));
+}
+
+TEST(Transform, CropExtractsExactRegion) {
+  Image img(8, 8);
+  img.at(3, 2) = 0.7f;
+  const Image out = crop(img, 2, 1, 4, 4);
+  EXPECT_EQ(out.width(), 4u);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 0.7f);
+}
+
+TEST(Transform, CropOutOfBoundsThrows) {
+  Image img(8, 8);
+  EXPECT_THROW(crop(img, 6, 6, 4, 4), std::invalid_argument);
+}
+
+TEST(Transform, PasteClipsAtBorders) {
+  Image dst(8, 8, 0.0f);
+  Image src(4, 4, 1.0f);
+  paste(dst, src, 6, 6);    // only 2×2 lands
+  paste(dst, src, -2, -2);  // only 2×2 lands
+  EXPECT_FLOAT_EQ(dst.at(7, 7), 1.0f);
+  EXPECT_FLOAT_EQ(dst.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(dst.at(4, 4), 0.0f);
+}
+
+TEST(Transform, FlipHorizontalMirrors) {
+  const Image img = ramp(8, 2);
+  const Image out = flip_horizontal(img);
+  EXPECT_FLOAT_EQ(out.at(0, 0), img.at(7, 0));
+  EXPECT_FLOAT_EQ(out.at(7, 1), img.at(0, 1));
+}
+
+TEST(Transform, FlipIsInvolution) {
+  const Image img = ramp(9, 3);
+  EXPECT_EQ(flip_horizontal(flip_horizontal(img)), img);
+}
+
+TEST(Transform, BlurPreservesMeanApproximately) {
+  Image img(32, 32, 0.0f);
+  img.at(16, 16) = 1.0f;
+  const Image out = gaussian_blur(img, 1.5);
+  EXPECT_NEAR(out.mean(), img.mean(), 1e-4);
+  EXPECT_LT(out.at(16, 16), 1.0f);
+  EXPECT_GT(out.at(17, 16), 0.0f);
+}
+
+TEST(Transform, BlurZeroSigmaIsIdentity) {
+  const Image img = ramp(8, 8);
+  EXPECT_EQ(gaussian_blur(img, 0.0), img);
+}
+
+TEST(Transform, NormalizeRangeStretchesToUnit) {
+  Image img(4, 1);
+  img.at(0, 0) = 0.2f;
+  img.at(1, 0) = 0.4f;
+  img.at(2, 0) = 0.6f;
+  img.at(3, 0) = 0.7f;
+  const Image out = normalize_range(img);
+  EXPECT_FLOAT_EQ(out.min(), 0.0f);
+  EXPECT_FLOAT_EQ(out.max(), 1.0f);
+}
+
+TEST(Transform, NormalizeConstantImageIsNoop) {
+  Image img(4, 4, 0.3f);
+  EXPECT_EQ(normalize_range(img), img);
+}
+
+TEST(Transform, RotateFullCircleApproxIdentity) {
+  const Image img = ramp(16, 16);
+  const Image out = rotate(img, 2.0 * 3.14159265358979);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(static_cast<double>(img.pixels()[i]) -
+                                          out.pixels()[i]));
+  }
+  EXPECT_LT(max_err, 0.02);
+}
+
+TEST(Transform, QuantizeReducesLevels) {
+  const Image img = ramp(256, 1);
+  const Image out = quantize(img, 2);  // 4 levels
+  std::set<float> levels(out.pixels().begin(), out.pixels().end());
+  EXPECT_LE(levels.size(), 4u);
+}
+
+TEST(Transform, QuantizeValidatesBits) {
+  Image img(2, 2);
+  EXPECT_THROW(quantize(img, 0), std::invalid_argument);
+  EXPECT_THROW(quantize(img, 17), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdface::image

@@ -1,0 +1,132 @@
+#include "learn/encoder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace hdface::learn {
+namespace {
+
+std::vector<std::vector<float>> gaussian_cloud(std::size_t n, std::size_t d,
+                                               float center, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<std::vector<float>> out(n, std::vector<float>(d));
+  for (auto& v : out) {
+    for (auto& x : v) x = center + 0.3f * static_cast<float>(rng.gaussian());
+  }
+  return out;
+}
+
+TEST(Encoder, ValidatesConfig) {
+  EncoderConfig c;
+  c.input_dim = 0;
+  EXPECT_THROW(NonlinearEncoder{c}, std::invalid_argument);
+}
+
+TEST(Encoder, RequiresCalibration) {
+  EncoderConfig c;
+  c.dim = 256;
+  c.input_dim = 4;
+  NonlinearEncoder enc(c);
+  const std::vector<float> x(4, 0.0f);
+  EXPECT_THROW(enc.encode(x), std::logic_error);
+}
+
+TEST(Encoder, RejectsWrongFeatureSize) {
+  EncoderConfig c;
+  c.dim = 256;
+  c.input_dim = 4;
+  NonlinearEncoder enc(c);
+  enc.calibrate(gaussian_cloud(10, 4, 0.0f, 1));
+  const std::vector<float> bad(5, 0.0f);
+  EXPECT_THROW(enc.encode(bad), std::invalid_argument);
+}
+
+TEST(Encoder, DeterministicGivenSeedAndCalibration) {
+  EncoderConfig c;
+  c.dim = 512;
+  c.input_dim = 8;
+  NonlinearEncoder e1(c);
+  NonlinearEncoder e2(c);
+  const auto data = gaussian_cloud(20, 8, 0.5f, 2);
+  e1.calibrate(data);
+  e2.calibrate(data);
+  EXPECT_EQ(e1.encode(data[0]), e2.encode(data[0]));
+}
+
+TEST(Encoder, OutputBitsRoughlyBalanced) {
+  EncoderConfig c;
+  c.dim = 4096;
+  c.input_dim = 16;
+  NonlinearEncoder enc(c);
+  const auto data = gaussian_cloud(30, 16, 0.2f, 3);
+  enc.calibrate(data);
+  const auto hv = enc.encode(data[0]);
+  const double frac = static_cast<double>(hv.popcount()) / 4096.0;
+  EXPECT_NEAR(frac, 0.5, 0.1);
+}
+
+TEST(Encoder, PreservesLocality) {
+  // Nearby inputs → similar hypervectors; distant inputs → dissimilar.
+  EncoderConfig c;
+  c.dim = 4096;
+  c.input_dim = 8;
+  c.gamma = 1.0;
+  NonlinearEncoder enc(c);
+  auto data = gaussian_cloud(30, 8, 0.0f, 4);
+  enc.calibrate(data);
+  std::vector<float> x(8, 0.1f);
+  std::vector<float> x_near(8, 0.12f);
+  std::vector<float> x_far(8, 2.0f);
+  const auto hx = enc.encode(x);
+  EXPECT_GT(similarity(hx, enc.encode(x_near)), similarity(hx, enc.encode(x_far)));
+}
+
+TEST(Encoder, SeparatesClassClouds) {
+  EncoderConfig c;
+  c.dim = 2048;
+  c.input_dim = 6;
+  NonlinearEncoder enc(c);
+  auto a = gaussian_cloud(15, 6, -1.0f, 5);
+  auto b = gaussian_cloud(15, 6, 1.0f, 6);
+  std::vector<std::vector<float>> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  enc.calibrate(all);
+  // Mean intra-class similarity should exceed inter-class similarity.
+  double intra = 0.0;
+  double inter = 0.0;
+  const auto ha0 = enc.encode(a[0]);
+  for (int i = 1; i <= 5; ++i) {
+    intra += similarity(ha0, enc.encode(a[static_cast<std::size_t>(i)]));
+    inter += similarity(ha0, enc.encode(b[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_GT(intra, inter);
+}
+
+TEST(Encoder, CalibrateHandlesConstantDimensions) {
+  EncoderConfig c;
+  c.dim = 256;
+  c.input_dim = 3;
+  NonlinearEncoder enc(c);
+  std::vector<std::vector<float>> data(10, {1.0f, 2.0f, 3.0f});  // zero variance
+  enc.calibrate(data);
+  EXPECT_NO_THROW(enc.encode(data[0]));
+}
+
+TEST(Encoder, CountsFloatOps) {
+  EncoderConfig c;
+  c.dim = 128;
+  c.input_dim = 4;
+  NonlinearEncoder enc(c);
+  enc.calibrate(gaussian_cloud(5, 4, 0.0f, 7));
+  core::OpCounter counter;
+  (void)enc.encode(std::vector<float>(4, 0.5f), &counter);
+  EXPECT_GE(counter.get(core::OpKind::kFloatMul), 128u * 4u);
+  EXPECT_EQ(counter.get(core::OpKind::kFloatTrig), 128u);
+}
+
+}  // namespace
+}  // namespace hdface::learn

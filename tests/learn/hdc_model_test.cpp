@@ -1,0 +1,197 @@
+#include "learn/hdc_model.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/stochastic.hpp"
+
+namespace hdface::learn {
+namespace {
+
+// Synthetic hyperspace classification task: each class is a random anchor
+// hypervector; samples are noisy copies (a fraction of bits flipped).
+struct HvTask {
+  std::vector<core::Hypervector> features;
+  std::vector<int> labels;
+  std::vector<core::Hypervector> anchors;
+};
+
+HvTask make_task(std::size_t dim, std::size_t classes, std::size_t per_class,
+                 double noise, std::uint64_t seed) {
+  core::Rng rng(seed);
+  HvTask task;
+  for (std::size_t c = 0; c < classes; ++c) {
+    task.anchors.push_back(core::Hypervector::random(dim, rng));
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      core::Hypervector v = task.anchors[c];
+      for (std::size_t d = 0; d < dim; ++d) {
+        if (rng.uniform() < noise) v.flip(d);
+      }
+      task.features.push_back(std::move(v));
+      task.labels.push_back(static_cast<int>(c));
+    }
+  }
+  return task;
+}
+
+TEST(HdcClassifier, ValidatesConfig) {
+  HdcConfig c;
+  c.classes = 1;
+  EXPECT_THROW(HdcClassifier{c}, std::invalid_argument);
+}
+
+TEST(HdcClassifier, RejectsBadLabel) {
+  HdcConfig c;
+  c.dim = 256;
+  HdcClassifier model(c);
+  core::Rng rng(1);
+  EXPECT_THROW(model.update(core::Hypervector::random(256, rng), 5),
+               std::invalid_argument);
+}
+
+TEST(HdcClassifier, FitRejectsMismatchedInputs) {
+  HdcConfig c;
+  c.dim = 128;
+  HdcClassifier model(c);
+  EXPECT_THROW(model.fit({}, {}), std::invalid_argument);
+}
+
+TEST(HdcClassifier, LearnsSeparableTask) {
+  const auto task = make_task(2048, 3, 20, 0.15, 42);
+  HdcConfig c;
+  c.dim = 2048;
+  c.classes = 3;
+  c.epochs = 3;
+  HdcClassifier model(c);
+  model.fit(task.features, task.labels);
+  EXPECT_GT(model.evaluate(task.features, task.labels), 0.95);
+}
+
+TEST(HdcClassifier, SinglePassAlreadyGood) {
+  const auto task = make_task(2048, 2, 30, 0.2, 43);
+  HdcConfig c;
+  c.dim = 2048;
+  c.classes = 2;
+  c.epochs = 1;  // single-pass learning (paper's headline capability)
+  HdcClassifier model(c);
+  model.fit(task.features, task.labels);
+  EXPECT_GT(model.evaluate(task.features, task.labels), 0.9);
+}
+
+TEST(HdcClassifier, GeneralizesToUnseenNoisyCopies) {
+  const auto train = make_task(2048, 3, 25, 0.2, 44);
+  HdcConfig c;
+  c.dim = 2048;
+  c.classes = 3;
+  HdcClassifier model(c);
+  model.fit(train.features, train.labels);
+  // Fresh noisy copies of the same anchors.
+  core::Rng rng(999);
+  std::size_t hits = 0;
+  const std::size_t trials = 60;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto cls = t % 3;
+    core::Hypervector v = train.anchors[cls];
+    for (std::size_t d = 0; d < v.dim(); ++d) {
+      if (rng.uniform() < 0.2) v.flip(d);
+    }
+    if (model.predict(v) == static_cast<int>(cls)) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / trials, 0.9);
+}
+
+TEST(HdcClassifier, AdaptiveBeatsNaiveOnOverlappingClasses) {
+  // Overlapping task: anchors correlated, high noise. Naive bundling
+  // saturates prototypes with shared content; adaptive updates focus on
+  // discriminative samples (the paper's overfitting argument).
+  core::Rng rng(7);
+  const std::size_t dim = 2048;
+  const auto base = core::Hypervector::random(dim, rng);
+  std::vector<core::Hypervector> anchors;
+  for (int c = 0; c < 2; ++c) {
+    core::Hypervector a = base;
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (rng.uniform() < 0.15) a.flip(d);  // anchors share 70% of bits
+    }
+    anchors.push_back(std::move(a));
+  }
+  std::vector<core::Hypervector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 80; ++i) {
+    const int cls = i % 2;
+    core::Hypervector v = anchors[static_cast<std::size_t>(cls)];
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (rng.uniform() < 0.25) v.flip(d);
+    }
+    features.push_back(std::move(v));
+    labels.push_back(cls);
+  }
+  HdcConfig adaptive_cfg;
+  adaptive_cfg.dim = dim;
+  adaptive_cfg.classes = 2;
+  adaptive_cfg.epochs = 5;
+  HdcConfig naive_cfg = adaptive_cfg;
+  naive_cfg.adaptive = false;
+  HdcClassifier adaptive(adaptive_cfg);
+  HdcClassifier naive(naive_cfg);
+  adaptive.fit(features, labels);
+  naive.fit(features, labels);
+  EXPECT_GE(adaptive.evaluate(features, labels),
+            naive.evaluate(features, labels));
+}
+
+TEST(HdcClassifier, ScoresAreCosineBounded) {
+  const auto task = make_task(1024, 2, 10, 0.1, 45);
+  HdcConfig c;
+  c.dim = 1024;
+  c.classes = 2;
+  HdcClassifier model(c);
+  model.fit(task.features, task.labels);
+  const auto s = model.scores(task.features[0]);
+  for (double v : s) {
+    EXPECT_GE(v, -1.0001);
+    EXPECT_LE(v, 1.0001);
+  }
+}
+
+TEST(HdcClassifier, BinaryPrototypesPredictLikeFloatModel) {
+  const auto task = make_task(4096, 3, 20, 0.15, 46);
+  HdcConfig c;
+  c.dim = 4096;
+  c.classes = 3;
+  HdcClassifier model(c);
+  model.fit(task.features, task.labels);
+  const auto protos = model.binary_prototypes();
+  std::size_t agree = 0;
+  for (const auto& f : task.features) {
+    if (HdcClassifier::predict_binary(protos, f) == model.predict(f)) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / task.features.size(), 0.9);
+}
+
+TEST(HdcClassifier, DeterministicTraining) {
+  const auto task = make_task(512, 2, 10, 0.1, 47);
+  HdcConfig c;
+  c.dim = 512;
+  c.classes = 2;
+  HdcClassifier m1(c);
+  HdcClassifier m2(c);
+  m1.fit(task.features, task.labels);
+  m2.fit(task.features, task.labels);
+  for (const auto& f : task.features) {
+    EXPECT_EQ(m1.predict(f), m2.predict(f));
+  }
+}
+
+TEST(HdcClassifier, PredictBinaryRequiresPrototypes) {
+  core::Rng rng(3);
+  EXPECT_THROW(
+      HdcClassifier::predict_binary({}, core::Hypervector::random(64, rng)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdface::learn

@@ -1,0 +1,51 @@
+#include "learn/metrics.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::learn {
+namespace {
+
+TEST(Metrics, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 0, 1}, {1, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy({1, 0, 1, 0}, {1, 1, 1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(accuracy({0}, {1}), 0.0);
+}
+
+TEST(Metrics, AccuracyRejectsBadInput) {
+  EXPECT_THROW(accuracy({}, {}), std::invalid_argument);
+  EXPECT_THROW(accuracy({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Metrics, ConfusionMatrixLayout) {
+  const auto m = confusion_matrix({0, 1, 1, 0}, {0, 1, 0, 1}, 2);
+  EXPECT_EQ(m[0 * 2 + 0], 1u);  // true 0 → pred 0
+  EXPECT_EQ(m[0 * 2 + 1], 1u);  // true 0 → pred 1
+  EXPECT_EQ(m[1 * 2 + 0], 1u);
+  EXPECT_EQ(m[1 * 2 + 1], 1u);
+}
+
+TEST(Metrics, ConfusionValidatesRange) {
+  EXPECT_THROW(confusion_matrix({5}, {0}, 2), std::invalid_argument);
+  EXPECT_THROW(confusion_matrix({0}, {0, 1}, 2), std::invalid_argument);
+}
+
+TEST(Metrics, PerClassRecall) {
+  // Class 0: 2/3 right; class 1: 1/1; class 2: absent.
+  const auto m = confusion_matrix({0, 0, 1, 1}, {0, 0, 0, 1}, 3);
+  const auto recall = per_class_recall(m, 3);
+  EXPECT_NEAR(recall[0], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(recall[1], 1.0);
+  EXPECT_DOUBLE_EQ(recall[2], 0.0);
+}
+
+TEST(Metrics, FormatConfusionContainsClassNames) {
+  const auto m = confusion_matrix({0, 1}, {0, 1}, 2);
+  const std::string s = format_confusion(m, {"neg", "pos"});
+  EXPECT_NE(s.find("neg"), std::string::npos);
+  EXPECT_NE(s.find("pos"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdface::learn

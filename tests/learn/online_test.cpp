@@ -1,0 +1,124 @@
+#include "learn/online.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace hdface::learn {
+namespace {
+
+constexpr std::size_t kDim = 2048;
+
+core::Hypervector noisy_copy(const core::Hypervector& anchor, double noise,
+                             core::Rng& rng) {
+  core::Hypervector v = anchor;
+  for (std::size_t d = 0; d < v.dim(); ++d) {
+    if (rng.uniform() < noise) v.flip(d);
+  }
+  return v;
+}
+
+HdcClassifier fresh_model(std::size_t classes = 2) {
+  HdcConfig cfg;
+  cfg.dim = kDim;
+  cfg.classes = classes;
+  return HdcClassifier(cfg);
+}
+
+TEST(OnlineTrainer, ValidatesConfig) {
+  auto model = fresh_model();
+  OnlineConfig bad;
+  bad.accuracy_window = 0;
+  EXPECT_THROW(OnlineTrainer(model, bad), std::invalid_argument);
+  bad = {};
+  bad.decay = 0.0;
+  EXPECT_THROW(OnlineTrainer(model, bad), std::invalid_argument);
+  bad = {};
+  bad.decay_interval = 0;
+  EXPECT_THROW(OnlineTrainer(model, bad), std::invalid_argument);
+}
+
+TEST(OnlineTrainer, PrequentialAccuracyRisesOnStationaryStream) {
+  core::Rng rng(1);
+  const auto a = core::Hypervector::random(kDim, rng);
+  const auto b = core::Hypervector::random(kDim, rng);
+  auto model = fresh_model();
+  OnlineTrainer trainer(model, OnlineConfig{});
+  for (int i = 0; i < 200; ++i) {
+    const int label = i % 2;
+    trainer.observe(noisy_copy(label == 0 ? a : b, 0.2, rng), label);
+  }
+  EXPECT_EQ(trainer.samples_seen(), 200u);
+  EXPECT_GT(trainer.windowed_accuracy(), 0.9);
+  // Lifetime includes the cold start, so it trails the window.
+  EXPECT_LE(trainer.lifetime_accuracy(), trainer.windowed_accuracy() + 0.05);
+}
+
+TEST(OnlineTrainer, ObserveReturnsPreUpdatePrediction) {
+  core::Rng rng(2);
+  const auto a = core::Hypervector::random(kDim, rng);
+  auto model = fresh_model();
+  OnlineTrainer trainer(model, OnlineConfig{});
+  // Fresh model: the first observation is scored before any learning.
+  const int first = trainer.observe(a, 1);
+  EXPECT_TRUE(first == 0 || first == 1);
+  // After seeing it, the same feature must classify correctly.
+  EXPECT_EQ(trainer.predict(a), 1);
+}
+
+TEST(OnlineTrainer, AccuracyWindowSlides) {
+  core::Rng rng(3);
+  const auto a = core::Hypervector::random(kDim, rng);
+  auto model = fresh_model();
+  OnlineConfig cfg;
+  cfg.accuracy_window = 10;
+  OnlineTrainer trainer(model, cfg);
+  for (int i = 0; i < 50; ++i) trainer.observe(noisy_copy(a, 0.1, rng), 0);
+  // All-correct recent window.
+  EXPECT_DOUBLE_EQ(trainer.windowed_accuracy(), 1.0);
+}
+
+TEST(OnlineTrainer, DecayEnablesDriftAdaptation) {
+  // Phase 1: anchors (a0, a1). Phase 2: the classes swap to fresh anchors.
+  // A decaying model re-learns faster than a frozen one.
+  core::Rng rng(4);
+  const auto a0 = core::Hypervector::random(kDim, rng);
+  const auto a1 = core::Hypervector::random(kDim, rng);
+  const auto b0 = core::Hypervector::random(kDim, rng);
+  const auto b1 = core::Hypervector::random(kDim, rng);
+
+  auto run = [&](double decay) {
+    core::Rng stream(99);
+    auto model = fresh_model();
+    OnlineConfig cfg;
+    cfg.decay = decay;
+    cfg.decay_interval = 20;
+    cfg.accuracy_window = 60;
+    OnlineTrainer trainer(model, cfg);
+    for (int i = 0; i < 300; ++i) {
+      const int label = i % 2;
+      trainer.observe(noisy_copy(label == 0 ? a0 : a1, 0.2, stream), label);
+    }
+    for (int i = 0; i < 150; ++i) {  // drift: new appearance per class
+      const int label = i % 2;
+      trainer.observe(noisy_copy(label == 0 ? b0 : b1, 0.2, stream), label);
+    }
+    return trainer.windowed_accuracy();
+  };
+  const double frozen = run(1.0);
+  const double adaptive = run(0.9);
+  EXPECT_GE(adaptive, frozen - 0.05);
+  EXPECT_GT(adaptive, 0.85);
+}
+
+TEST(OnlineTrainer, EmptyTrainerReportsZeroAccuracy) {
+  auto model = fresh_model();
+  OnlineTrainer trainer(model, OnlineConfig{});
+  EXPECT_DOUBLE_EQ(trainer.windowed_accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(trainer.lifetime_accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace hdface::learn

@@ -1,0 +1,130 @@
+#include "learn/quantized_mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace hdface::learn {
+namespace {
+
+void make_blobs(std::vector<std::vector<float>>& x, std::vector<int>& y,
+                std::size_t n, std::uint64_t seed) {
+  core::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    const float cx = cls == 0 ? -1.0f : 1.0f;
+    x.push_back({cx + 0.3f * static_cast<float>(rng.gaussian()),
+                 cx + 0.3f * static_cast<float>(rng.gaussian())});
+    y.push_back(cls);
+  }
+}
+
+Mlp trained_mlp(const std::vector<std::vector<float>>& x,
+                const std::vector<int>& y) {
+  MlpConfig c;
+  c.layers = {2, 16, 16, 2};
+  c.epochs = 25;
+  Mlp mlp(c);
+  mlp.fit(x, y);
+  return mlp;
+}
+
+TEST(QuantizedMlp, ValidatesBits) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 40, 1);
+  const Mlp mlp = trained_mlp(x, y);
+  EXPECT_THROW(QuantizedMlp(mlp, 1), std::invalid_argument);
+  EXPECT_THROW(QuantizedMlp(mlp, 17), std::invalid_argument);
+}
+
+TEST(QuantizedMlp, QuantizationErrorBoundedByStep) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 60, 2);
+  const Mlp mlp = trained_mlp(x, y);
+  for (int bits : {16, 8, 4}) {
+    QuantizedMlp q(mlp, bits);
+    // Max dequantization error ≤ half a step with ≤2× power-of-two headroom.
+    double max_w = 0.0;
+    for (const auto& l : mlp.layers()) {
+      for (float w : l.weights) max_w = std::max(max_w, std::fabs(double(w)));
+    }
+    const double worst_step = 2.0 * max_w / (1 << (bits - 1));
+    EXPECT_LE(q.max_abs_error(mlp), worst_step) << "bits=" << bits;
+  }
+}
+
+TEST(QuantizedMlp, SixteenBitMatchesFloatAccuracy) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 120, 3);
+  const Mlp mlp = trained_mlp(x, y);
+  QuantizedMlp q(mlp, 16);
+  EXPECT_NEAR(q.evaluate(x, y), mlp.evaluate(x, y), 0.02);
+}
+
+TEST(QuantizedMlp, LowerPrecisionLosesNoMoreThanModest) {
+  // Paper Table 2: 4-bit clean accuracy trails higher precisions slightly.
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 120, 4);
+  const Mlp mlp = trained_mlp(x, y);
+  const double acc16 = QuantizedMlp(mlp, 16).evaluate(x, y);
+  const double acc4 = QuantizedMlp(mlp, 4).evaluate(x, y);
+  EXPECT_LE(acc4, acc16 + 0.05);
+  EXPECT_GT(acc4, 0.6);  // still functional
+}
+
+TEST(QuantizedMlp, BitErrorsDegradeAccuracy) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 120, 5);
+  const Mlp mlp = trained_mlp(x, y);
+  QuantizedMlp q(mlp, 16);
+  const double clean = q.evaluate(x, y);
+  core::Rng rng(9);
+  q.inject_bit_errors(0.2, rng);  // heavy corruption
+  const double noisy = q.evaluate(x, y);
+  EXPECT_LT(noisy, clean);
+}
+
+TEST(QuantizedMlp, ResetRestoresCleanAccuracy) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 80, 6);
+  const Mlp mlp = trained_mlp(x, y);
+  QuantizedMlp q(mlp, 8);
+  const double clean = q.evaluate(x, y);
+  core::Rng rng(10);
+  q.inject_bit_errors(0.3, rng);
+  q.reset();
+  EXPECT_DOUBLE_EQ(q.evaluate(x, y), clean);
+}
+
+TEST(QuantizedMlp, ZeroErrorRateIsNoop) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 60, 7);
+  const Mlp mlp = trained_mlp(x, y);
+  QuantizedMlp q(mlp, 8);
+  const double clean = q.evaluate(x, y);
+  core::Rng rng(11);
+  q.inject_bit_errors(0.0, rng);
+  EXPECT_DOUBLE_EQ(q.evaluate(x, y), clean);
+}
+
+TEST(QuantizedMlp, RejectsWrongInputSize) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 40, 8);
+  const Mlp mlp = trained_mlp(x, y);
+  QuantizedMlp q(mlp, 8);
+  EXPECT_THROW(q.predict(std::vector<float>(3, 0.0f)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdface::learn

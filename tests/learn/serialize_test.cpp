@@ -1,0 +1,99 @@
+#include "learn/serialize.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace hdface::learn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, HypervectorRoundtrip) {
+  core::Rng rng(1);
+  const auto v = core::Hypervector::random(1000, rng);  // non-multiple of 64
+  std::stringstream ss;
+  write_hypervector(ss, v);
+  EXPECT_EQ(read_hypervector(ss), v);
+}
+
+TEST(Serialize, HypervectorRejectsBadMagic) {
+  std::stringstream ss;
+  ss << "garbage-bytes-here-and-more";
+  EXPECT_THROW(read_hypervector(ss), std::runtime_error);
+}
+
+TEST(Serialize, ClassifierRoundtripPreservesPredictions) {
+  core::Rng rng(2);
+  HdcConfig cfg;
+  cfg.dim = 1024;
+  cfg.classes = 3;
+  HdcClassifier model(cfg);
+  std::vector<core::Hypervector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    features.push_back(core::Hypervector::random(1024, rng));
+    labels.push_back(i % 3);
+  }
+  model.fit(features, labels);
+
+  const std::string path = temp_path("hdface_model.hdc");
+  save_classifier(model, path);
+  const HdcClassifier loaded = load_classifier(path);
+  EXPECT_EQ(loaded.config().dim, cfg.dim);
+  EXPECT_EQ(loaded.config().classes, cfg.classes);
+  for (const auto& f : features) {
+    EXPECT_EQ(loaded.predict(f), model.predict(f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ClassifierLoadRejectsTruncation) {
+  core::Rng rng(3);
+  HdcConfig cfg;
+  cfg.dim = 256;
+  HdcClassifier model(cfg);
+  const std::string path = temp_path("hdface_trunc.hdc");
+  save_classifier(model, path);
+  // Truncate the file.
+  std::filesystem::resize_file(path, 24);
+  EXPECT_THROW(load_classifier(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MlpRoundtripPreservesOutputs) {
+  MlpConfig cfg;
+  cfg.layers = {4, 8, 3};
+  Mlp model(cfg);
+  const std::string path = temp_path("hdface_model.mlp");
+  save_mlp(model, path);
+  const Mlp loaded = load_mlp(path);
+  const std::vector<float> x = {0.1f, -0.2f, 0.3f, 0.7f};
+  const auto a = model.probabilities(x);
+  const auto b = loaded.probabilities(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MlpRejectsWrongMagic) {
+  const std::string path = temp_path("hdface_notamodel.mlp");
+  std::ofstream(path, std::ios::binary) << "this is not a model file at all";
+  EXPECT_THROW(load_mlp(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_classifier("/no/such/model.hdc"), std::runtime_error);
+  EXPECT_THROW(load_mlp("/no/such/model.mlp"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hdface::learn

@@ -1,0 +1,94 @@
+#include "learn/svm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace hdface::learn {
+namespace {
+
+void make_blobs(std::vector<std::vector<float>>& x, std::vector<int>& y,
+                std::size_t n, std::size_t classes, std::uint64_t seed) {
+  core::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % classes);
+    const double angle = 2.0 * 3.14159265 * cls / static_cast<double>(classes);
+    x.push_back({static_cast<float>(2.0 * std::cos(angle) + 0.3 * rng.gaussian()),
+                 static_cast<float>(2.0 * std::sin(angle) + 0.3 * rng.gaussian())});
+    y.push_back(cls);
+  }
+}
+
+TEST(LinearSvm, ValidatesConfig) {
+  SvmConfig c;
+  c.input_dim = 0;
+  EXPECT_THROW(LinearSvm{c}, std::invalid_argument);
+  c.input_dim = 4;
+  c.classes = 1;
+  EXPECT_THROW(LinearSvm{c}, std::invalid_argument);
+}
+
+TEST(LinearSvm, LearnsBinaryBlobs) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 200, 2, 1);
+  SvmConfig c;
+  c.input_dim = 2;
+  c.classes = 2;
+  LinearSvm svm(c);
+  svm.fit(x, y);
+  EXPECT_GT(svm.evaluate(x, y), 0.95);
+}
+
+TEST(LinearSvm, LearnsMulticlassBlobs) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 300, 3, 2);
+  SvmConfig c;
+  c.input_dim = 2;
+  c.classes = 3;
+  LinearSvm svm(c);
+  svm.fit(x, y);
+  EXPECT_GT(svm.evaluate(x, y), 0.9);
+}
+
+TEST(LinearSvm, ScoresHaveClassArity) {
+  SvmConfig c;
+  c.input_dim = 2;
+  c.classes = 4;
+  LinearSvm svm(c);
+  EXPECT_EQ(svm.scores(std::vector<float>{0.0f, 0.0f}).size(), 4u);
+}
+
+TEST(LinearSvm, RejectsWrongFeatureSize) {
+  SvmConfig c;
+  c.input_dim = 2;
+  LinearSvm svm(c);
+  EXPECT_THROW(svm.predict(std::vector<float>(3, 0.0f)), std::invalid_argument);
+}
+
+TEST(LinearSvm, FitRejectsEmpty) {
+  SvmConfig c;
+  c.input_dim = 2;
+  LinearSvm svm(c);
+  EXPECT_THROW(svm.fit({}, {}), std::invalid_argument);
+}
+
+TEST(LinearSvm, DeterministicTraining) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 60, 2, 3);
+  SvmConfig c;
+  c.input_dim = 2;
+  LinearSvm s1(c);
+  LinearSvm s2(c);
+  s1.fit(x, y);
+  s2.fit(x, y);
+  for (const auto& xi : x) EXPECT_EQ(s1.predict(xi), s2.predict(xi));
+}
+
+}  // namespace
+}  // namespace hdface::learn

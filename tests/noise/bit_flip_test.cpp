@@ -1,0 +1,121 @@
+#include "noise/bit_flip.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hdface::noise {
+namespace {
+
+TEST(BitFlip, ZeroRateIsIdentity) {
+  core::Rng rng(1);
+  const auto v = core::Hypervector::random(1024, rng);
+  core::Rng noise_rng(2);
+  EXPECT_EQ(flip_bits(v, 0.0, noise_rng), v);
+}
+
+TEST(BitFlip, FlipFractionMatchesRate) {
+  core::Rng rng(3);
+  const auto v = core::Hypervector::random(20000, rng);
+  core::Rng noise_rng(4);
+  const auto noisy = flip_bits(v, 0.1, noise_rng);
+  const double frac = static_cast<double>(hamming(v, noisy)) / 20000.0;
+  EXPECT_NEAR(frac, 0.1, 0.01);
+}
+
+TEST(BitFlip, SimilarityAttenuationMatchesTheory) {
+  core::Rng rng(5);
+  const auto v = core::Hypervector::random(20000, rng);
+  core::Rng noise_rng(6);
+  const auto noisy = flip_bits(v, 0.08, noise_rng);
+  EXPECT_NEAR(similarity(v, noisy), expected_similarity_after_flips(0.08), 0.02);
+}
+
+TEST(BitFlip, DeterministicPerRngSeed) {
+  core::Rng rng(7);
+  const auto v = core::Hypervector::random(512, rng);
+  core::Rng n1(42);
+  core::Rng n2(42);
+  EXPECT_EQ(flip_bits(v, 0.2, n1), flip_bits(v, 0.2, n2));
+}
+
+TEST(FlipFloatBits, ZeroRateKeepsValues) {
+  std::vector<float> v = {1.0f, -2.5f, 0.125f};
+  core::Rng rng(8);
+  flip_float_bits(v, 0.0, rng);
+  EXPECT_FLOAT_EQ(v[0], 1.0f);
+  EXPECT_FLOAT_EQ(v[1], -2.5f);
+}
+
+TEST(FlipFloatBits, HighRateScramblesValues) {
+  std::vector<float> v(100, 0.5f);
+  core::Rng rng(9);
+  flip_float_bits(v, 0.3, rng);
+  int changed = 0;
+  for (float x : v) {
+    if (x != 0.5f) ++changed;
+  }
+  EXPECT_GT(changed, 90);
+}
+
+TEST(FlipFloatBits, ExponentFlipsProduceLargeExcursions) {
+  // The core fragility of positional float encodings: at a small flip rate
+  // some values jump by orders of magnitude (or become non-finite).
+  std::vector<float> v(2000, 0.5f);
+  core::Rng rng(10);
+  flip_float_bits(v, 0.02, rng);
+  bool large_excursion = false;
+  for (float x : v) {
+    if (!std::isfinite(x) || std::fabs(x) > 100.0f) {
+      large_excursion = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(large_excursion);
+}
+
+TEST(FlipFixedBits, StaysWithinQuantizedRange) {
+  std::vector<std::int32_t> w = {3, -7, 120, -128};
+  core::Rng rng(11);
+  flip_fixed_bits(w, 8, 0.5, rng);
+  for (auto x : w) {
+    EXPECT_GE(x, -128);
+    EXPECT_LE(x, 127);
+  }
+}
+
+TEST(FlipFixedBits, SignExtensionAfterMsbFlip) {
+  std::vector<std::int32_t> w = {0};
+  // Flip everything deterministically by brute force: with rate 1 every bit
+  // of the low nibble flips → 0b1111 → −1 in 4-bit two's complement.
+  core::Rng rng(12);
+  flip_fixed_bits(w, 4, 1.0, rng);
+  EXPECT_EQ(w[0], -1);
+}
+
+TEST(FlipImageBits, FractionOfPixelsChanges) {
+  image::Image img(64, 64, 0.5f);
+  core::Rng rng(13);
+  const auto noisy = flip_image_bits(img, 0.05, rng);
+  // Compare in byte space: the injection itself re-quantizes to 8 bits.
+  int changed = 0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    if (image::to_u8(noisy.pixels()[i]) != image::to_u8(img.pixels()[i])) {
+      ++changed;
+    }
+  }
+  // 8 bits per pixel, 5% per-bit → 1 − 0.95⁸ ≈ 34% of pixels touched.
+  EXPECT_GT(changed, 800);
+  EXPECT_LT(changed, 2000);
+}
+
+TEST(FlipImageBits, StaysInValidRange) {
+  image::Image img(16, 16, 0.3f);
+  core::Rng rng(14);
+  const auto noisy = flip_image_bits(img, 0.5, rng);
+  EXPECT_GE(noisy.min(), 0.0f);
+  EXPECT_LE(noisy.max(), 1.0f);
+}
+
+}  // namespace
+}  // namespace hdface::noise

@@ -1,0 +1,100 @@
+#include "perf/cycle_sim.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::perf {
+namespace {
+
+TEST(PipelineSimulator, ValidatesStages) {
+  EXPECT_THROW(PipelineSimulator({}), std::invalid_argument);
+  EXPECT_THROW(PipelineSimulator({{"bad", 0, 1, 4}}), std::invalid_argument);
+  EXPECT_THROW(PipelineSimulator({{"a", 1, 1, 4}, {"b", 1, 1, 3}}),
+               std::invalid_argument);  // non-integral decimation
+}
+
+TEST(PipelineSimulator, SingleStageThroughput) {
+  PipelineSimulator sim({{"only", 3, 2, 10}});
+  const auto report = sim.run(1e6);
+  // First item accepted at 0, last at (10−1)·2 = 18, completes at 21.
+  EXPECT_EQ(report.total_cycles, 21u);
+  EXPECT_EQ(report.stages[0].items, 10u);
+}
+
+TEST(PipelineSimulator, MatchesAnalyticBoundForUniformChain) {
+  // Equal IIs and item counts: the simulation must equal fill + (n−1)·II.
+  PipelineSimulator sim({{"a", 2, 3, 16}, {"b", 4, 3, 16}, {"c", 1, 3, 16}});
+  const auto report = sim.run(1e6);
+  EXPECT_EQ(report.total_cycles, sim.analytic_bound());
+}
+
+TEST(PipelineSimulator, NeverBeatsAnalyticBound) {
+  PipelineSimulator sim({{"a", 2, 1, 64}, {"b", 3, 5, 64}, {"c", 2, 1, 8}});
+  EXPECT_GE(sim.run(1e6).total_cycles, sim.analytic_bound() / 2);
+  EXPECT_GE(sim.run(1e6).total_cycles, (64u - 1) * 5);  // bottleneck floor
+}
+
+TEST(PipelineSimulator, BottleneckIsTheSlowestStage) {
+  PipelineSimulator sim({{"fast", 1, 1, 32}, {"slow", 1, 8, 32}, {"mid", 1, 2, 32}});
+  const auto report = sim.run(1e6);
+  EXPECT_EQ(report.bottleneck, "slow");
+}
+
+TEST(PipelineSimulator, DecimationReducesDownstreamItems) {
+  PipelineSimulator sim({{"pixels", 1, 1, 64}, {"cells", 2, 4, 4}});
+  const auto report = sim.run(1e6);
+  EXPECT_EQ(report.stages[1].items, 4u);
+  // Last cell can only start after the final pixel completes.
+  EXPECT_GE(report.total_cycles, 64u);
+}
+
+TEST(PipelineSimulator, SecondsFollowClock) {
+  PipelineSimulator sim({{"a", 1, 1, 10}});
+  const auto r1 = sim.run(1e6);
+  const auto r2 = sim.run(2e6);
+  EXPECT_NEAR(r1.seconds, 2.0 * r2.seconds, 1e-12);
+}
+
+TEST(ClassificationPipeline, BuildsAndRuns) {
+  const auto sim = make_classification_pipeline(kintex7_reference_datapath(),
+                                                4096, 48, 4, 8, 2);
+  const auto report = sim.run(kintex7_reference_datapath().device().clock_hz);
+  EXPECT_GT(report.total_cycles, 0u);
+  EXPECT_EQ(report.stages.size(), 7u);
+  EXPECT_FALSE(report.bottleneck.empty());
+  // A 48×48 window at 200 MHz classifies in well under a second.
+  EXPECT_LT(report.seconds, 1.0);
+}
+
+TEST(ClassificationPipeline, WiderDimCostsMoreCycles) {
+  const auto& dp = kintex7_reference_datapath();
+  const auto small = make_classification_pipeline(dp, 1024, 48, 4, 8, 2).run(2e8);
+  const auto large = make_classification_pipeline(dp, 10240, 48, 4, 8, 2).run(2e8);
+  EXPECT_GT(large.total_cycles, small.total_cycles);
+}
+
+TEST(ClassificationPipeline, BiggerWindowCostsMoreCycles) {
+  const auto& dp = kintex7_reference_datapath();
+  const auto small = make_classification_pipeline(dp, 4096, 16, 4, 8, 2).run(2e8);
+  const auto large = make_classification_pipeline(dp, 4096, 64, 4, 8, 2).run(2e8);
+  EXPECT_GT(large.total_cycles, small.total_cycles);
+}
+
+TEST(ClassificationPipeline, ValidatesGeometry) {
+  EXPECT_THROW(make_classification_pipeline(kintex7_reference_datapath(), 4096,
+                                            50, 4, 8, 2),
+               std::invalid_argument);
+}
+
+TEST(ClassificationPipeline, MagnitudeChainDominates) {
+  // The sqrt binary search is the per-pixel cost center — its stage should
+  // be the pipeline bottleneck (this is what the decode-shortcut ablation
+  // removes).
+  const auto sim = make_classification_pipeline(kintex7_reference_datapath(),
+                                                4096, 48, 4, 8, 2);
+  EXPECT_EQ(sim.run(2e8).bottleneck, "magnitude");
+}
+
+}  // namespace
+}  // namespace hdface::perf

@@ -1,0 +1,82 @@
+#include "perf/fpga_datapath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/platform.hpp"
+
+namespace hdface::perf {
+namespace {
+
+using core::OpCounter;
+using core::OpKind;
+
+TEST(FpgaDatapath, ReferencePlanFitsTheDevice) {
+  const auto usage = kintex7_reference_datapath().resource_usage();
+  EXPECT_TRUE(usage.fits) << "LUTs " << usage.luts << " DSPs " << usage.dsps;
+  EXPECT_LE(usage.lut_utilization, 1.0);
+  EXPECT_LE(usage.dsp_utilization, 1.0);
+  // And it is a substantial design, not a trivial one.
+  EXPECT_GT(usage.lut_utilization, 0.05);
+}
+
+TEST(FpgaDatapath, ValidatesPlan) {
+  DatapathPlan plan;
+  plan.hv_lane_bits = 0;
+  EXPECT_THROW(FpgaDatapath(FpgaDevice{}, plan), std::invalid_argument);
+}
+
+TEST(FpgaDatapath, ThroughputsConsistentWithPlatformConstants) {
+  // The published kintex7_fpga() PlatformModel must agree with the derived
+  // datapath within a small factor for the classes that dominate HDFace.
+  const auto& dp = kintex7_reference_datapath();
+  const auto& model = kintex7_fpga();
+  for (const auto kind : {OpKind::kWordLogic, OpKind::kRngWord,
+                          OpKind::kFloatMul, OpKind::kFloatAdd}) {
+    const double derived = dp.ops_per_cycle(kind);
+    const double published = model.cost(kind).ops_per_cycle;
+    EXPECT_GT(derived, published / 3.0) << op_kind_name(kind);
+    EXPECT_LT(derived, published * 3.0) << op_kind_name(kind);
+  }
+}
+
+TEST(FpgaDatapath, WiderLanesAreFaster) {
+  DatapathPlan narrow;
+  narrow.hv_lane_bits = 1024;
+  DatapathPlan wide;
+  wide.hv_lane_bits = 32768;
+  OpCounter work;
+  work.add(OpKind::kWordLogic, 1'000'000);
+  const FpgaDatapath a(FpgaDevice{}, narrow);
+  const FpgaDatapath b(FpgaDevice{}, wide);
+  EXPECT_GT(a.estimate_cycles(work), b.estimate_cycles(work));
+}
+
+TEST(FpgaDatapath, OversizedPlanDoesNotFit) {
+  DatapathPlan plan;
+  plan.hv_lane_bits = 1'000'000;  // way past the LUT budget
+  const FpgaDatapath dp(FpgaDevice{}, plan);
+  EXPECT_FALSE(dp.resource_usage().fits);
+}
+
+TEST(FpgaDatapath, SecondsFollowClock) {
+  OpCounter work;
+  work.add(OpKind::kFloatMul, 1000);
+  const auto& dp = kintex7_reference_datapath();
+  EXPECT_NEAR(dp.estimate_seconds(work),
+              dp.estimate_cycles(work) / dp.device().clock_hz, 1e-15);
+}
+
+TEST(FpgaDatapath, EstimateIsAdditiveAcrossKinds) {
+  OpCounter a;
+  a.add(OpKind::kWordLogic, 5000);
+  OpCounter b;
+  b.add(OpKind::kPopcount, 7000);
+  OpCounter both = a;
+  both.merge(b);
+  const auto& dp = kintex7_reference_datapath();
+  EXPECT_NEAR(dp.estimate_cycles(both),
+              dp.estimate_cycles(a) + dp.estimate_cycles(b), 1e-9);
+}
+
+}  // namespace
+}  // namespace hdface::perf

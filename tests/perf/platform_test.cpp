@@ -1,0 +1,105 @@
+#include "perf/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdface::perf {
+namespace {
+
+using core::OpCounter;
+using core::OpKind;
+
+TEST(Platform, EmptyCounterCostsNothing) {
+  OpCounter c;
+  const auto e = arm_a53().estimate(c);
+  EXPECT_DOUBLE_EQ(e.cycles, 0.0);
+  EXPECT_DOUBLE_EQ(e.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(e.micro_joules, 0.0);
+}
+
+TEST(Platform, CostsAreAdditive) {
+  OpCounter a;
+  a.add(OpKind::kWordLogic, 1000);
+  OpCounter b;
+  b.add(OpKind::kFloatMul, 500);
+  OpCounter both = a;
+  both.merge(b);
+  const auto& m = arm_a53();
+  EXPECT_NEAR(m.estimate(both).cycles,
+              m.estimate(a).cycles + m.estimate(b).cycles, 1e-9);
+  EXPECT_NEAR(m.estimate(both).micro_joules,
+              m.estimate(a).micro_joules + m.estimate(b).micro_joules, 1e-12);
+}
+
+TEST(Platform, CostsScaleLinearlyWithCounts) {
+  OpCounter c1;
+  c1.add(OpKind::kPopcount, 100);
+  OpCounter c10;
+  c10.add(OpKind::kPopcount, 1000);
+  const auto& m = kintex7_fpga();
+  EXPECT_NEAR(m.estimate(c10).cycles, 10.0 * m.estimate(c1).cycles, 1e-9);
+}
+
+TEST(Platform, SecondsConsistentWithClock) {
+  OpCounter c;
+  c.add(OpKind::kIntAdd, 1000);
+  const auto& m = arm_a53();
+  const auto e = m.estimate(c);
+  EXPECT_NEAR(e.seconds, e.cycles / m.clock_hz(), 1e-15);
+}
+
+TEST(Platform, FpgaFavorsBitwiseOverFloatInEnergy) {
+  // The structural claim behind Fig 7's 12.1× FPGA energy advantage: per
+  // operation, LUT-mapped bitwise work is far cheaper than DSP float work,
+  // and the gap is much wider on the FPGA than on the CPU.
+  OpCounter bitwise;
+  bitwise.add(OpKind::kWordLogic, 1'000'000);
+  OpCounter floats;
+  floats.add(OpKind::kFloatMul, 1'000'000);
+  const double cpu_ratio = arm_a53().estimate(floats).micro_joules /
+                           arm_a53().estimate(bitwise).micro_joules;
+  const double fpga_ratio = kintex7_fpga().estimate(floats).micro_joules /
+                            kintex7_fpga().estimate(bitwise).micro_joules;
+  EXPECT_GT(fpga_ratio, cpu_ratio);
+}
+
+TEST(Platform, FpgaBitwiseThroughputBeatsCpu) {
+  OpCounter bitwise;
+  bitwise.add(OpKind::kWordLogic, 1'000'000);
+  EXPECT_LT(kintex7_fpga().estimate(bitwise).cycles,
+            arm_a53().estimate(bitwise).cycles);
+}
+
+TEST(Platform, TranscendentalsAreExpensiveEverywhere) {
+  OpCounter trig;
+  trig.add(OpKind::kFloatTrig, 1000);
+  OpCounter add;
+  add.add(OpKind::kFloatAdd, 1000);
+  for (const auto* m : {&arm_a53(), &kintex7_fpga()}) {
+    EXPECT_GT(m->estimate(trig).cycles, m->estimate(add).cycles) << m->name();
+    EXPECT_GT(m->estimate(trig).micro_joules, m->estimate(add).micro_joules)
+        << m->name();
+  }
+}
+
+TEST(Platform, NamesAreDescriptive) {
+  EXPECT_NE(arm_a53().name().find("CPU"), std::string::npos);
+  EXPECT_NE(kintex7_fpga().name().find("FPGA"), std::string::npos);
+}
+
+TEST(OpCounterBasics, NamesCoverAllKinds) {
+  for (std::size_t k = 0; k < core::kOpKindCount; ++k) {
+    EXPECT_FALSE(core::op_kind_name(static_cast<OpKind>(k)).empty());
+  }
+}
+
+TEST(OpCounterBasics, ResetAndTotal) {
+  OpCounter c;
+  c.add(OpKind::kWordLogic, 5);
+  c.add(OpKind::kPopcount, 7);
+  EXPECT_EQ(c.total(), 12u);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+}  // namespace
+}  // namespace hdface::perf

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "dataset/face_generator.hpp"
+#include "pipeline/dnn_pipeline.hpp"
+#include "pipeline/svm_pipeline.hpp"
+
+namespace hdface::pipeline {
+namespace {
+
+dataset::Dataset small_faces(std::size_t n, std::uint64_t seed) {
+  dataset::FaceDatasetConfig cfg;
+  cfg.num_samples = n;
+  cfg.image_size = 16;
+  cfg.seed = seed;
+  return make_face_dataset(cfg);
+}
+
+TEST(DnnPipeline, TrainsAboveChance) {
+  const auto train = small_faces(80, 1);
+  const auto test = small_faces(40, 2);
+  DnnConfig cfg;
+  cfg.hog.cell_size = 8;
+  cfg.hog.bins = 8;
+  cfg.hidden = {32, 32};
+  cfg.epochs = 25;
+  DnnPipeline pipe(cfg, 16, 16, 2);
+  pipe.fit(train);
+  EXPECT_GT(pipe.evaluate(test), 0.6);
+}
+
+TEST(DnnPipeline, ArchitectureFollowsConfig) {
+  DnnConfig cfg;
+  cfg.hog.cell_size = 8;
+  cfg.hidden = {64, 48};
+  DnnPipeline pipe(cfg, 16, 16, 3);
+  const auto& layers = pipe.mlp().layers();
+  ASSERT_EQ(layers.size(), 3u);  // in→h1, h1→h2, h2→out
+  EXPECT_EQ(layers[0].out, 64u);
+  EXPECT_EQ(layers[1].out, 48u);
+  EXPECT_EQ(layers[2].out, 3u);
+}
+
+TEST(DnnPipeline, FeatureExtractionCountsFloatOps) {
+  const auto data = small_faces(4, 3);
+  DnnConfig cfg;
+  cfg.hog.cell_size = 8;
+  DnnPipeline pipe(cfg, 16, 16, 2);
+  core::OpCounter counter;
+  (void)pipe.extract_features(data, &counter);
+  EXPECT_GT(counter.get(core::OpKind::kFloatSqrt), 0u);
+  EXPECT_GT(counter.get(core::OpKind::kFloatMul), 0u);
+  EXPECT_EQ(counter.get(core::OpKind::kWordLogic), 0u);
+}
+
+TEST(SvmPipeline, TrainsAboveChance) {
+  const auto train = small_faces(80, 4);
+  const auto test = small_faces(40, 5);
+  SvmPipelineConfig cfg;
+  cfg.hog.cell_size = 8;
+  cfg.epochs = 30;
+  SvmPipeline pipe(cfg, 16, 16, 2);
+  pipe.fit(train);
+  EXPECT_GT(pipe.evaluate(test), 0.55);
+}
+
+}  // namespace
+}  // namespace hdface::pipeline

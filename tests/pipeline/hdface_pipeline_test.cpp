@@ -1,0 +1,114 @@
+#include "pipeline/hdface_pipeline.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "dataset/face_generator.hpp"
+
+namespace hdface::pipeline {
+namespace {
+
+dataset::Dataset small_faces(std::size_t n, std::uint64_t seed) {
+  dataset::FaceDatasetConfig cfg;
+  cfg.num_samples = n;
+  cfg.image_size = 16;
+  cfg.seed = seed;
+  return make_face_dataset(cfg);
+}
+
+HdFaceConfig small_config(HdFaceMode mode) {
+  HdFaceConfig c;
+  c.dim = 2048;
+  c.mode = mode;
+  c.hog.cell_size = 4;
+  c.hog.bins = 8;
+  c.epochs = 5;
+  return c;
+}
+
+TEST(HdFacePipeline, HdHogModeTrainsAboveChance) {
+  const auto train = small_faces(100, 1);
+  const auto test = small_faces(40, 2);
+  HdFacePipeline pipe(small_config(HdFaceMode::kHdHog), 16, 16, 2);
+  pipe.fit(train);
+  EXPECT_GT(pipe.evaluate(test), 0.6);
+}
+
+TEST(HdFacePipeline, OrigHogEncoderModeTrainsAboveChance) {
+  const auto train = small_faces(100, 3);
+  const auto test = small_faces(40, 4);
+  HdFacePipeline pipe(small_config(HdFaceMode::kOrigHogEncoder), 16, 16, 2);
+  pipe.fit(train);
+  EXPECT_GT(pipe.evaluate(test), 0.6);
+}
+
+TEST(HdFacePipeline, FitRejectsClassMismatch) {
+  auto train = small_faces(10, 5);
+  train.class_names.push_back("extra");
+  HdFacePipeline pipe(small_config(HdFaceMode::kHdHog), 16, 16, 2);
+  EXPECT_THROW(pipe.fit(train), std::invalid_argument);
+}
+
+TEST(HdFacePipeline, PredictReturnsValidLabels) {
+  const auto train = small_faces(40, 6);
+  HdFacePipeline pipe(small_config(HdFaceMode::kHdHog), 16, 16, 2);
+  pipe.fit(train);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const int p = pipe.predict(train.images[i]);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 2);
+  }
+}
+
+TEST(HdFacePipeline, EncodeDatasetMatchesEncodeImageInHdHogMode) {
+  const auto data = small_faces(6, 7);
+  HdFaceConfig cfg = small_config(HdFaceMode::kHdHog);
+  HdFacePipeline p1(cfg, 16, 16, 2);
+  HdFacePipeline p2(cfg, 16, 16, 2);
+  const auto batch = p1.encode_dataset(data);
+  // Same config/seed in a fresh pipeline reproduces the same features.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(batch[i], p2.encode_image(data.images[i]));
+  }
+}
+
+TEST(HdFacePipeline, FeatureAndLearnCountersSeparateWork) {
+  const auto train = small_faces(16, 8);
+  HdFacePipeline pipe(small_config(HdFaceMode::kHdHog), 16, 16, 2);
+  core::OpCounter features;
+  core::OpCounter learning;
+  pipe.set_counters(&features, &learning);
+  pipe.fit(train);
+  EXPECT_GT(features.get(core::OpKind::kRngWord), 0u);
+  EXPECT_GT(learning.get(core::OpKind::kIntAdd), 0u);
+  // Feature extraction dominates (paper §2: HOG ≈ 85% of training time).
+  EXPECT_GT(features.total(), learning.total());
+}
+
+TEST(HdFacePipeline, FitFeaturesPathMatchesFitPath) {
+  const auto train = small_faces(30, 9);
+  HdFaceConfig cfg = small_config(HdFaceMode::kHdHog);
+  HdFacePipeline p1(cfg, 16, 16, 2);
+  HdFacePipeline p2(cfg, 16, 16, 2);
+  p1.fit(train);
+  const auto features = p2.encode_dataset(train);
+  p2.fit_features(features, train.labels);
+  // Identical seeds → identical predictions.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(p1.predict(train.images[i]), p2.predict(train.images[i]));
+  }
+}
+
+TEST(HdFacePipeline, DecodeShortcutModeAlsoLearns) {
+  HdFaceConfig cfg = small_config(HdFaceMode::kHdHog);
+  cfg.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
+  const auto train = small_faces(100, 10);
+  const auto test = small_faces(40, 11);
+  HdFacePipeline pipe(cfg, 16, 16, 2);
+  pipe.fit(train);
+  EXPECT_GT(pipe.evaluate(test), 0.6);
+}
+
+}  // namespace
+}  // namespace hdface::pipeline

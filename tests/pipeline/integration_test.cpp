@@ -1,0 +1,179 @@
+// Cross-module integration: the full HDFace story on one small workload —
+// synthetic data → HD-HOG in hyperspace → adaptive HDC learning → robust
+// binary inference — compared against the DNN baseline under fault injection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dataset/emotion_generator.hpp"
+#include "dataset/face_generator.hpp"
+#include "learn/online.hpp"
+#include "learn/quantized_mlp.hpp"
+#include "learn/serialize.hpp"
+#include "pipeline/dnn_pipeline.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+#include "pipeline/robustness.hpp"
+
+namespace hdface::pipeline {
+namespace {
+
+TEST(Integration, EmotionSevenWayAboveChance) {
+  dataset::EmotionDatasetConfig cfg;
+  cfg.num_samples = 210;
+  cfg.image_size = 24;  // scaled down for test speed
+  cfg.jitter_amount = 0.35;
+  const auto train = make_emotion_dataset(cfg);
+  cfg.seed = 991;
+  cfg.num_samples = 70;
+  const auto test = make_emotion_dataset(cfg);
+
+  HdFaceConfig pc;
+  pc.dim = 4096;
+  pc.mode = HdFaceMode::kHdHog;
+  pc.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;  // test-speed mode
+  pc.hog.cell_size = 4;
+  pc.epochs = 10;
+  HdFacePipeline pipe(pc, 24, 24, 7);
+  pipe.fit(train);
+  EXPECT_GT(pipe.evaluate(test), 1.0 / 7.0 + 0.15);
+}
+
+TEST(Integration, HdFaceMoreRobustThanDnnUnderBitErrors) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.num_samples = 80;
+  data_cfg.image_size = 16;
+  const auto train = make_face_dataset(data_cfg);
+  data_cfg.seed = 77;
+  const auto test = make_face_dataset(data_cfg);
+
+  // HDFace (fully hyperspace features + binary inference).
+  HdFaceConfig pc;
+  pc.dim = 4096;
+  pc.mode = HdFaceMode::kHdHog;
+  pc.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
+  pc.hog.cell_size = 4;
+  pc.epochs = 5;
+  HdFacePipeline hd(pc, 16, 16, 2);
+  hd.fit(train);
+  const auto test_features = hd.encode_dataset(test);
+  const double hd_clean = hdc_binary_accuracy_under_errors(
+      hd.classifier(), test_features, test.labels, 0.0, 5);
+  const double hd_noisy = hdc_binary_accuracy_under_errors(
+      hd.classifier(), test_features, test.labels, 0.08, 5);
+
+  // DNN baseline with 16-bit quantized weights.
+  DnnConfig dc;
+  dc.hog.cell_size = 8;
+  dc.hidden = {32, 32};
+  dc.epochs = 25;
+  DnnPipeline dnn(dc, 16, 16, 2);
+  const auto train_feats = dnn.extract_features(train);
+  const auto test_feats = dnn.extract_features(test);
+  dnn.fit_features(train_feats, train.labels);
+  learn::QuantizedMlp q(dnn.mutable_mlp(), 16);
+  const double dnn_clean = dnn_accuracy_under_errors(q, test_feats, test.labels, 0.0, 6);
+  const double dnn_noisy = dnn_accuracy_under_errors(q, test_feats, test.labels, 0.08, 6);
+
+  // The paper's central robustness claim: HDFace's relative quality loss is
+  // far smaller than the DNN's.
+  const double hd_loss = hd_clean - hd_noisy;
+  const double dnn_loss = dnn_clean - dnn_noisy;
+  EXPECT_LT(hd_loss, dnn_loss + 0.05)
+      << "hd: " << hd_clean << "→" << hd_noisy << ", dnn: " << dnn_clean << "→"
+      << dnn_noisy;
+  EXPECT_GT(hd_clean, 0.6);
+}
+
+TEST(Integration, FaithfulHyperspacePipelineEndToEnd) {
+  // Small but fully faithful (no decode shortcut) end-to-end run.
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.num_samples = 40;
+  data_cfg.image_size = 16;
+  const auto train = make_face_dataset(data_cfg);
+  HdFaceConfig pc;
+  pc.dim = 2048;
+  pc.mode = HdFaceMode::kHdHog;
+  pc.hd_hog_mode = hog::HdHogMode::kFaithful;
+  pc.hog.cell_size = 4;
+  pc.epochs = 3;
+  HdFacePipeline pipe(pc, 16, 16, 2);
+  pipe.fit(train);
+  EXPECT_GT(pipe.evaluate(train), 0.6);  // can at least fit its train set
+}
+
+TEST(Integration, TrainSaveReloadPredictConsistently) {
+  // Deployment round trip: train a pipeline, persist the classifier, reload
+  // it, and verify the reloaded model scores pipeline-encoded features
+  // identically.
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.num_samples = 60;
+  data_cfg.image_size = 16;
+  const auto train = make_face_dataset(data_cfg);
+  HdFaceConfig pc;
+  pc.dim = 2048;
+  pc.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
+  pc.hog.cell_size = 4;
+  pc.epochs = 5;
+  HdFacePipeline pipe(pc, 16, 16, 2);
+  pipe.fit(train);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hdface_integ.hdc").string();
+  learn::save_classifier(pipe.classifier(), path);
+  const auto reloaded = learn::load_classifier(path);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto feature = pipe.encode_image(train.images[i]);
+    EXPECT_EQ(reloaded.predict(feature), pipe.classifier().predict(feature));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Integration, OnlineLearningOverPipelineFeatures) {
+  // Stream pipeline-encoded windows through the online trainer: prequential
+  // accuracy on the tail must clearly beat chance after ~100 samples.
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.num_samples = 160;
+  data_cfg.image_size = 16;
+  const auto stream = make_face_dataset(data_cfg);
+  HdFaceConfig pc;
+  pc.dim = 2048;
+  pc.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
+  pc.hog.cell_size = 4;
+  HdFacePipeline pipe(pc, 16, 16, 2);
+
+  learn::HdcConfig hc;
+  hc.dim = 2048;
+  hc.classes = 2;
+  learn::HdcClassifier model(hc);
+  learn::OnlineConfig oc;
+  oc.accuracy_window = 60;
+  learn::OnlineTrainer trainer(model, oc);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    trainer.observe(pipe.encode_image(stream.images[i]), stream.labels[i]);
+  }
+  EXPECT_GT(trainer.windowed_accuracy(), 0.65);
+}
+
+TEST(Integration, ReproducibleEndToEnd) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.num_samples = 20;
+  data_cfg.image_size = 16;
+  const auto train = make_face_dataset(data_cfg);
+  HdFaceConfig pc;
+  pc.dim = 1024;
+  pc.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
+  pc.hog.cell_size = 8;
+  pc.epochs = 2;
+  HdFacePipeline p1(pc, 16, 16, 2);
+  HdFacePipeline p2(pc, 16, 16, 2);
+  p1.fit(train);
+  p2.fit(train);
+  for (const auto& img : train.images) {
+    EXPECT_EQ(p1.predict(img), p2.predict(img));
+  }
+}
+
+}  // namespace
+}  // namespace hdface::pipeline

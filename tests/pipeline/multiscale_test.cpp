@@ -1,0 +1,103 @@
+#include "pipeline/multiscale.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "dataset/background_generator.hpp"
+#include "dataset/face_generator.hpp"
+#include "image/transform.hpp"
+
+namespace hdface::pipeline {
+namespace {
+
+TEST(BoxIou, IdenticalBoxesAreOne) {
+  const Detection a{10, 10, 20, 0.9};
+  EXPECT_DOUBLE_EQ(box_iou(a, a), 1.0);
+}
+
+TEST(BoxIou, DisjointBoxesAreZero) {
+  const Detection a{0, 0, 10, 0.9};
+  const Detection b{50, 50, 10, 0.8};
+  EXPECT_DOUBLE_EQ(box_iou(a, b), 0.0);
+}
+
+TEST(BoxIou, HalfOverlap) {
+  const Detection a{0, 0, 10, 0.9};
+  const Detection b{5, 0, 10, 0.8};
+  // intersection 5x10=50, union 200-50=150.
+  EXPECT_NEAR(box_iou(a, b), 50.0 / 150.0, 1e-9);
+}
+
+TEST(Nms, KeepsHighestOfOverlappingGroup) {
+  std::vector<Detection> input = {{0, 0, 20, 0.5}, {2, 2, 20, 0.9}, {4, 0, 20, 0.7}};
+  const auto kept = non_max_suppression(input, 0.3);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].score, 0.9);
+}
+
+TEST(Nms, KeepsSeparatedDetections) {
+  std::vector<Detection> input = {{0, 0, 10, 0.5}, {100, 100, 10, 0.9}};
+  const auto kept = non_max_suppression(input, 0.3);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+HdFaceConfig detector_config() {
+  HdFaceConfig c;
+  c.dim = 2048;
+  c.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
+  c.hog.cell_size = 4;
+  c.epochs = 5;
+  return c;
+}
+
+TEST(MultiScale, ValidatesConfig) {
+  HdFacePipeline pipe(detector_config(), 16, 16, 2);
+  MultiScaleConfig cfg;
+  cfg.scales = {};
+  EXPECT_THROW(MultiScaleDetector(pipe, 16, cfg), std::invalid_argument);
+  cfg.scales = {1.5};
+  EXPECT_THROW(MultiScaleDetector(pipe, 16, cfg), std::invalid_argument);
+}
+
+TEST(MultiScale, FindsOversizedFaceThroughPyramid) {
+  // Train on 16x16 windows; plant a 32x32 face: only the 0.5 pyramid level
+  // can match it.
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.num_samples = 100;
+  data_cfg.image_size = 16;
+  const auto train = make_face_dataset(data_cfg);
+  HdFacePipeline pipe(detector_config(), 16, 16, 2);
+  pipe.fit(train);
+
+  image::Image scene(64, 64, 0.5f);
+  core::Rng rng(5);
+  dataset::render_background(scene, dataset::BackgroundKind::kValueNoise, rng);
+  image::paste(scene, dataset::render_face_window(32, 7), 16, 16);
+
+  MultiScaleConfig cfg;
+  cfg.scales = {1.0, 0.5};
+  cfg.stride = 8;
+  MultiScaleDetector det(pipe, 16, cfg);
+  const auto detections = det.detect(scene);
+  bool found_large = false;
+  for (const auto& d : detections) {
+    if (d.size >= 28 && box_iou(d, Detection{16, 16, 32, 1.0}) > 0.2) {
+      found_large = true;
+    }
+  }
+  EXPECT_TRUE(found_large) << detections.size() << " detections";
+}
+
+TEST(MultiScale, RenderMarksBoxes) {
+  HdFacePipeline pipe(detector_config(), 16, 16, 2);
+  MultiScaleConfig cfg;
+  MultiScaleDetector det(pipe, 16, cfg);
+  image::Image scene(32, 32, 0.5f);
+  const auto rgb = det.render(scene, {{4, 4, 10, 0.9}});
+  // Box corner pixel tinted blue.
+  EXPECT_GT(rgb.at(4, 4)[2], rgb.at(20, 20)[2]);
+}
+
+}  // namespace
+}  // namespace hdface::pipeline

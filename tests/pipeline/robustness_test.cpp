@@ -1,0 +1,196 @@
+#include "pipeline/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/stochastic.hpp"
+
+namespace hdface::pipeline {
+namespace {
+
+// Reuse the synthetic hyperspace task from the HDC model tests.
+struct HvTask {
+  std::vector<core::Hypervector> features;
+  std::vector<int> labels;
+};
+
+HvTask make_task(std::size_t dim, std::size_t classes, std::size_t per_class,
+                 double noise, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<core::Hypervector> anchors;
+  for (std::size_t c = 0; c < classes; ++c) {
+    anchors.push_back(core::Hypervector::random(dim, rng));
+  }
+  HvTask task;
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      core::Hypervector v = anchors[c];
+      for (std::size_t d = 0; d < dim; ++d) {
+        if (rng.uniform() < noise) v.flip(d);
+      }
+      task.features.push_back(std::move(v));
+      task.labels.push_back(static_cast<int>(c));
+    }
+  }
+  return task;
+}
+
+learn::HdcClassifier trained_model(const HvTask& task, std::size_t dim,
+                                   std::size_t classes) {
+  learn::HdcConfig c;
+  c.dim = dim;
+  c.classes = classes;
+  c.epochs = 3;
+  learn::HdcClassifier model(c);
+  model.fit(task.features, task.labels);
+  return model;
+}
+
+TEST(Robustness, HdcBinaryToleratesModerateBitErrors) {
+  const auto task = make_task(4096, 2, 30, 0.15, 1);
+  const auto model = trained_model(task, 4096, 2);
+  const double clean =
+      hdc_binary_accuracy_under_errors(model, task.features, task.labels, 0.0, 7);
+  const double noisy =
+      hdc_binary_accuracy_under_errors(model, task.features, task.labels, 0.1, 7);
+  EXPECT_GT(clean, 0.95);
+  EXPECT_GT(noisy, clean - 0.1);  // holographic: 10% flips barely hurt
+}
+
+TEST(Robustness, HdcBinaryDegradesGracefullyWithRate) {
+  const auto task = make_task(2048, 2, 30, 0.2, 2);
+  const auto model = trained_model(task, 2048, 2);
+  const double r0 =
+      hdc_binary_accuracy_under_errors(model, task.features, task.labels, 0.0, 3);
+  const double r45 =
+      hdc_binary_accuracy_under_errors(model, task.features, task.labels, 0.45, 3);
+  // At 45% flips the representation is nearly random → near-chance accuracy.
+  EXPECT_GT(r0, 0.9);
+  EXPECT_LT(r45, 0.8);
+}
+
+TEST(Robustness, HigherDimensionIsMoreRobust) {
+  // Paper Table 2 trend: D=10k tolerates more error than D=1k.
+  double accs[2];
+  std::size_t idx = 0;
+  for (const std::size_t dim : {1024u, 8192u}) {
+    const auto task = make_task(dim, 2, 30, 0.25, 4);
+    const auto model = trained_model(task, dim, 2);
+    accs[idx++] =
+        hdc_binary_accuracy_under_errors(model, task.features, task.labels, 0.2, 5);
+  }
+  EXPECT_GE(accs[1], accs[0] - 0.02);
+}
+
+TEST(Robustness, DnnErrorsReduceAccuracy) {
+  // Small separable float task.
+  core::Rng rng(6);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 120; ++i) {
+    const int cls = i % 2;
+    const float cx = cls == 0 ? -1.0f : 1.0f;
+    x.push_back({cx + 0.3f * static_cast<float>(rng.gaussian()),
+                 cx + 0.3f * static_cast<float>(rng.gaussian())});
+    y.push_back(cls);
+  }
+  learn::MlpConfig mc;
+  mc.layers = {2, 16, 16, 2};
+  mc.epochs = 25;
+  learn::Mlp mlp(mc);
+  mlp.fit(x, y);
+  learn::QuantizedMlp q(mlp, 16);
+  const double clean = dnn_accuracy_under_errors(q, x, y, 0.0, 8);
+  const double noisy = dnn_accuracy_under_errors(q, x, y, 0.12, 8);
+  EXPECT_GT(clean, 0.9);
+  EXPECT_LT(noisy, clean + 1e-9);
+  // And the call restores clean weights.
+  EXPECT_DOUBLE_EQ(q.evaluate(x, y), clean);
+}
+
+TEST(Robustness, OrigRepresentationCollapsesUnderFloatErrors) {
+  // HOG-like float features + encoder + HDC learner: corrupting the float
+  // words destroys accuracy even though the classifier is holographic —
+  // the paper's key contrast (Table 2 bottom block).
+  core::Rng rng(9);
+  const std::size_t feat_dim = 16;
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 80; ++i) {
+    const int cls = i % 2;
+    std::vector<float> f(feat_dim);
+    for (auto& v : f) {
+      v = (cls == 0 ? 0.2f : 0.8f) + 0.1f * static_cast<float>(rng.gaussian());
+    }
+    x.push_back(std::move(f));
+    y.push_back(cls);
+  }
+  learn::EncoderConfig ec;
+  ec.dim = 2048;
+  ec.input_dim = feat_dim;
+  learn::NonlinearEncoder encoder(ec);
+  encoder.calibrate(x);
+  std::vector<core::Hypervector> features;
+  for (const auto& f : x) features.push_back(encoder.encode(f));
+  learn::HdcConfig hc;
+  hc.dim = 2048;
+  hc.classes = 2;
+  hc.epochs = 3;
+  learn::HdcClassifier model(hc);
+  model.fit(features, y);
+
+  const double clean =
+      hdc_orig_rep_accuracy_under_errors(model, encoder, x, y, 0.0, 10);
+  const double noisy_fixed = hdc_orig_rep_accuracy_under_errors(
+      model, encoder, x, y, 0.1, 10, FeatureCorruption::kFixed16);
+  const double noisy_float = hdc_orig_rep_accuracy_under_errors(
+      model, encoder, x, y, 0.05, 10, FeatureCorruption::kFloat32);
+  EXPECT_GT(clean, 0.9);
+  EXPECT_LT(noisy_fixed, clean - 0.1);
+  // IEEE-754 corruption is even more destructive (exponent excursions).
+  EXPECT_LT(noisy_float, clean - 0.1);
+}
+
+class RobustnessRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RobustnessRateSweep, AccuracyNeverBelowChanceMinusNoise) {
+  const double rate = GetParam();
+  const auto task = make_task(2048, 2, 30, 0.2, 21);
+  const auto model = trained_model(task, 2048, 2);
+  const double acc = hdc_binary_accuracy_under_errors(model, task.features,
+                                                      task.labels, rate, 13);
+  // Even full scrambling cannot push a binary task below ~chance.
+  EXPECT_GT(acc, 0.3);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(RobustnessRateTrend, DegradationIsMonotoneOnAverage) {
+  const auto task = make_task(2048, 2, 40, 0.2, 22);
+  const auto model = trained_model(task, 2048, 2);
+  auto avg_acc = [&](double rate) {
+    double s = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      s += hdc_binary_accuracy_under_errors(model, task.features, task.labels,
+                                            rate, seed);
+    }
+    return s / 5.0;
+  };
+  const double a0 = avg_acc(0.0);
+  const double a2 = avg_acc(0.2);
+  const double a4 = avg_acc(0.4);
+  EXPECT_GE(a0, a2 - 0.02);
+  EXPECT_GE(a2, a4 - 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RobustnessRateSweep,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.3));
+
+TEST(Robustness, ValidatesInputs) {
+  learn::HdcConfig hc;
+  hc.dim = 128;
+  learn::HdcClassifier model(hc);
+  EXPECT_THROW(hdc_binary_accuracy_under_errors(model, {}, {}, 0.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdface::pipeline

@@ -1,0 +1,104 @@
+#include "pipeline/tracking.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::pipeline {
+namespace {
+
+TEST(FaceTracker, ValidatesConfig) {
+  TrackerConfig bad;
+  bad.iou_match_threshold = 0.0;
+  EXPECT_THROW(FaceTracker{bad}, std::invalid_argument);
+  bad = {};
+  bad.position_alpha = 0.0;
+  EXPECT_THROW(FaceTracker{bad}, std::invalid_argument);
+}
+
+TEST(FaceTracker, OpensTrackPerDetection) {
+  FaceTracker tracker{TrackerConfig{}};
+  const auto& tracks =
+      tracker.update({{10, 10, 20, 0.9}, {100, 100, 20, 0.8}});
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_NE(tracks[0].id, tracks[1].id);
+  EXPECT_EQ(tracks[0].hits, 1u);
+}
+
+TEST(FaceTracker, FollowsMovingDetection) {
+  FaceTracker tracker{TrackerConfig{}};
+  std::uint64_t id = 0;
+  for (int f = 0; f < 8; ++f) {
+    const auto& tracks = tracker.update(
+        {{static_cast<std::size_t>(10 + 4 * f), 20, 24, 0.9}});
+    ASSERT_EQ(tracks.size(), 1u) << "frame " << f;
+    if (f == 0) id = tracks[0].id;
+    EXPECT_EQ(tracks[0].id, id) << "track identity must persist";
+  }
+  EXPECT_EQ(tracker.tracks()[0].hits, 8u);
+  // Smoothed position trails the latest observation but moved substantially.
+  EXPECT_GT(tracker.tracks()[0].box.x, 20u);
+}
+
+TEST(FaceTracker, SurvivesShortOcclusion) {
+  TrackerConfig cfg;
+  cfg.max_missed_frames = 2;
+  FaceTracker tracker{cfg};
+  tracker.update({{10, 10, 24, 0.9}});
+  const auto id = tracker.tracks()[0].id;
+  tracker.update({});  // occluded frame
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  const auto& tracks = tracker.update({{12, 11, 24, 0.9}});
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].id, id);
+  EXPECT_EQ(tracks[0].missed, 0u);
+}
+
+TEST(FaceTracker, RetiresLostTracks) {
+  TrackerConfig cfg;
+  cfg.max_missed_frames = 2;
+  FaceTracker tracker{cfg};
+  tracker.update({{10, 10, 24, 0.9}});
+  tracker.update({});
+  tracker.update({});
+  tracker.update({});
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(FaceTracker, KeepsDistinctTracksApart) {
+  FaceTracker tracker{TrackerConfig{}};
+  for (int f = 0; f < 5; ++f) {
+    const auto& tracks = tracker.update(
+        {{10, 10, 20, 0.9}, {200, 200, 20, 0.8}});
+    ASSERT_EQ(tracks.size(), 2u);
+  }
+  const auto confirmed = tracker.confirmed_tracks();
+  EXPECT_EQ(confirmed.size(), 2u);
+}
+
+TEST(FaceTracker, GreedyMatchPrefersHigherIou) {
+  FaceTracker tracker{TrackerConfig{}};
+  tracker.update({{10, 10, 20, 0.9}});
+  const auto id = tracker.tracks()[0].id;
+  // Two candidates: one overlapping heavily, one barely.
+  const auto& tracks = tracker.update({{40, 40, 20, 0.95}, {11, 10, 20, 0.5}});
+  // The close detection continues the track; the far one opens a new track.
+  ASSERT_EQ(tracks.size(), 2u);
+  const Track* continued = tracks[0].id == id ? &tracks[0] : &tracks[1];
+  EXPECT_EQ(continued->hits, 2u);
+  EXPECT_LT(continued->box.x, 10 + 10u);
+}
+
+TEST(FaceTracker, ConfirmationThreshold) {
+  TrackerConfig cfg;
+  cfg.min_hits_to_confirm = 3;
+  FaceTracker tracker{cfg};
+  tracker.update({{10, 10, 20, 0.9}});
+  tracker.update({{10, 10, 20, 0.9}});
+  EXPECT_TRUE(tracker.confirmed_tracks().empty());
+  tracker.update({{10, 10, 20, 0.9}});
+  EXPECT_EQ(tracker.confirmed_tracks().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hdface::pipeline

@@ -1,0 +1,54 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdface::util {
+namespace {
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, ParsesKeyValuePairs) {
+  const Args a = make({"--dim", "4096", "--name=face"});
+  EXPECT_EQ(a.get_int("dim", 0), 4096);
+  EXPECT_EQ(a.get("name", ""), "face");
+}
+
+TEST(Args, FallbacksWhenMissing) {
+  const Args a = make({});
+  EXPECT_EQ(a.get_int("dim", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("rate", 0.5), 0.5);
+  EXPECT_EQ(a.get("name", "x"), "x");
+  EXPECT_FALSE(a.has("dim"));
+}
+
+TEST(Args, BareFlagIsTrue) {
+  const Args a = make({"--verbose"});
+  EXPECT_TRUE(a.get_bool("verbose"));
+  EXPECT_FALSE(a.get_bool("quiet"));
+}
+
+TEST(Args, ExplicitBooleanValues) {
+  const Args a = make({"--x=false", "--y", "yes", "--z=1"});
+  EXPECT_FALSE(a.get_bool("x", true));
+  EXPECT_TRUE(a.get_bool("y"));
+  EXPECT_TRUE(a.get_bool("z"));
+}
+
+TEST(Args, CollectsPositional) {
+  const Args a = make({"first", "--k", "v", "second"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "first");
+  EXPECT_EQ(a.positional()[1], "second");
+}
+
+TEST(Args, ParsesDoubles) {
+  const Args a = make({"--rate=0.25"});
+  EXPECT_DOUBLE_EQ(a.get_double("rate", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace hdface::util

@@ -1,0 +1,56 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace hdface::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Csv, EscapePassthroughForPlainFields) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+}
+
+TEST(Csv, EscapeQuotesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = temp_path("hdface_csv_test.csv");
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.add_row({"1", "2"});
+    w.add_row({"x,y", "3"});
+  }
+  EXPECT_EQ(slurp(path), "a,b\n1,2\n\"x,y\",3\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  const std::string path = temp_path("hdface_csv_arity.csv");
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.add_row({"just one"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hdface::util

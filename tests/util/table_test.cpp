@@ -1,0 +1,48 @@
+#include "util/table.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace hdface::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "123456"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value  |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| alpha | 1      |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| b     | 123456 |"), std::string::npos) << s;
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, PercentFormatsFraction) {
+  EXPECT_EQ(Table::percent(0.1234, 1), "12.3%");
+  EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}
+
+TEST(Table, PrintsHeaderEvenWithoutRows) {
+  Table t({"col"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdface::util

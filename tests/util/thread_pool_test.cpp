@@ -1,0 +1,80 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hdface::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ParallelFor, CoversExactRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 5, 95, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 5 && i < 95) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 10, 10, [&](std::size_t) { ++calls; });
+  parallel_for(pool, 10, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SerialFallbackOnSingleWorker) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(pool, 0, 8, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 64,
+                   [](std::size_t i) {
+                     if (i == 33) throw std::runtime_error("bad index");
+                   }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hdface::util
