@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_extractors.cpp" "bench-build/CMakeFiles/ablation_extractors.dir/ablation_extractors.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_extractors.dir/ablation_extractors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/hd_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hd_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/hd_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/hd_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/hd_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/hd_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hd_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

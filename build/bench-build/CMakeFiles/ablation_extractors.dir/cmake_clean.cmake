@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_extractors"
+  "../bench/ablation_extractors.pdb"
+  "CMakeFiles/ablation_extractors.dir/ablation_extractors.cpp.o"
+  "CMakeFiles/ablation_extractors.dir/ablation_extractors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extractors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

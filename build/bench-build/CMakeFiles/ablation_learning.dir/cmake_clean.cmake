@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_learning"
+  "../bench/ablation_learning.pdb"
+  "CMakeFiles/ablation_learning.dir/ablation_learning.cpp.o"
+  "CMakeFiles/ablation_learning.dir/ablation_learning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

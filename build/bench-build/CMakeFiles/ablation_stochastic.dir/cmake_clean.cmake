@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_stochastic"
+  "../bench/ablation_stochastic.pdb"
+  "CMakeFiles/ablation_stochastic.dir/ablation_stochastic.cpp.o"
+  "CMakeFiles/ablation_stochastic.dir/ablation_stochastic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stochastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_arith_error"
+  "../bench/fig2_arith_error.pdb"
+  "CMakeFiles/fig2_arith_error.dir/fig2_arith_error.cpp.o"
+  "CMakeFiles/fig2_arith_error.dir/fig2_arith_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_arith_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_accuracy"
+  "../bench/fig4_accuracy.pdb"
+  "CMakeFiles/fig4_accuracy.dir/fig4_accuracy.cpp.o"
+  "CMakeFiles/fig4_accuracy.dir/fig4_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

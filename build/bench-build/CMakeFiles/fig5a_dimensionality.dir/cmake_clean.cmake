@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a_dimensionality"
+  "../bench/fig5a_dimensionality.pdb"
+  "CMakeFiles/fig5a_dimensionality.dir/fig5a_dimensionality.cpp.o"
+  "CMakeFiles/fig5a_dimensionality.dir/fig5a_dimensionality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

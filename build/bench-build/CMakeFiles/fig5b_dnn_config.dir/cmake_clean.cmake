@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_dnn_config"
+  "../bench/fig5b_dnn_config.pdb"
+  "CMakeFiles/fig5b_dnn_config.dir/fig5b_dnn_config.cpp.o"
+  "CMakeFiles/fig5b_dnn_config.dir/fig5b_dnn_config.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_dnn_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

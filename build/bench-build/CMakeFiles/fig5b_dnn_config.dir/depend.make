@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5b_dnn_config.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_visual"
+  "../bench/fig6_visual.pdb"
+  "CMakeFiles/fig6_visual.dir/fig6_visual.cpp.o"
+  "CMakeFiles/fig6_visual.dir/fig6_visual.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_visual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_efficiency"
+  "../bench/fig7_efficiency.pdb"
+  "CMakeFiles/fig7_efficiency.dir/fig7_efficiency.cpp.o"
+  "CMakeFiles/fig7_efficiency.dir/fig7_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

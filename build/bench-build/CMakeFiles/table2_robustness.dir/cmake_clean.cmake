@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_robustness"
+  "../bench/table2_robustness.pdb"
+  "CMakeFiles/table2_robustness.dir/table2_robustness.cpp.o"
+  "CMakeFiles/table2_robustness.dir/table2_robustness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

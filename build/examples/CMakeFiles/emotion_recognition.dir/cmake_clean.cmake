@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emotion_recognition.dir/emotion_recognition.cpp.o"
+  "CMakeFiles/emotion_recognition.dir/emotion_recognition.cpp.o.d"
+  "emotion_recognition"
+  "emotion_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emotion_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

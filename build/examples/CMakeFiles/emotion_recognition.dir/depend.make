@@ -1,0 +1,2 @@
+# Empty dependencies file for emotion_recognition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/face_tracking.dir/face_tracking.cpp.o"
+  "CMakeFiles/face_tracking.dir/face_tracking.cpp.o.d"
+  "face_tracking"
+  "face_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/face_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiscale_detection.dir/multiscale_detection.cpp.o"
+  "CMakeFiles/multiscale_detection.dir/multiscale_detection.cpp.o.d"
+  "multiscale_detection"
+  "multiscale_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiscale_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accumulator.cpp" "src/core/CMakeFiles/hd_core.dir/accumulator.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/accumulator.cpp.o.d"
+  "/root/repo/src/core/hypervector.cpp" "src/core/CMakeFiles/hd_core.dir/hypervector.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/hypervector.cpp.o.d"
+  "/root/repo/src/core/item_memory.cpp" "src/core/CMakeFiles/hd_core.dir/item_memory.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/item_memory.cpp.o.d"
+  "/root/repo/src/core/stochastic.cpp" "src/core/CMakeFiles/hd_core.dir/stochastic.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/stochastic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_core.dir/accumulator.cpp.o"
+  "CMakeFiles/hd_core.dir/accumulator.cpp.o.d"
+  "CMakeFiles/hd_core.dir/hypervector.cpp.o"
+  "CMakeFiles/hd_core.dir/hypervector.cpp.o.d"
+  "CMakeFiles/hd_core.dir/item_memory.cpp.o"
+  "CMakeFiles/hd_core.dir/item_memory.cpp.o.d"
+  "CMakeFiles/hd_core.dir/stochastic.cpp.o"
+  "CMakeFiles/hd_core.dir/stochastic.cpp.o.d"
+  "libhd_core.a"
+  "libhd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

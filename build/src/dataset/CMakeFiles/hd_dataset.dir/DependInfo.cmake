@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/background_generator.cpp" "src/dataset/CMakeFiles/hd_dataset.dir/background_generator.cpp.o" "gcc" "src/dataset/CMakeFiles/hd_dataset.dir/background_generator.cpp.o.d"
+  "/root/repo/src/dataset/dataset.cpp" "src/dataset/CMakeFiles/hd_dataset.dir/dataset.cpp.o" "gcc" "src/dataset/CMakeFiles/hd_dataset.dir/dataset.cpp.o.d"
+  "/root/repo/src/dataset/emotion_generator.cpp" "src/dataset/CMakeFiles/hd_dataset.dir/emotion_generator.cpp.o" "gcc" "src/dataset/CMakeFiles/hd_dataset.dir/emotion_generator.cpp.o.d"
+  "/root/repo/src/dataset/face_generator.cpp" "src/dataset/CMakeFiles/hd_dataset.dir/face_generator.cpp.o" "gcc" "src/dataset/CMakeFiles/hd_dataset.dir/face_generator.cpp.o.d"
+  "/root/repo/src/dataset/face_render.cpp" "src/dataset/CMakeFiles/hd_dataset.dir/face_render.cpp.o" "gcc" "src/dataset/CMakeFiles/hd_dataset.dir/face_render.cpp.o.d"
+  "/root/repo/src/dataset/loader.cpp" "src/dataset/CMakeFiles/hd_dataset.dir/loader.cpp.o" "gcc" "src/dataset/CMakeFiles/hd_dataset.dir/loader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/hd_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_dataset.dir/background_generator.cpp.o"
+  "CMakeFiles/hd_dataset.dir/background_generator.cpp.o.d"
+  "CMakeFiles/hd_dataset.dir/dataset.cpp.o"
+  "CMakeFiles/hd_dataset.dir/dataset.cpp.o.d"
+  "CMakeFiles/hd_dataset.dir/emotion_generator.cpp.o"
+  "CMakeFiles/hd_dataset.dir/emotion_generator.cpp.o.d"
+  "CMakeFiles/hd_dataset.dir/face_generator.cpp.o"
+  "CMakeFiles/hd_dataset.dir/face_generator.cpp.o.d"
+  "CMakeFiles/hd_dataset.dir/face_render.cpp.o"
+  "CMakeFiles/hd_dataset.dir/face_render.cpp.o.d"
+  "CMakeFiles/hd_dataset.dir/loader.cpp.o"
+  "CMakeFiles/hd_dataset.dir/loader.cpp.o.d"
+  "libhd_dataset.a"
+  "libhd_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

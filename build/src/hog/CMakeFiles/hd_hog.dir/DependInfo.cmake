@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hog/angle_bins.cpp" "src/hog/CMakeFiles/hd_hog.dir/angle_bins.cpp.o" "gcc" "src/hog/CMakeFiles/hd_hog.dir/angle_bins.cpp.o.d"
+  "/root/repo/src/hog/feature_bundler.cpp" "src/hog/CMakeFiles/hd_hog.dir/feature_bundler.cpp.o" "gcc" "src/hog/CMakeFiles/hd_hog.dir/feature_bundler.cpp.o.d"
+  "/root/repo/src/hog/gradient.cpp" "src/hog/CMakeFiles/hd_hog.dir/gradient.cpp.o" "gcc" "src/hog/CMakeFiles/hd_hog.dir/gradient.cpp.o.d"
+  "/root/repo/src/hog/haar.cpp" "src/hog/CMakeFiles/hd_hog.dir/haar.cpp.o" "gcc" "src/hog/CMakeFiles/hd_hog.dir/haar.cpp.o.d"
+  "/root/repo/src/hog/hd_hog.cpp" "src/hog/CMakeFiles/hd_hog.dir/hd_hog.cpp.o" "gcc" "src/hog/CMakeFiles/hd_hog.dir/hd_hog.cpp.o.d"
+  "/root/repo/src/hog/hog.cpp" "src/hog/CMakeFiles/hd_hog.dir/hog.cpp.o" "gcc" "src/hog/CMakeFiles/hd_hog.dir/hog.cpp.o.d"
+  "/root/repo/src/hog/integral.cpp" "src/hog/CMakeFiles/hd_hog.dir/integral.cpp.o" "gcc" "src/hog/CMakeFiles/hd_hog.dir/integral.cpp.o.d"
+  "/root/repo/src/hog/lbp.cpp" "src/hog/CMakeFiles/hd_hog.dir/lbp.cpp.o" "gcc" "src/hog/CMakeFiles/hd_hog.dir/lbp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hd_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_hog.dir/angle_bins.cpp.o"
+  "CMakeFiles/hd_hog.dir/angle_bins.cpp.o.d"
+  "CMakeFiles/hd_hog.dir/feature_bundler.cpp.o"
+  "CMakeFiles/hd_hog.dir/feature_bundler.cpp.o.d"
+  "CMakeFiles/hd_hog.dir/gradient.cpp.o"
+  "CMakeFiles/hd_hog.dir/gradient.cpp.o.d"
+  "CMakeFiles/hd_hog.dir/haar.cpp.o"
+  "CMakeFiles/hd_hog.dir/haar.cpp.o.d"
+  "CMakeFiles/hd_hog.dir/hd_hog.cpp.o"
+  "CMakeFiles/hd_hog.dir/hd_hog.cpp.o.d"
+  "CMakeFiles/hd_hog.dir/hog.cpp.o"
+  "CMakeFiles/hd_hog.dir/hog.cpp.o.d"
+  "CMakeFiles/hd_hog.dir/integral.cpp.o"
+  "CMakeFiles/hd_hog.dir/integral.cpp.o.d"
+  "CMakeFiles/hd_hog.dir/lbp.cpp.o"
+  "CMakeFiles/hd_hog.dir/lbp.cpp.o.d"
+  "libhd_hog.a"
+  "libhd_hog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_hog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_image.dir/draw.cpp.o"
+  "CMakeFiles/hd_image.dir/draw.cpp.o.d"
+  "CMakeFiles/hd_image.dir/image.cpp.o"
+  "CMakeFiles/hd_image.dir/image.cpp.o.d"
+  "CMakeFiles/hd_image.dir/pnm.cpp.o"
+  "CMakeFiles/hd_image.dir/pnm.cpp.o.d"
+  "CMakeFiles/hd_image.dir/transform.cpp.o"
+  "CMakeFiles/hd_image.dir/transform.cpp.o.d"
+  "libhd_image.a"
+  "libhd_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/encoder.cpp" "src/learn/CMakeFiles/hd_learn.dir/encoder.cpp.o" "gcc" "src/learn/CMakeFiles/hd_learn.dir/encoder.cpp.o.d"
+  "/root/repo/src/learn/hdc_model.cpp" "src/learn/CMakeFiles/hd_learn.dir/hdc_model.cpp.o" "gcc" "src/learn/CMakeFiles/hd_learn.dir/hdc_model.cpp.o.d"
+  "/root/repo/src/learn/metrics.cpp" "src/learn/CMakeFiles/hd_learn.dir/metrics.cpp.o" "gcc" "src/learn/CMakeFiles/hd_learn.dir/metrics.cpp.o.d"
+  "/root/repo/src/learn/mlp.cpp" "src/learn/CMakeFiles/hd_learn.dir/mlp.cpp.o" "gcc" "src/learn/CMakeFiles/hd_learn.dir/mlp.cpp.o.d"
+  "/root/repo/src/learn/online.cpp" "src/learn/CMakeFiles/hd_learn.dir/online.cpp.o" "gcc" "src/learn/CMakeFiles/hd_learn.dir/online.cpp.o.d"
+  "/root/repo/src/learn/quantized_mlp.cpp" "src/learn/CMakeFiles/hd_learn.dir/quantized_mlp.cpp.o" "gcc" "src/learn/CMakeFiles/hd_learn.dir/quantized_mlp.cpp.o.d"
+  "/root/repo/src/learn/serialize.cpp" "src/learn/CMakeFiles/hd_learn.dir/serialize.cpp.o" "gcc" "src/learn/CMakeFiles/hd_learn.dir/serialize.cpp.o.d"
+  "/root/repo/src/learn/svm.cpp" "src/learn/CMakeFiles/hd_learn.dir/svm.cpp.o" "gcc" "src/learn/CMakeFiles/hd_learn.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/hd_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hd_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_learn.dir/encoder.cpp.o"
+  "CMakeFiles/hd_learn.dir/encoder.cpp.o.d"
+  "CMakeFiles/hd_learn.dir/hdc_model.cpp.o"
+  "CMakeFiles/hd_learn.dir/hdc_model.cpp.o.d"
+  "CMakeFiles/hd_learn.dir/metrics.cpp.o"
+  "CMakeFiles/hd_learn.dir/metrics.cpp.o.d"
+  "CMakeFiles/hd_learn.dir/mlp.cpp.o"
+  "CMakeFiles/hd_learn.dir/mlp.cpp.o.d"
+  "CMakeFiles/hd_learn.dir/online.cpp.o"
+  "CMakeFiles/hd_learn.dir/online.cpp.o.d"
+  "CMakeFiles/hd_learn.dir/quantized_mlp.cpp.o"
+  "CMakeFiles/hd_learn.dir/quantized_mlp.cpp.o.d"
+  "CMakeFiles/hd_learn.dir/serialize.cpp.o"
+  "CMakeFiles/hd_learn.dir/serialize.cpp.o.d"
+  "CMakeFiles/hd_learn.dir/svm.cpp.o"
+  "CMakeFiles/hd_learn.dir/svm.cpp.o.d"
+  "libhd_learn.a"
+  "libhd_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

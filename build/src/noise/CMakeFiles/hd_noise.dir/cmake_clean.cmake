@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_noise.dir/bit_flip.cpp.o"
+  "CMakeFiles/hd_noise.dir/bit_flip.cpp.o.d"
+  "libhd_noise.a"
+  "libhd_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/cycle_sim.cpp" "src/perf/CMakeFiles/hd_perf.dir/cycle_sim.cpp.o" "gcc" "src/perf/CMakeFiles/hd_perf.dir/cycle_sim.cpp.o.d"
+  "/root/repo/src/perf/fpga_datapath.cpp" "src/perf/CMakeFiles/hd_perf.dir/fpga_datapath.cpp.o" "gcc" "src/perf/CMakeFiles/hd_perf.dir/fpga_datapath.cpp.o.d"
+  "/root/repo/src/perf/platform.cpp" "src/perf/CMakeFiles/hd_perf.dir/platform.cpp.o" "gcc" "src/perf/CMakeFiles/hd_perf.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_perf.dir/cycle_sim.cpp.o"
+  "CMakeFiles/hd_perf.dir/cycle_sim.cpp.o.d"
+  "CMakeFiles/hd_perf.dir/fpga_datapath.cpp.o"
+  "CMakeFiles/hd_perf.dir/fpga_datapath.cpp.o.d"
+  "CMakeFiles/hd_perf.dir/platform.cpp.o"
+  "CMakeFiles/hd_perf.dir/platform.cpp.o.d"
+  "libhd_perf.a"
+  "libhd_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/dnn_pipeline.cpp" "src/pipeline/CMakeFiles/hd_pipeline.dir/dnn_pipeline.cpp.o" "gcc" "src/pipeline/CMakeFiles/hd_pipeline.dir/dnn_pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/features.cpp" "src/pipeline/CMakeFiles/hd_pipeline.dir/features.cpp.o" "gcc" "src/pipeline/CMakeFiles/hd_pipeline.dir/features.cpp.o.d"
+  "/root/repo/src/pipeline/hdface_pipeline.cpp" "src/pipeline/CMakeFiles/hd_pipeline.dir/hdface_pipeline.cpp.o" "gcc" "src/pipeline/CMakeFiles/hd_pipeline.dir/hdface_pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/multiscale.cpp" "src/pipeline/CMakeFiles/hd_pipeline.dir/multiscale.cpp.o" "gcc" "src/pipeline/CMakeFiles/hd_pipeline.dir/multiscale.cpp.o.d"
+  "/root/repo/src/pipeline/robustness.cpp" "src/pipeline/CMakeFiles/hd_pipeline.dir/robustness.cpp.o" "gcc" "src/pipeline/CMakeFiles/hd_pipeline.dir/robustness.cpp.o.d"
+  "/root/repo/src/pipeline/sliding_window.cpp" "src/pipeline/CMakeFiles/hd_pipeline.dir/sliding_window.cpp.o" "gcc" "src/pipeline/CMakeFiles/hd_pipeline.dir/sliding_window.cpp.o.d"
+  "/root/repo/src/pipeline/svm_pipeline.cpp" "src/pipeline/CMakeFiles/hd_pipeline.dir/svm_pipeline.cpp.o" "gcc" "src/pipeline/CMakeFiles/hd_pipeline.dir/svm_pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/tracking.cpp" "src/pipeline/CMakeFiles/hd_pipeline.dir/tracking.cpp.o" "gcc" "src/pipeline/CMakeFiles/hd_pipeline.dir/tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hd_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/hd_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/hd_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/hd_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/hd_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hd_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

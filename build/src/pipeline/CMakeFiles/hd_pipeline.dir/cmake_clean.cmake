@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_pipeline.dir/dnn_pipeline.cpp.o"
+  "CMakeFiles/hd_pipeline.dir/dnn_pipeline.cpp.o.d"
+  "CMakeFiles/hd_pipeline.dir/features.cpp.o"
+  "CMakeFiles/hd_pipeline.dir/features.cpp.o.d"
+  "CMakeFiles/hd_pipeline.dir/hdface_pipeline.cpp.o"
+  "CMakeFiles/hd_pipeline.dir/hdface_pipeline.cpp.o.d"
+  "CMakeFiles/hd_pipeline.dir/multiscale.cpp.o"
+  "CMakeFiles/hd_pipeline.dir/multiscale.cpp.o.d"
+  "CMakeFiles/hd_pipeline.dir/robustness.cpp.o"
+  "CMakeFiles/hd_pipeline.dir/robustness.cpp.o.d"
+  "CMakeFiles/hd_pipeline.dir/sliding_window.cpp.o"
+  "CMakeFiles/hd_pipeline.dir/sliding_window.cpp.o.d"
+  "CMakeFiles/hd_pipeline.dir/svm_pipeline.cpp.o"
+  "CMakeFiles/hd_pipeline.dir/svm_pipeline.cpp.o.d"
+  "CMakeFiles/hd_pipeline.dir/tracking.cpp.o"
+  "CMakeFiles/hd_pipeline.dir/tracking.cpp.o.d"
+  "libhd_pipeline.a"
+  "libhd_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

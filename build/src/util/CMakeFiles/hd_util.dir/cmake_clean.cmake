@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_util.dir/args.cpp.o"
+  "CMakeFiles/hd_util.dir/args.cpp.o.d"
+  "CMakeFiles/hd_util.dir/csv.cpp.o"
+  "CMakeFiles/hd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hd_util.dir/table.cpp.o"
+  "CMakeFiles/hd_util.dir/table.cpp.o.d"
+  "CMakeFiles/hd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hd_util.dir/thread_pool.cpp.o.d"
+  "libhd_util.a"
+  "libhd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

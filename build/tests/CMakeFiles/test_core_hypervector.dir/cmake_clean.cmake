@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_hypervector.dir/core/accumulator_test.cpp.o"
+  "CMakeFiles/test_core_hypervector.dir/core/accumulator_test.cpp.o.d"
+  "CMakeFiles/test_core_hypervector.dir/core/hypervector_test.cpp.o"
+  "CMakeFiles/test_core_hypervector.dir/core/hypervector_test.cpp.o.d"
+  "CMakeFiles/test_core_hypervector.dir/core/rng_test.cpp.o"
+  "CMakeFiles/test_core_hypervector.dir/core/rng_test.cpp.o.d"
+  "test_core_hypervector"
+  "test_core_hypervector.pdb"
+  "test_core_hypervector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_hypervector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_item_memory.dir/core/item_memory_test.cpp.o"
+  "CMakeFiles/test_core_item_memory.dir/core/item_memory_test.cpp.o.d"
+  "test_core_item_memory"
+  "test_core_item_memory.pdb"
+  "test_core_item_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_item_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

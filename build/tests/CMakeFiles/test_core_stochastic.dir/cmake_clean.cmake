@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_stochastic.dir/core/stochastic_extra_test.cpp.o"
+  "CMakeFiles/test_core_stochastic.dir/core/stochastic_extra_test.cpp.o.d"
+  "CMakeFiles/test_core_stochastic.dir/core/stochastic_property_test.cpp.o"
+  "CMakeFiles/test_core_stochastic.dir/core/stochastic_property_test.cpp.o.d"
+  "CMakeFiles/test_core_stochastic.dir/core/stochastic_test.cpp.o"
+  "CMakeFiles/test_core_stochastic.dir/core/stochastic_test.cpp.o.d"
+  "test_core_stochastic"
+  "test_core_stochastic.pdb"
+  "test_core_stochastic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_stochastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hd_hog.dir/hog/feature_bundler_test.cpp.o"
+  "CMakeFiles/test_hd_hog.dir/hog/feature_bundler_test.cpp.o.d"
+  "CMakeFiles/test_hd_hog.dir/hog/hd_hog_property_test.cpp.o"
+  "CMakeFiles/test_hd_hog.dir/hog/hd_hog_property_test.cpp.o.d"
+  "CMakeFiles/test_hd_hog.dir/hog/hd_hog_test.cpp.o"
+  "CMakeFiles/test_hd_hog.dir/hog/hd_hog_test.cpp.o.d"
+  "test_hd_hog"
+  "test_hd_hog.pdb"
+  "test_hd_hog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hd_hog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hog.dir/hog/angle_bins_test.cpp.o"
+  "CMakeFiles/test_hog.dir/hog/angle_bins_test.cpp.o.d"
+  "CMakeFiles/test_hog.dir/hog/gradient_test.cpp.o"
+  "CMakeFiles/test_hog.dir/hog/gradient_test.cpp.o.d"
+  "CMakeFiles/test_hog.dir/hog/hog_test.cpp.o"
+  "CMakeFiles/test_hog.dir/hog/hog_test.cpp.o.d"
+  "test_hog"
+  "test_hog.pdb"
+  "test_hog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hog_alt.dir/hog/haar_test.cpp.o"
+  "CMakeFiles/test_hog_alt.dir/hog/haar_test.cpp.o.d"
+  "CMakeFiles/test_hog_alt.dir/hog/integral_test.cpp.o"
+  "CMakeFiles/test_hog_alt.dir/hog/integral_test.cpp.o.d"
+  "CMakeFiles/test_hog_alt.dir/hog/lbp_test.cpp.o"
+  "CMakeFiles/test_hog_alt.dir/hog/lbp_test.cpp.o.d"
+  "test_hog_alt"
+  "test_hog_alt.pdb"
+  "test_hog_alt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hog_alt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

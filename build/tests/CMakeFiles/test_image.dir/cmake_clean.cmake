@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image.dir/image/draw_test.cpp.o"
+  "CMakeFiles/test_image.dir/image/draw_test.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/image_test.cpp.o"
+  "CMakeFiles/test_image.dir/image/image_test.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/pnm_fuzz_test.cpp.o"
+  "CMakeFiles/test_image.dir/image/pnm_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/pnm_test.cpp.o"
+  "CMakeFiles/test_image.dir/image/pnm_test.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/transform_test.cpp.o"
+  "CMakeFiles/test_image.dir/image/transform_test.cpp.o.d"
+  "test_image"
+  "test_image.pdb"
+  "test_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learn.dir/learn/encoder_test.cpp.o"
+  "CMakeFiles/test_learn.dir/learn/encoder_test.cpp.o.d"
+  "CMakeFiles/test_learn.dir/learn/hdc_model_test.cpp.o"
+  "CMakeFiles/test_learn.dir/learn/hdc_model_test.cpp.o.d"
+  "CMakeFiles/test_learn.dir/learn/metrics_test.cpp.o"
+  "CMakeFiles/test_learn.dir/learn/metrics_test.cpp.o.d"
+  "CMakeFiles/test_learn.dir/learn/mlp_test.cpp.o"
+  "CMakeFiles/test_learn.dir/learn/mlp_test.cpp.o.d"
+  "CMakeFiles/test_learn.dir/learn/online_test.cpp.o"
+  "CMakeFiles/test_learn.dir/learn/online_test.cpp.o.d"
+  "CMakeFiles/test_learn.dir/learn/quantized_mlp_test.cpp.o"
+  "CMakeFiles/test_learn.dir/learn/quantized_mlp_test.cpp.o.d"
+  "CMakeFiles/test_learn.dir/learn/serialize_test.cpp.o"
+  "CMakeFiles/test_learn.dir/learn/serialize_test.cpp.o.d"
+  "CMakeFiles/test_learn.dir/learn/svm_test.cpp.o"
+  "CMakeFiles/test_learn.dir/learn/svm_test.cpp.o.d"
+  "test_learn"
+  "test_learn.pdb"
+  "test_learn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline/baseline_pipeline_test.cpp" "tests/CMakeFiles/test_pipeline.dir/pipeline/baseline_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/baseline_pipeline_test.cpp.o.d"
+  "/root/repo/tests/pipeline/hdface_pipeline_test.cpp" "tests/CMakeFiles/test_pipeline.dir/pipeline/hdface_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/hdface_pipeline_test.cpp.o.d"
+  "/root/repo/tests/pipeline/integration_test.cpp" "tests/CMakeFiles/test_pipeline.dir/pipeline/integration_test.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/integration_test.cpp.o.d"
+  "/root/repo/tests/pipeline/multiscale_test.cpp" "tests/CMakeFiles/test_pipeline.dir/pipeline/multiscale_test.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/multiscale_test.cpp.o.d"
+  "/root/repo/tests/pipeline/robustness_test.cpp" "tests/CMakeFiles/test_pipeline.dir/pipeline/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/robustness_test.cpp.o.d"
+  "/root/repo/tests/pipeline/sliding_window_test.cpp" "tests/CMakeFiles/test_pipeline.dir/pipeline/sliding_window_test.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/sliding_window_test.cpp.o.d"
+  "/root/repo/tests/pipeline/tracking_test.cpp" "tests/CMakeFiles/test_pipeline.dir/pipeline/tracking_test.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/tracking_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/hd_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hd_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/hd_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/hd_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/hd_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/hd_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hd_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/pipeline/baseline_pipeline_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/baseline_pipeline_test.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/hdface_pipeline_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/hdface_pipeline_test.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/integration_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/integration_test.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/multiscale_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/multiscale_test.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/robustness_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/robustness_test.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/sliding_window_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/sliding_window_test.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/tracking_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/tracking_test.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+  "test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

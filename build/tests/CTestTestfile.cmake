@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_core_hypervector[1]_include.cmake")
+include("/root/repo/build/tests/test_core_stochastic[1]_include.cmake")
+include("/root/repo/build/tests/test_core_item_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_image[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_hog[1]_include.cmake")
+include("/root/repo/build/tests/test_hd_hog[1]_include.cmake")
+include("/root/repo/build/tests/test_hog_alt[1]_include.cmake")
+include("/root/repo/build/tests/test_learn[1]_include.cmake")
+include("/root/repo/build/tests/test_noise[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
