@@ -10,10 +10,10 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "api/detector.hpp"
 #include "common.hpp"
 #include "dataset/background_generator.hpp"
 #include "image/transform.hpp"
-#include "pipeline/sliding_window.hpp"
 
 namespace {
 
@@ -59,11 +59,14 @@ int main(int argc, char** argv) {
 
   util::Table summary({"D", "face windows hit", "false positives", "map"});
   for (const std::size_t dim : {1024u, 4096u, 10240u}) {
-    auto cfg = bench::hdface_config(dim);
-    pipeline::HdFacePipeline pipe(cfg, window, window, 2);
-    pipe.fit(face_data.train);
-    pipeline::SlidingWindowDetector det(pipe, window, stride);
-    const auto map = det.detect(scene.img);
+    api::Detector det = api::DetectorBuilder()
+                            .window(window)
+                            .config(bench::hdface_config(dim))
+                            .build();
+    det.fit(face_data.train);
+    api::DetectOptions opts;
+    opts.stride = stride;
+    const auto map = det.detect_map(scene.img, opts);
 
     std::string ascii;
     std::size_t hits = 0;
@@ -100,16 +103,20 @@ int main(int argc, char** argv) {
   util::Table emo_table({"D", "angry", "disgust", "fear", "happy", "neutral",
                          "sad", "surprise", "correct"});
   for (const std::size_t dim : {1024u, 4096u, 10240u}) {
-    auto cfg = bench::hdface_config(dim, pipeline::HdFaceMode::kHdHog,
-                                    hog::HdHogMode::kDecodeShortcut);
-    pipeline::HdFacePipeline pipe(cfg, 48, 48, 7);
-    pipe.fit(emotion.train);
+    api::Detector det =
+        api::DetectorBuilder()
+            .window(48)
+            .classes(7)
+            .config(bench::hdface_config(dim, pipeline::HdFaceMode::kHdHog,
+                                         hog::HdHogMode::kDecodeShortcut))
+            .build();
+    det.fit(emotion.train);
     std::vector<std::string> row = {std::to_string(dim)};
     int correct = 0;
     for (int c = 0; c < dataset::kNumEmotions; ++c) {
       const auto img = dataset::render_emotion_window(
           48, static_cast<dataset::Emotion>(c), 0xF16B + static_cast<unsigned>(c));
-      const int pred = pipe.predict(img);
+      const int pred = det.predict(img);
       row.push_back(dataset::emotion_name(static_cast<dataset::Emotion>(pred)));
       if (pred == c) ++correct;
     }

@@ -8,9 +8,9 @@
 
 #include <cstdio>
 
+#include "api/detector.hpp"
 #include "dataset/emotion_generator.hpp"
 #include "learn/metrics.hpp"
-#include "pipeline/hdface_pipeline.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
@@ -28,21 +28,24 @@ int main(int argc, char** argv) {
   data_cfg.seed = 4242;
   const auto test = dataset::make_emotion_dataset(data_cfg);
 
-  pipeline::HdFaceConfig cfg;
-  cfg.dim = dim;
-  cfg.mode = use_encoder ? pipeline::HdFaceMode::kOrigHogEncoder
-                         : pipeline::HdFaceMode::kHdHog;
-  cfg.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
-  cfg.hog.cell_size = 4;
-  pipeline::HdFacePipeline pipe(cfg, 48, 48, dataset::kNumEmotions);
+  // Same facade as face detection: an emotion workload is just a 7-class
+  // 48x48-window detector.
+  api::Detector det = api::DetectorBuilder()
+                          .window(48)
+                          .classes(dataset::kNumEmotions)
+                          .dim(dim)
+                          .mode(use_encoder ? pipeline::HdFaceMode::kOrigHogEncoder
+                                            : pipeline::HdFaceMode::kHdHog)
+                          .hd_hog_mode(hog::HdHogMode::kDecodeShortcut)
+                          .build();
 
   std::printf("training %s pipeline (D=%zu) on %zu images...\n",
               use_encoder ? "orig-HOG+encoder" : "HD-HOG", dim, train.size());
-  pipe.fit(train);
+  det.fit(train);
 
   std::vector<int> predictions;
   predictions.reserve(test.size());
-  for (const auto& img : test.images) predictions.push_back(pipe.predict(img));
+  for (const auto& img : test.images) predictions.push_back(det.predict(img));
   const double acc = learn::accuracy(predictions, test.labels);
   std::printf("test accuracy: %.1f%% (chance: %.1f%%)\n\n", 100.0 * acc,
               100.0 / dataset::kNumEmotions);

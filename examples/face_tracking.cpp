@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "api/detector.hpp"
 #include "dataset/background_generator.hpp"
 #include "dataset/face_generator.hpp"
 #include "image/transform.hpp"
@@ -27,13 +28,13 @@ int main(int argc, char** argv) {
   data_cfg.num_samples = n_train;
   const auto train = dataset::make_face_dataset(data_cfg);
 
-  pipeline::HdFaceConfig cfg;
-  cfg.dim = dim;
-  cfg.hog.cell_size = 4;
-  cfg.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
-  pipeline::HdFacePipeline pipe(cfg, window, window, 2);
+  api::Detector det = api::DetectorBuilder()
+                          .window(window)
+                          .dim(dim)
+                          .hd_hog_mode(hog::HdHogMode::kDecodeShortcut)
+                          .build();
   std::printf("training detector...\n");
-  pipe.fit(train);
+  det.fit(train);
 
   // Static background; the same face slides across it frame by frame.
   image::Image background(4 * window, 2 * window, 0.5f);
@@ -41,10 +42,9 @@ int main(int argc, char** argv) {
   dataset::render_background(background, dataset::BackgroundKind::kValueNoise, rng);
   const auto face = dataset::render_face_window(window, 4242);
 
-  pipeline::MultiScaleConfig ms;
-  ms.scales = {1.0};
-  ms.stride = window / 4;
-  pipeline::MultiScaleDetector detector(pipe, window, ms);
+  api::DetectOptions opts;
+  opts.stride = window / 4;
+  opts.nms = true;  // one box per face feeds the tracker's IoU gate
   pipeline::FaceTracker tracker{pipeline::TrackerConfig{}};
 
   std::printf("frame | detections | tracks | primary track (id: x,y)\n");
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     const auto fx = static_cast<std::ptrdiff_t>(
         std::min<std::size_t>(f * (window / 4), background.width() - window));
     image::paste(frame, face, fx, static_cast<std::ptrdiff_t>(window / 2));
-    const auto detections = detector.detect(frame);
+    const auto detections = det.detect(frame, opts);
     const auto& tracks = tracker.update(detections);
     if (tracks.empty()) {
       std::printf("%5zu | %10zu | %6zu | -\n", f, detections.size(), tracks.size());

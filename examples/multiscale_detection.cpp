@@ -8,11 +8,11 @@
 
 #include <cstdio>
 
+#include "api/detector.hpp"
 #include "dataset/background_generator.hpp"
 #include "dataset/face_generator.hpp"
 #include "image/transform.hpp"
 #include "learn/serialize.hpp"
-#include "pipeline/multiscale.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
@@ -29,17 +29,17 @@ int main(int argc, char** argv) {
   data_cfg.num_samples = n_train;
   const auto train = dataset::make_face_dataset(data_cfg);
 
-  pipeline::HdFaceConfig cfg;
-  cfg.dim = dim;
-  cfg.hog.cell_size = 4;
-  cfg.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
-  pipeline::HdFacePipeline pipe(cfg, window, window, 2);
+  api::Detector det = api::DetectorBuilder()
+                          .window(window)
+                          .dim(dim)
+                          .hd_hog_mode(hog::HdHogMode::kDecodeShortcut)
+                          .build();
   std::printf("training on %zu windows of %zux%zu...\n", train.size(), window,
               window);
-  pipe.fit(train);
+  det.fit(train);
 
   // Persist the trained classifier and reload it (deployment round trip).
-  learn::save_classifier(pipe.classifier(), "hdface_detector.hdc");
+  learn::save_classifier(det.pipeline()->classifier(), "hdface_detector.hdc");
   const auto reloaded = learn::load_classifier("hdface_detector.hdc");
   std::printf("model saved + reloaded: %zu classes at D=%zu\n",
               reloaded.config().classes, reloaded.config().dim);
@@ -54,17 +54,17 @@ int main(int argc, char** argv) {
                static_cast<std::ptrdiff_t>(3 * window),
                static_cast<std::ptrdiff_t>(window));
 
-  pipeline::MultiScaleConfig ms;
-  ms.scales = {1.0, 0.5};
-  ms.stride = window / 3;
-  pipeline::MultiScaleDetector detector(pipe, window, ms);
-  const auto detections = detector.detect(scene);
+  api::DetectOptions opts;
+  opts.scales = {1.0, 0.5};
+  opts.stride = window / 3;
+  opts.nms = true;
+  const auto detections = det.detect(scene, opts);
   std::printf("%zu detections after NMS:\n", detections.size());
   for (const auto& d : detections) {
     std::printf("  box (%zu, %zu) size %zu score %.3f\n", d.x, d.y, d.size,
                 d.score);
   }
-  image::write_ppm(detector.render(scene, detections), out);
+  image::write_ppm(det.render(scene, detections), out);
   std::printf("visualization written to %s\n", out.c_str());
   return 0;
 }

@@ -9,9 +9,9 @@
 
 #include <cstdio>
 
+#include "api/detector.hpp"
 #include "core/stochastic.hpp"
 #include "dataset/face_generator.hpp"
-#include "pipeline/hdface_pipeline.hpp"
 
 int main() {
   using namespace hdface;
@@ -42,22 +42,22 @@ int main() {
   data_cfg.num_samples = 80;
   const auto test = dataset::make_face_dataset(data_cfg);
 
-  pipeline::HdFaceConfig cfg;
-  cfg.dim = 4096;
-  cfg.mode = pipeline::HdFaceMode::kHdHog;  // HOG fully in hyperspace
-  cfg.hog.cell_size = 4;
-  pipeline::HdFacePipeline pipe(cfg, 32, 32, 2);
+  api::Detector det = api::DetectorBuilder()
+                          .window(32)
+                          .dim(4096)
+                          .mode(pipeline::HdFaceMode::kHdHog)  // HOG in hyperspace
+                          .build();
 
-  std::printf("\ntraining HDFace (D=%zu, HD-HOG in hyperspace) on %zu images...\n",
-              cfg.dim, train.size());
-  pipe.fit(train);
-  std::printf("test accuracy: %.1f%%\n", 100.0 * pipe.evaluate(test));
+  std::printf("\ntraining HDFace (D=4096, HD-HOG in hyperspace) on %zu images...\n",
+              train.size());
+  det.fit(train);
+  std::printf("test accuracy: %.1f%%\n", 100.0 * det.evaluate(test));
 
   const auto face = dataset::render_face_window(32, 7);
   const auto clutter = dataset::render_nonface_window(32, 7, false);
   std::printf("predict(face window)    -> %s\n",
-              pipe.predict(face) == 1 ? "face" : "no-face");
+              det.predict(face) == 1 ? "face" : "no-face");
   std::printf("predict(clutter window) -> %s\n",
-              pipe.predict(clutter) == 1 ? "face" : "no-face");
+              det.predict(clutter) == 1 ? "face" : "no-face");
   return 0;
 }

@@ -1,0 +1,91 @@
+#include "api/detector.hpp"
+
+#include <stdexcept>
+
+namespace hdface::api {
+
+Detector::Detector(std::shared_ptr<pipeline::HdFacePipeline> pipeline,
+                   std::size_t window)
+    : pipeline_(std::move(pipeline)), window_(window) {
+  if (!pipeline_) throw std::invalid_argument("Detector: null pipeline");
+  if (window_ == 0) throw std::invalid_argument("Detector: window 0");
+}
+
+void Detector::fit(const dataset::Dataset& train) { pipeline_->fit(train); }
+
+double Detector::evaluate(const dataset::Dataset& test) {
+  return pipeline_->evaluate(test);
+}
+
+int Detector::predict(const image::Image& window_img) {
+  return pipeline_->predict(window_img);
+}
+
+pipeline::ParallelDetectConfig Detector::engine_config(
+    const DetectOptions& options) const {
+  pipeline::ParallelDetectConfig engine;
+  engine.threads = options.threads;
+  engine.feature_counter = options.feature_counter;
+  return engine;
+}
+
+pipeline::DetectionMap Detector::detect_map(const image::Image& scene,
+                                            const DetectOptions& options) {
+  if (options.stride == 0) throw std::invalid_argument("DetectOptions: stride 0");
+  return pipeline::detect_windows_parallel(*pipeline_, scene, window_,
+                                           options.stride,
+                                           options.positive_class,
+                                           engine_config(options));
+}
+
+std::vector<pipeline::Detection> Detector::detect(const image::Image& scene,
+                                                  const DetectOptions& options) {
+  if (options.stride == 0) throw std::invalid_argument("DetectOptions: stride 0");
+  const bool single_scale =
+      options.scales.size() == 1 && options.scales.front() == 1.0;
+  if (single_scale) {
+    const auto map = detect_map(scene, options);
+    // NMS off: every positive window is its own box (the raw Fig 6 view);
+    // iou_threshold > 1 means nothing ever suppresses.
+    const double iou = options.nms ? options.nms_iou : 2.0;
+    return pipeline::map_detections(map, options.positive_class,
+                                    options.score_threshold, iou);
+  }
+  pipeline::MultiScaleConfig ms;
+  ms.scales = options.scales;
+  ms.stride = options.stride;
+  ms.score_threshold = options.score_threshold;
+  // The multiscale merge always suppresses cross-scale duplicates of one
+  // face; options.nms_iou only tunes how aggressively.
+  ms.iou_threshold = options.nms ? options.nms_iou : 0.3;
+  pipeline::MultiScaleDetector det(pipeline_, window_, ms);
+  return det.detect(scene, engine_config(options));
+}
+
+image::RgbImage Detector::render_overlay(const image::Image& scene,
+                                         const pipeline::DetectionMap& map,
+                                         int positive_class) const {
+  pipeline::SlidingWindowDetector det(pipeline_, map.window, map.stride,
+                                      positive_class);
+  return det.render_overlay(scene, map);
+}
+
+image::RgbImage Detector::render(
+    const image::Image& scene,
+    const std::vector<pipeline::Detection>& detections) const {
+  return pipeline::render_detections(scene, detections);
+}
+
+Detector DetectorBuilder::build() const {
+  if (classes_ < 2) throw std::invalid_argument("DetectorBuilder: classes < 2");
+  if (config_.hog.cell_size == 0 || window_ % config_.hog.cell_size != 0) {
+    // The HOG layers silently drop partial cells; at the facade a window that
+    // is not a whole number of cells is almost certainly a typo.
+    throw std::invalid_argument("DetectorBuilder: window not tiled by cell_size");
+  }
+  auto pipeline = std::make_shared<pipeline::HdFacePipeline>(
+      config_, window_, window_, classes_);
+  return Detector(std::move(pipeline), window_);
+}
+
+}  // namespace hdface::api

@@ -1,0 +1,153 @@
+#pragma once
+
+// hdface::api — the unified public facade.
+//
+// Everything an application needs — training a model, classifying single
+// windows, scanning scenes (single- or multi-scale, serial or parallel),
+// and rendering overlays — behind two types:
+//
+//   api::Detector det = api::DetectorBuilder()
+//                           .window(32)
+//                           .classes(2)
+//                           .dim(4096)
+//                           .build();
+//   det.fit(train);
+//   auto boxes = det.detect(scene, {.threads = 8, .scales = {1.0, 0.5}});
+//
+// The facade owns the pipeline via shared_ptr, so detectors are cheap to
+// copy/move and every lower-level component (SlidingWindowDetector,
+// MultiScaleDetector, FaceTracker feeds) can share the same trained model.
+// The same builder serves face and emotion workloads — a workload is just a
+// (window, classes, dataset) triple.
+//
+// Lower-level headers (pipeline/*.hpp) remain public for research code; this
+// layer is what examples, benches and deployments should use.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/op_counter.hpp"
+#include "dataset/dataset.hpp"
+#include "image/image.hpp"
+#include "image/pnm.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+#include "pipeline/multiscale.hpp"
+#include "pipeline/parallel_detect.hpp"
+#include "pipeline/sliding_window.hpp"
+
+namespace hdface::api {
+
+// Per-call scan options. The defaults reproduce the seed's behavior: native
+// scale, stride 8, no NMS — but batched across all cores.
+struct DetectOptions {
+  // Worker threads for the batched engine. 0 = all hardware cores,
+  // 1 = serial. Results are bit-identical at every setting (see
+  // pipeline/parallel_detect.hpp for the determinism contract).
+  std::size_t threads = 0;
+  // Window step in pixels (at window resolution for multiscale scans).
+  std::size_t stride = 8;
+  // Pyramid scales in (0, 1]; {1.0} = single-scale.
+  std::vector<double> scales = {1.0};
+  // Greedy non-maximum suppression over the resulting boxes. Off by default:
+  // the raw map view (one entry per window) is the paper's Fig 6 artifact.
+  bool nms = false;
+  double nms_iou = 0.3;
+  // Minimum positive-class cosine for a window to become a detection box.
+  double score_threshold = 0.0;
+  // Class treated as "detection" in binary workloads.
+  int positive_class = 1;
+  // Optional feature-op accounting (exact totals at any thread count).
+  core::OpCounter* feature_counter = nullptr;
+};
+
+class Detector {
+ public:
+  // Most callers build via DetectorBuilder; wrapping an existing pipeline is
+  // for code migrating from the pipeline layer.
+  Detector(std::shared_ptr<pipeline::HdFacePipeline> pipeline,
+           std::size_t window);
+
+  // --- training / classification ------------------------------------------
+
+  // Train on window-sized images (faces, emotions, any labeled windows).
+  void fit(const dataset::Dataset& train);
+  double evaluate(const dataset::Dataset& test);
+  int predict(const image::Image& window_img);
+
+  // --- scene scanning -------------------------------------------------------
+
+  // Single-scale batched scan: the full per-window map (paper Fig 6 shape).
+  // Uses options.threads/stride; scales/nms do not apply to the map view.
+  pipeline::DetectionMap detect_map(const image::Image& scene,
+                                    const DetectOptions& options = {});
+
+  // Boxes after scale merge (and NMS when enabled): single-scale when
+  // options.scales == {1.0}, image-pyramid otherwise. Sorted by descending
+  // score.
+  std::vector<pipeline::Detection> detect(const image::Image& scene,
+                                          const DetectOptions& options = {});
+
+  // --- rendering ------------------------------------------------------------
+
+  image::RgbImage render_overlay(const image::Image& scene,
+                                 const pipeline::DetectionMap& map,
+                                 int positive_class = 1) const;
+  image::RgbImage render(const image::Image& scene,
+                         const std::vector<pipeline::Detection>& detections) const;
+
+  // --- escape hatches -------------------------------------------------------
+
+  std::size_t window() const { return window_; }
+  const std::shared_ptr<pipeline::HdFacePipeline>& pipeline() const {
+    return pipeline_;
+  }
+
+ private:
+  pipeline::ParallelDetectConfig engine_config(const DetectOptions& options) const;
+
+  std::shared_ptr<pipeline::HdFacePipeline> pipeline_;
+  std::size_t window_;
+};
+
+// Fluent construction of a Detector. Every knob has the repository-standard
+// default, so `DetectorBuilder().window(32).build()` is a working binary
+// face/no-face detector awaiting fit().
+class DetectorBuilder {
+ public:
+  DetectorBuilder& window(std::size_t w) { window_ = w; return *this; }
+  DetectorBuilder& classes(std::size_t c) { classes_ = c; return *this; }
+  DetectorBuilder& dim(std::size_t d) { config_.dim = d; return *this; }
+  DetectorBuilder& mode(pipeline::HdFaceMode m) { config_.mode = m; return *this; }
+  DetectorBuilder& hd_hog_mode(hog::HdHogMode m) {
+    config_.hd_hog_mode = m;
+    return *this;
+  }
+  DetectorBuilder& cell_size(std::size_t c) {
+    config_.hog.cell_size = c;
+    return *this;
+  }
+  DetectorBuilder& bins(std::size_t b) { config_.hog.bins = b; return *this; }
+  DetectorBuilder& epochs(std::size_t e) { config_.epochs = e; return *this; }
+  DetectorBuilder& seed(std::uint64_t s) { config_.seed = s; return *this; }
+  // Full pipeline-config override for knobs without a dedicated setter.
+  DetectorBuilder& config(const pipeline::HdFaceConfig& c) {
+    config_ = c;
+    return *this;
+  }
+
+  // Throws std::invalid_argument on unusable geometry (window 0, classes < 2,
+  // window not tiled by cells — the same validation the pipeline applies).
+  Detector build() const;
+
+ private:
+  std::size_t window_ = 32;
+  std::size_t classes_ = 2;
+  pipeline::HdFaceConfig config_ = [] {
+    pipeline::HdFaceConfig c;
+    c.hog.cell_size = 4;
+    return c;
+  }();
+};
+
+}  // namespace hdface::api

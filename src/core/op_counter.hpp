@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace hdface::core {
 
@@ -57,6 +58,38 @@ struct OpCounter {
     for (auto c : counts) t += c;
     return t;
   }
+};
+
+// Thread-safe accumulation mode: one cache-line-padded OpCounter per worker
+// shard, merged on read. Distinct shards may be written concurrently without
+// synchronization (no shared cache lines, no atomics on the hot path); the
+// merged totals are exact because addition is order-independent. This is the
+// counter the parallel detection engine hands to its workers.
+class ShardedOpCounter {
+ public:
+  explicit ShardedOpCounter(std::size_t shards) : shards_(shards ? shards : 1) {}
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  // Shard i is exclusively the caller's; concurrent use of distinct shards
+  // is safe, concurrent use of one shard is not.
+  OpCounter& shard(std::size_t i) { return shards_[i].counter; }
+
+  OpCounter combined() const {
+    OpCounter out;
+    for (const auto& s : shards_) out.merge(s.counter);
+    return out;
+  }
+
+  void reset() {
+    for (auto& s : shards_) s.counter.reset();
+  }
+
+ private:
+  struct alignas(64) PaddedCounter {
+    OpCounter counter;
+  };
+  std::vector<PaddedCounter> shards_;
 };
 
 }  // namespace hdface::core

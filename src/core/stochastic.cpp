@@ -19,7 +19,33 @@ StochasticContext::StochasticContext(const StochasticConfig& config)
   if (config.search_iters < 0) {
     throw std::invalid_argument("StochasticContext: search_iters must be >= 0");
   }
-  if (config.mask_pool > 0) pool_.resize(256);
+  if (config.mask_pool > 0) {
+    pool_ = std::make_shared<std::vector<std::vector<Hypervector>>>(256);
+  }
+}
+
+void StochasticContext::warm_pool() {
+  if (config_.mask_pool == 0 || pool_warmed_) return;
+  OpCounter* saved = counter_;
+  counter_ = nullptr;  // pool construction is setup cost, not runtime cost
+  for (std::size_t bucket = 0; bucket < pool_->size(); ++bucket) {
+    auto& masks = (*pool_)[bucket];
+    while (masks.size() < config_.mask_pool) {
+      masks.push_back(fresh_mask(static_cast<double>(bucket) / 255.0));
+    }
+  }
+  counter_ = saved;
+  pool_warmed_ = true;
+}
+
+StochasticContext StochasticContext::fork(std::uint64_t stream_seed) const {
+  if (config_.mask_pool > 0 && !pool_warmed_) {
+    throw std::logic_error("StochasticContext::fork: warm_pool() first");
+  }
+  StochasticContext out(*this);  // shares pool_, copies basis/config
+  out.rng_ = Rng(stream_seed);
+  out.counter_ = nullptr;
+  return out;
 }
 
 int StochasticContext::effective_search_iters() const {
@@ -37,7 +63,7 @@ Hypervector StochasticContext::bernoulli_mask(double p) {
   // pool, and pick a pool entry at random (one RNG draw, two word reads).
   const auto bucket =
       static_cast<std::size_t>(std::llround(p * 255.0));
-  auto& masks = pool_[bucket];
+  auto& masks = (*pool_)[bucket];
   if (masks.size() < config_.mask_pool) {
     // Fill the whole bucket on first use so op accounting is amortized.
     OpCounter* saved = counter_;

@@ -24,6 +24,8 @@
 // bench/ablation_stochastic).
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "core/hypervector.hpp"
 #include "core/op_counter.hpp"
@@ -127,6 +129,33 @@ class StochasticContext {
   // Effective binary-search iteration count (resolves the auto setting).
   int effective_search_iters() const;
 
+  // --- concurrency support ---------------------------------------------------
+  //
+  // A context is single-threaded: the RNG chain and the lazily-filled mask
+  // pool are mutable state. Concurrent encoding instead uses *forks*: a fork
+  // shares the basis V₁ and the (immutable once warmed) mask pool with its
+  // parent, but owns an independent RNG chain and counter pointer, so any
+  // number of forks may run on different threads at once.
+  //
+  // Determinism contract: after `reseed(s)`, every operation sequence on the
+  // fork is a pure function of (basis, warmed pool, s) — independent of which
+  // thread runs it or what other forks do. The parallel detection engine
+  // reseeds per window with a seed derived from the window index, which makes
+  // parallel scans bit-identical to serial ones.
+
+  // Fill every mask-pool bucket up front so that forks never race on the lazy
+  // fill. Idempotent; draws from this context's RNG chain in bucket order on
+  // first call. No-op when mask_pool == 0.
+  void warm_pool();
+  bool pool_warmed() const { return pool_warmed_; }
+
+  // Independent-stream copy sharing basis + pool. Requires warm_pool() first
+  // (throws std::logic_error otherwise) unless mask_pool == 0.
+  StochasticContext fork(std::uint64_t stream_seed) const;
+
+  // Restart the RNG chain from a fixed seed (per-window determinism).
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
  private:
   void count(OpKind kind, std::uint64_t n) {
     if (counter_) counter_->add(kind, n);
@@ -138,9 +167,11 @@ class StochasticContext {
   Rng rng_;
   Hypervector basis_;
   OpCounter* counter_ = nullptr;
-  // mask_pool_[bucket] lazily holds `mask_pool` masks for probability
-  // bucket/255.
-  std::vector<std::vector<Hypervector>> pool_;
+  // (*pool_)[bucket] lazily holds `mask_pool` masks for probability
+  // bucket/255. Shared (read-only once warmed) between a context and its
+  // forks; only the owning context may lazy-fill, and never after forking.
+  std::shared_ptr<std::vector<std::vector<Hypervector>>> pool_;
+  bool pool_warmed_ = false;
 };
 
 }  // namespace hdface::core

@@ -33,46 +33,62 @@ HdHogExtractor::HdHogExtractor(core::StochasticContext& ctx,
 HdHogExtractor::GradientHv HdHogExtractor::pixel_gradient(const image::Image& img,
                                                           std::size_t x,
                                                           std::size_t y) {
+  return pixel_gradient(img, x, y, ctx_);
+}
+
+HdHogExtractor::GradientHv HdHogExtractor::pixel_gradient(
+    const image::Image& img, std::size_t x, std::size_t y,
+    core::StochasticContext& ctx) const {
   const auto xi = static_cast<std::ptrdiff_t>(x);
   const auto yi = static_cast<std::ptrdiff_t>(y);
   // V_Gx = V_C(x+1) ⊕ (−V_C(x−1)) represents (C(x+1) − C(x−1)) / 2.
   GradientHv g{
-      ctx_.add_halved(pixel_hv(img.at_clamped(xi + 1, yi)),
-                      ~pixel_hv(img.at_clamped(xi - 1, yi))),
-      ctx_.add_halved(pixel_hv(img.at_clamped(xi, yi + 1)),
-                      ~pixel_hv(img.at_clamped(xi, yi - 1))),
+      ctx.add_halved(pixel_hv(img.at_clamped(xi + 1, yi)),
+                     ~pixel_hv(img.at_clamped(xi - 1, yi))),
+      ctx.add_halved(pixel_hv(img.at_clamped(xi, yi + 1)),
+                     ~pixel_hv(img.at_clamped(xi, yi - 1))),
   };
   return g;
 }
 
 core::Hypervector HdHogExtractor::pixel_magnitude(const GradientHv& grad) {
+  return pixel_magnitude(grad, ctx_);
+}
+
+core::Hypervector HdHogExtractor::pixel_magnitude(
+    const GradientHv& grad, core::StochasticContext& ctx) const {
   if (config_.mode == HdHogMode::kDecodeShortcut) {
-    const double gx = ctx_.decode(grad.gx);
-    const double gy = ctx_.decode(grad.gy);
-    return ctx_.construct(std::sqrt((gx * gx + gy * gy) / 2.0));
+    const double gx = ctx.decode(grad.gx);
+    const double gy = ctx.decode(grad.gy);
+    return ctx.construct(std::sqrt((gx * gx + gy * gy) / 2.0));
   }
   // (G_x ⊗ G_x) ⊕ (G_y ⊗ G_y), then the binary-search square root.
   const core::Hypervector m2 =
-      ctx_.add_halved(ctx_.square(grad.gx), ctx_.square(grad.gy));
-  return ctx_.sqrt(m2);
+      ctx.add_halved(ctx.square(grad.gx), ctx.square(grad.gy));
+  return ctx.sqrt(m2);
 }
 
 std::size_t HdHogExtractor::pixel_bin(const GradientHv& grad) {
+  return pixel_bin(grad, ctx_);
+}
+
+std::size_t HdHogExtractor::pixel_bin(const GradientHv& grad,
+                                      core::StochasticContext& ctx) const {
   if (config_.mode == HdHogMode::kDecodeShortcut) {
     // Snap decoded components below the statistical noise floor to zero so
     // the quadrant convention matches the faithful path (zero → positive)
     // instead of letting decode noise pick the quadrant.
-    const double eps = 2.0 / std::sqrt(static_cast<double>(ctx_.dim()));
-    double gx = ctx_.decode(grad.gx);
-    double gy = ctx_.decode(grad.gy);
+    const double eps = 2.0 / std::sqrt(static_cast<double>(ctx.dim()));
+    double gx = ctx.decode(grad.gx);
+    double gy = ctx.decode(grad.gy);
     if (std::fabs(gx) < eps) gx = 0.0;
     if (std::fabs(gy) < eps) gy = 0.0;
     return binner_.bin_of(static_cast<float>(gx), static_cast<float>(gy));
   }
   // Quadrant from hyperspace signs (zeros count as positive, matching the
   // reference binner's convention).
-  const int sgx = ctx_.sign_of(grad.gx) < 0 ? -1 : 1;
-  const int sgy = ctx_.sign_of(grad.gy) < 0 ? -1 : 1;
+  const int sgx = ctx.sign_of(grad.gx) < 0 ? -1 : 1;
+  const int sgy = ctx.sign_of(grad.gy) < 0 ? -1 : 1;
   const std::size_t q = AngleBinner::quadrant(sgx, sgy);
 
   const core::Hypervector abs_gx = sgx < 0 ? ~grad.gx : grad.gx;
@@ -88,15 +104,20 @@ std::size_t HdHogExtractor::pixel_bin(const GradientHv& grad) {
     // decoded α decides the comparison (paper §4.3). For boundaries with
     // tan > 1 the cot form compares cot(θ)·num against den instead.
     core::Hypervector lhs =
-        boundary_uses_cot_[j] ? ctx_.multiply(boundary_consts_[j], num) : num;
+        boundary_uses_cot_[j] ? ctx.multiply(boundary_consts_[j], num) : num;
     core::Hypervector rhs =
-        boundary_uses_cot_[j] ? den : ctx_.multiply(boundary_consts_[j], den);
-    greater.push_back(ctx_.compare(lhs, rhs) > 0);
+        boundary_uses_cot_[j] ? den : ctx.multiply(boundary_consts_[j], den);
+    greater.push_back(ctx.compare(lhs, rhs) > 0);
   }
   return binner_.global_bin(q, binner_.local_bin_from_comparisons(greater));
 }
 
 HdHogExtractor::SlotRecord HdHogExtractor::slot_record(const image::Image& img) {
+  return slot_record(img, ctx_);
+}
+
+HdHogExtractor::SlotRecord HdHogExtractor::slot_record(
+    const image::Image& img, core::StochasticContext& ctx) const {
   if (config_.hog.cells_x(img.width()) != cells_x_ ||
       config_.hog.cells_y(img.height()) != cells_y_) {
     throw std::invalid_argument("HdHogExtractor: image geometry mismatch");
@@ -121,9 +142,9 @@ HdHogExtractor::SlotRecord HdHogExtractor::slot_record(const image::Image& img) 
         for (std::size_t px = 0; px < cell; ++px) {
           const std::size_t x = cx * cell + px;
           const std::size_t y = cy * cell + py;
-          GradientHv grad = pixel_gradient(img, x, y);
-          const std::size_t bin = pixel_bin(grad);
-          core::Hypervector mag = pixel_magnitude(grad);
+          GradientHv grad = pixel_gradient(img, x, y, ctx);
+          const std::size_t bin = pixel_bin(grad, ctx);
+          core::Hypervector mag = pixel_magnitude(grad, ctx);
           // Running stochastic mean of the magnitudes matched to this bin.
           auto& n = bin_count[bin];
           if (n == 0) {
@@ -131,7 +152,7 @@ HdHogExtractor::SlotRecord HdHogExtractor::slot_record(const image::Image& img) 
           } else {
             const double keep =
                 static_cast<double>(n) / static_cast<double>(n + 1);
-            bin_mean[bin] = ctx_.weighted_average(bin_mean[bin], mag, keep);
+            bin_mean[bin] = ctx.weighted_average(bin_mean[bin], mag, keep);
           }
           ++n;
         }
@@ -145,7 +166,7 @@ HdHogExtractor::SlotRecord HdHogExtractor::slot_record(const image::Image& img) 
         } else {
           const double rate = static_cast<double>(bin_count[b]) /
                               static_cast<double>(pixels_per_cell);
-          values.push_back(ctx_.decode(ctx_.scale(bin_mean[b], rate)));
+          values.push_back(ctx.decode(ctx.scale(bin_mean[b], rate)));
         }
       }
     }
@@ -167,12 +188,17 @@ HdHogExtractor::SlotRecord HdHogExtractor::slot_record(const image::Image& img) 
 }
 
 core::Hypervector HdHogExtractor::extract(const image::Image& img) {
+  return extract(img, ctx_);
+}
+
+core::Hypervector HdHogExtractor::extract(const image::Image& img,
+                                          core::StochasticContext& ctx) const {
   // Weighted sparse bundling: each slot votes with its histogram value so
   // empty bins vanish instead of drowning the informative minority (see
   // feature_bundler.hpp).
-  const SlotRecord record = slot_record(img);
+  const SlotRecord record = slot_record(img, ctx);
   return bundler_.bundle_weighted(record.hvs, record.values,
-                                  config_.histogram_floor, ctx_.counter());
+                                  config_.histogram_floor, ctx.counter());
 }
 
 CellHistograms HdHogExtractor::decode_histograms(const image::Image& img) {

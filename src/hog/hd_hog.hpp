@@ -90,6 +90,16 @@ class HdHogExtractor {
   // Single bundled feature hypervector (the HDC learner's input).
   core::Hypervector extract(const image::Image& img);
 
+  // Re-entrant variants: all stochastic arithmetic runs on the caller-owned
+  // `ctx` (typically a fork of the construction context — see
+  // StochasticContext::fork), so any number of threads may extract
+  // concurrently, each with its own fork. The extractor's own state (item
+  // memories, boundary constants, bundle keys) is read-only here.
+  core::Hypervector extract(const image::Image& img,
+                            core::StochasticContext& ctx) const;
+  SlotRecord slot_record(const image::Image& img,
+                         core::StochasticContext& ctx) const;
+
   // Decoded per-cell histograms in the bundled feature's value domain, i.e.
   // window-normalized to [0, 1] (verification against the classical HOG
   // after the same normalization).
@@ -101,12 +111,18 @@ class HdHogExtractor {
     core::Hypervector gy;
   };
   GradientHv pixel_gradient(const image::Image& img, std::size_t x, std::size_t y);
+  GradientHv pixel_gradient(const image::Image& img, std::size_t x, std::size_t y,
+                            core::StochasticContext& ctx) const;
 
   // Hyperspace magnitude √((gx²+gy²)/2) for one pixel (exposed for tests).
   core::Hypervector pixel_magnitude(const GradientHv& grad);
+  core::Hypervector pixel_magnitude(const GradientHv& grad,
+                                    core::StochasticContext& ctx) const;
 
   // Hyperspace orientation bin for one pixel (exposed for tests).
   std::size_t pixel_bin(const GradientHv& grad);
+  std::size_t pixel_bin(const GradientHv& grad,
+                        core::StochasticContext& ctx) const;
 
  private:
   const core::Hypervector& pixel_hv(float value) const {

@@ -52,6 +52,18 @@ core::Hypervector HdFacePipeline::encode_image(const image::Image& img) {
   return encoder_->encode(hog_features, feature_counter_);
 }
 
+core::Hypervector HdFacePipeline::encode_image(
+    const image::Image& img, core::StochasticContext& scratch) const {
+  if (config_.mode == HdFaceMode::kHdHog) {
+    return hd_extractor_->extract(img, scratch);
+  }
+  // The classical HOG extractor and the nonlinear encoder are stateless at
+  // inference; only op accounting flows through the scratch's counter.
+  const std::vector<float> hog_features =
+      hog_extractor_->extract(img, scratch.counter());
+  return encoder_->encode(hog_features, scratch.counter());
+}
+
 void HdFacePipeline::ensure_encoder_calibrated(const dataset::Dataset& data) {
   if (config_.mode != HdFaceMode::kOrigHogEncoder || encoder_->calibrated()) {
     return;

@@ -56,6 +56,27 @@ class HdFacePipeline {
   // kOrigHogEncoder mode; fit() and encode_dataset() handle that).
   core::Hypervector encode_image(const image::Image& img);
 
+  // --- concurrent encoding ---------------------------------------------------
+  //
+  // The single-argument encode_image draws from the pipeline's own stochastic
+  // context and is therefore single-threaded. For batched scans, each worker
+  // owns a scratch context forked from the pipeline's (same basis, same
+  // warmed mask pool, independent RNG chain) and passes it here; this method
+  // touches no mutable pipeline state. Reseed the scratch before each window
+  // to make results independent of work distribution (see
+  // StochasticContext::fork for the determinism contract).
+  core::Hypervector encode_image(const image::Image& img,
+                                 core::StochasticContext& scratch) const;
+
+  // Warm the shared mask pool so fork_context() is cheap and race-free.
+  // Idempotent; call once before any concurrent encoding.
+  void prepare_concurrent() { ctx_.warm_pool(); }
+
+  // Scratch context for one worker (requires prepare_concurrent() first).
+  core::StochasticContext fork_context(std::uint64_t stream_seed) const {
+    return ctx_.fork(stream_seed);
+  }
+
   std::vector<core::Hypervector> encode_dataset(const dataset::Dataset& data);
 
   // Train on a dataset (extracts features, then fits the HDC classifier).

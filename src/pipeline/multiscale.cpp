@@ -41,10 +41,68 @@ std::vector<Detection> non_max_suppression(std::vector<Detection> detections,
   return kept;
 }
 
-MultiScaleDetector::MultiScaleDetector(HdFacePipeline& pipeline,
+std::vector<Detection> map_detections(const DetectionMap& map,
+                                      int positive_class,
+                                      double score_threshold,
+                                      double iou_threshold) {
+  std::vector<Detection> boxes;
+  for (std::size_t sy = 0; sy < map.steps_y; ++sy) {
+    for (std::size_t sx = 0; sx < map.steps_x; ++sx) {
+      const std::size_t idx = sy * map.steps_x + sx;
+      if (map.predictions[idx] != positive_class) continue;
+      if (map.scores[idx] < score_threshold) continue;
+      boxes.push_back(Detection{sx * map.stride, sy * map.stride, map.window,
+                                map.scores[idx]});
+    }
+  }
+  auto kept = non_max_suppression(std::move(boxes), iou_threshold);
+  std::sort(kept.begin(), kept.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  return kept;
+}
+
+image::RgbImage render_detections(const image::Image& scene,
+                                  const std::vector<Detection>& detections) {
+  image::RgbImage rgb = image::to_rgb(scene);
+  auto mark = [&](std::size_t x, std::size_t y) {
+    if (x >= rgb.width || y >= rgb.height) return;
+    auto& px = rgb.at(x, y);
+    px = {60, 120, 255};
+  };
+  for (const auto& d : detections) {
+    for (std::size_t i = 0; i <= d.size; ++i) {
+      mark(d.x + i, d.y);
+      mark(d.x + i, d.y + d.size);
+      mark(d.x, d.y + i);
+      mark(d.x + d.size, d.y + i);
+    }
+  }
+  return rgb;
+}
+
+ScalePyramid build_pyramid(const image::Image& scene, std::size_t window,
+                           const std::vector<double>& scales) {
+  ScalePyramid pyramid;
+  for (const double scale : scales) {
+    const auto sw = static_cast<std::size_t>(
+        std::lround(scale * static_cast<double>(scene.width())));
+    const auto sh = static_cast<std::size_t>(
+        std::lround(scale * static_cast<double>(scene.height())));
+    if (sw < window || sh < window) continue;
+    pyramid.scales.push_back(scale);
+    pyramid.levels.push_back(scale == 1.0 ? scene
+                                          : image::resize(scene, sw, sh));
+  }
+  return pyramid;
+}
+
+MultiScaleDetector::MultiScaleDetector(std::shared_ptr<HdFacePipeline> pipeline,
                                        std::size_t window,
                                        const MultiScaleConfig& config)
-    : pipeline_(pipeline), window_(window), config_(config) {
+    : pipeline_(std::move(pipeline)), window_(window), config_(config) {
+  if (!pipeline_) {
+    throw std::invalid_argument("MultiScaleDetector: null pipeline");
+  }
   if (window == 0) throw std::invalid_argument("MultiScaleDetector: window 0");
   if (config.scales.empty()) {
     throw std::invalid_argument("MultiScaleDetector: no scales");
@@ -56,18 +114,19 @@ MultiScaleDetector::MultiScaleDetector(HdFacePipeline& pipeline,
   }
 }
 
-std::vector<Detection> MultiScaleDetector::detect(const image::Image& scene) {
+MultiScaleDetector::MultiScaleDetector(HdFacePipeline& pipeline,
+                                       std::size_t window,
+                                       const MultiScaleConfig& config)
+    : MultiScaleDetector(
+          std::shared_ptr<HdFacePipeline>(&pipeline, [](HdFacePipeline*) {}),
+          window, config) {}
+
+std::vector<Detection> MultiScaleDetector::merge_scales(
+    const ScalePyramid& pyramid, const std::vector<DetectionMap>& maps) const {
   std::vector<Detection> all;
-  SlidingWindowDetector single(pipeline_, window_, config_.stride);
-  for (const double scale : config_.scales) {
-    const auto sw = static_cast<std::size_t>(
-        std::lround(scale * static_cast<double>(scene.width())));
-    const auto sh = static_cast<std::size_t>(
-        std::lround(scale * static_cast<double>(scene.height())));
-    if (sw < window_ || sh < window_) continue;
-    const image::Image scaled =
-        scale == 1.0 ? scene : image::resize(scene, sw, sh);
-    const DetectionMap map = single.detect(scaled);
+  for (std::size_t level = 0; level < maps.size(); ++level) {
+    const double scale = pyramid.scales[level];
+    const DetectionMap& map = maps[level];
     for (std::size_t sy = 0; sy < map.steps_y; ++sy) {
       for (std::size_t sx = 0; sx < map.steps_x; ++sx) {
         const std::size_t idx = sy * map.steps_x + sx;
@@ -92,23 +151,35 @@ std::vector<Detection> MultiScaleDetector::detect(const image::Image& scene) {
   return kept;
 }
 
+std::vector<Detection> MultiScaleDetector::detect(const image::Image& scene) {
+  const ScalePyramid pyramid = build_pyramid(scene, window_, config_.scales);
+  SlidingWindowDetector single(pipeline_, window_, config_.stride);
+  std::vector<DetectionMap> maps;
+  maps.reserve(pyramid.levels.size());
+  for (const auto& level : pyramid.levels) maps.push_back(single.detect(level));
+  return merge_scales(pyramid, maps);
+}
+
+std::vector<Detection> MultiScaleDetector::detect(
+    const image::Image& scene, const ParallelDetectConfig& engine) {
+  // The pyramid is the per-scale resized-image cache: each level is resized
+  // once here and then shared read-only by every chunk the engine dispatches.
+  const ScalePyramid pyramid = build_pyramid(scene, window_, config_.scales);
+  std::vector<DetectionMap> maps;
+  maps.reserve(pyramid.levels.size());
+  // Levels run sequentially, windows within a level in parallel: window work
+  // dominates (levels are few, windows are thousands), and this keeps every
+  // level's result bit-identical to its own single-level scan.
+  for (const auto& level : pyramid.levels) {
+    maps.push_back(detect_windows_parallel(*pipeline_, level, window_,
+                                           config_.stride, 1, engine));
+  }
+  return merge_scales(pyramid, maps);
+}
+
 image::RgbImage MultiScaleDetector::render(
     const image::Image& scene, const std::vector<Detection>& detections) const {
-  image::RgbImage rgb = image::to_rgb(scene);
-  auto mark = [&](std::size_t x, std::size_t y) {
-    if (x >= rgb.width || y >= rgb.height) return;
-    auto& px = rgb.at(x, y);
-    px = {60, 120, 255};
-  };
-  for (const auto& d : detections) {
-    for (std::size_t i = 0; i <= d.size; ++i) {
-      mark(d.x + i, d.y);
-      mark(d.x + i, d.y + d.size);
-      mark(d.x, d.y + i);
-      mark(d.x + d.size, d.y + i);
-    }
-  }
-  return rgb;
+  return render_detections(scene, detections);
 }
 
 }  // namespace hdface::pipeline

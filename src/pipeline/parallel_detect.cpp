@@ -1,0 +1,117 @@
+#include "pipeline/parallel_detect.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+#include "image/transform.hpp"
+
+namespace hdface::pipeline {
+
+namespace {
+
+// Salt separating the batched scan's per-window seed stream from every other
+// consumer of the pipeline seed.
+constexpr std::uint64_t kWindowStreamSalt = 0xBA7C4ED0ULL;
+
+// Classify windows [lo, hi) of the row-major grid into map.predictions /
+// map.scores. Pure function of (pipeline, scene, window index) — the scratch
+// RNG restarts from the window seed before every window.
+void scan_range(const HdFacePipeline& pipeline, const image::Image& scene,
+                const DetectionMap& geometry, std::size_t window,
+                std::size_t stride, int positive_class, std::uint64_t seed_base,
+                core::StochasticContext& scratch, std::size_t lo, std::size_t hi,
+                std::vector<int>& predictions, std::vector<double>& scores) {
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const std::size_t sx = idx % geometry.steps_x;
+    const std::size_t sy = idx / geometry.steps_x;
+    scratch.reseed(core::mix64(seed_base, idx));
+    const image::Image patch =
+        image::crop(scene, sx * stride, sy * stride, window, window);
+    const core::Hypervector feature = pipeline.encode_image(patch, scratch);
+    const auto class_scores = pipeline.classifier().scores(feature);
+    predictions[idx] = static_cast<int>(
+        std::max_element(class_scores.begin(), class_scores.end()) -
+        class_scores.begin());
+    scores[idx] = class_scores[static_cast<std::size_t>(positive_class)];
+  }
+}
+
+}  // namespace
+
+DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
+                                     const image::Image& scene,
+                                     std::size_t window, std::size_t stride,
+                                     int positive_class,
+                                     const ParallelDetectConfig& config) {
+  if (window == 0 || stride == 0) {
+    throw std::invalid_argument("detect_windows_parallel: zero geometry");
+  }
+  if (scene.width() < window || scene.height() < window) {
+    throw std::invalid_argument(
+        "detect_windows_parallel: scene smaller than window");
+  }
+  DetectionMap map;
+  map.window = window;
+  map.stride = stride;
+  map.steps_x = (scene.width() - window) / stride + 1;
+  map.steps_y = (scene.height() - window) / stride + 1;
+  const std::size_t total = map.steps_x * map.steps_y;
+  map.predictions.assign(total, 0);
+  map.scores.assign(total, 0.0);
+
+  // The one mutation, before any dispatch: freeze the shared mask pool.
+  pipeline.prepare_concurrent();
+  const std::uint64_t seed_base =
+      core::mix64(pipeline.config().seed, kWindowStreamSalt);
+  const HdFacePipeline& frozen = pipeline;
+
+  // Resolve the execution resource. threads == 1 never dispatches; a caller
+  // pool wins over the threads knob; otherwise 0 = global pool and N spins up
+  // a call-local pool of exactly N workers.
+  util::ThreadPool* pool = config.pool;
+  std::unique_ptr<util::ThreadPool> local_pool;
+  if (pool == nullptr && config.threads != 1) {
+    if (config.threads == 0) {
+      pool = &util::global_pool();
+    } else {
+      local_pool = std::make_unique<util::ThreadPool>(config.threads);
+      pool = local_pool.get();
+    }
+  }
+
+  if (pool == nullptr || pool->size() <= 1) {
+    core::StochasticContext scratch = frozen.fork_context(seed_base);
+    core::OpCounter local;
+    if (config.feature_counter) scratch.set_counter(&local);
+    scan_range(frozen, scene, map, window, stride, positive_class, seed_base,
+               scratch, 0, total, map.predictions, map.scores);
+    if (config.feature_counter) config.feature_counter->merge(local);
+    return map;
+  }
+
+  // One counter shard per chunk, claimed in dispatch order. Shard totals
+  // merge after the scan; addition commutes, so the merged counts are exact
+  // and identical at every thread count.
+  core::ShardedOpCounter shards(pool->size() * 4 + 1);
+  std::atomic<std::size_t> next_shard{0};
+  util::parallel_for_chunked(
+      *pool, 0, total, config.min_chunk,
+      [&](std::size_t lo, std::size_t hi) {
+        core::StochasticContext scratch =
+            frozen.fork_context(core::mix64(seed_base, lo));
+        core::OpCounter* shard = nullptr;
+        if (config.feature_counter) {
+          shard = &shards.shard(next_shard.fetch_add(1) % shards.num_shards());
+          scratch.set_counter(shard);
+        }
+        scan_range(frozen, scene, map, window, stride, positive_class,
+                   seed_base, scratch, lo, hi, map.predictions, map.scores);
+      });
+  if (config.feature_counter) config.feature_counter->merge(shards.combined());
+  return map;
+}
+
+}  // namespace hdface::pipeline

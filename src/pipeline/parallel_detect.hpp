@@ -1,0 +1,58 @@
+#pragma once
+
+// Parallel batched detection engine.
+//
+// The sliding-window scan is embarrassingly parallel — the paper's whole
+// pitch for HDC arithmetic (§4) is that it is "fully parallel" bitwise work —
+// but the seed implementation classified every window serially because the
+// stochastic-arithmetic context is single-threaded. This engine partitions
+// the window grid into contiguous chunks dispatched on util::ThreadPool; each
+// chunk runs on a scratch StochasticContext forked from the pipeline's (same
+// basis V₁, same warmed mask pool, independent RNG chain).
+//
+// Determinism: before each window the scratch RNG is reseeded from
+// mix64(pipeline seed, window index), so every window's encoding is a pure
+// function of (pipeline state, window pixels, window index) — independent of
+// thread count, chunk boundaries, and scheduling order. A 1-thread run and an
+// 8-thread run produce bit-identical DetectionMaps. (Note this per-window
+// seeding is a different — deterministic — random stream than the legacy
+// serial SlidingWindowDetector::detect, whose RNG chain threads sequentially
+// through the whole scan; the legacy path is kept for compatibility.)
+//
+// Op accounting is exact under parallelism: each chunk accumulates into its
+// own ShardedOpCounter shard and the shards merge into the caller's counter
+// after the scan, so totals are equal at every thread count.
+
+#include <cstddef>
+
+#include "core/op_counter.hpp"
+#include "image/image.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+#include "pipeline/sliding_window.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hdface::pipeline {
+
+struct ParallelDetectConfig {
+  // 0 = use every worker of the pool; 1 = serial (same code path and same
+  // bit-exact results, just no dispatch).
+  std::size_t threads = 0;
+  // Windows per chunk floor: keeps per-chunk scratch setup amortized.
+  std::size_t min_chunk = 4;
+  // Pool to dispatch on; nullptr = util::global_pool().
+  util::ThreadPool* pool = nullptr;
+  // Optional feature-op accounting (merged shard totals; see file comment).
+  core::OpCounter* feature_counter = nullptr;
+};
+
+// Scan `scene` with `window`-sized windows at `stride`, classifying each with
+// the trained pipeline. Calls pipeline.prepare_concurrent() internally (the
+// one mutation, before any dispatch). Throws std::invalid_argument on zero
+// geometry or a scene smaller than the window.
+DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
+                                     const image::Image& scene,
+                                     std::size_t window, std::size_t stride,
+                                     int positive_class,
+                                     const ParallelDetectConfig& config = {});
+
+}  // namespace hdface::pipeline

@@ -4,21 +4,32 @@
 #include <stdexcept>
 
 #include "image/transform.hpp"
+#include "pipeline/parallel_detect.hpp"
 
 namespace hdface::pipeline {
+
+SlidingWindowDetector::SlidingWindowDetector(
+    std::shared_ptr<HdFacePipeline> pipeline, std::size_t window,
+    std::size_t stride, int positive_class)
+    : pipeline_(std::move(pipeline)),
+      window_(window),
+      stride_(stride),
+      positive_class_(positive_class) {
+  if (!pipeline_) {
+    throw std::invalid_argument("SlidingWindowDetector: null pipeline");
+  }
+  if (window == 0 || stride == 0) {
+    throw std::invalid_argument("SlidingWindowDetector: zero geometry");
+  }
+}
 
 SlidingWindowDetector::SlidingWindowDetector(HdFacePipeline& pipeline,
                                              std::size_t window,
                                              std::size_t stride,
                                              int positive_class)
-    : pipeline_(pipeline),
-      window_(window),
-      stride_(stride),
-      positive_class_(positive_class) {
-  if (window == 0 || stride == 0) {
-    throw std::invalid_argument("SlidingWindowDetector: zero geometry");
-  }
-}
+    : SlidingWindowDetector(
+          std::shared_ptr<HdFacePipeline>(&pipeline, [](HdFacePipeline*) {}),
+          window, stride, positive_class) {}
 
 DetectionMap SlidingWindowDetector::detect(const image::Image& scene) {
   if (scene.width() < window_ || scene.height() < window_) {
@@ -35,8 +46,8 @@ DetectionMap SlidingWindowDetector::detect(const image::Image& scene) {
     for (std::size_t sx = 0; sx < map.steps_x; ++sx) {
       const image::Image patch =
           image::crop(scene, sx * stride_, sy * stride_, window_, window_);
-      const core::Hypervector feature = pipeline_.encode_image(patch);
-      const auto class_scores = pipeline_.classifier().scores(feature);
+      const core::Hypervector feature = pipeline_->encode_image(patch);
+      const auto class_scores = pipeline_->classifier().scores(feature);
       const auto pred = static_cast<int>(
           std::max_element(class_scores.begin(), class_scores.end()) -
           class_scores.begin());
@@ -46,6 +57,12 @@ DetectionMap SlidingWindowDetector::detect(const image::Image& scene) {
     }
   }
   return map;
+}
+
+DetectionMap SlidingWindowDetector::detect(const image::Image& scene,
+                                           const ParallelDetectConfig& config) {
+  return detect_windows_parallel(*pipeline_, scene, window_, stride_,
+                                 positive_class_, config);
 }
 
 image::RgbImage SlidingWindowDetector::render_overlay(

@@ -4,13 +4,21 @@
 // HDFace pipeline classifies overlapping windows; windows predicted as the
 // positive class are tinted in the visualization overlay.
 
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "image/image.hpp"
 #include "image/pnm.hpp"
 #include "pipeline/hdface_pipeline.hpp"
 
+namespace hdface::util {
+class ThreadPool;
+}
+
 namespace hdface::pipeline {
+
+struct ParallelDetectConfig;
 
 struct DetectionMap {
   std::size_t window = 0;
@@ -23,24 +31,54 @@ struct DetectionMap {
   std::vector<double> scores;
 
   int prediction_at(std::size_t sx, std::size_t sy) const {
+    check_step(sx, sy);
     return predictions[sy * steps_x + sx];
+  }
+
+  double score_at(std::size_t sx, std::size_t sy) const {
+    check_step(sx, sy);
+    return scores[sy * steps_x + sx];
+  }
+
+ private:
+  void check_step(std::size_t sx, std::size_t sy) const {
+    if (sx >= steps_x || sy >= steps_y) {
+      throw std::out_of_range("DetectionMap: step out of range");
+    }
   }
 };
 
 class SlidingWindowDetector {
  public:
-  // The pipeline's window geometry defines the detector window size.
+  // The pipeline's window geometry defines the detector window size. The
+  // detector shares ownership of the pipeline (detectors routinely outlive
+  // the scope that trained the model).
+  SlidingWindowDetector(std::shared_ptr<HdFacePipeline> pipeline,
+                        std::size_t window, std::size_t stride,
+                        int positive_class = 1);
+
+  // Deprecated: non-owning reference form, kept so pre-facade callers build
+  // unchanged. The caller must keep `pipeline` alive for the detector's
+  // lifetime. Prefer the shared_ptr constructor or the api::Detector facade.
   SlidingWindowDetector(HdFacePipeline& pipeline, std::size_t window,
                         std::size_t stride, int positive_class = 1);
 
+  // Serial scan on the pipeline's own stochastic context (the seed behavior:
+  // one RNG chain threads through the whole scan).
   DetectionMap detect(const image::Image& scene);
+
+  // Batched scan on the parallel engine (see parallel_detect.hpp): windows
+  // are seeded per-index, so results are bit-identical at every thread
+  // count — but a (deterministically) different stream than detect(scene).
+  DetectionMap detect(const image::Image& scene,
+                      const ParallelDetectConfig& config);
 
   // Overlay: windows predicted positive are tinted blue (Fig 6 rendering).
   image::RgbImage render_overlay(const image::Image& scene,
                                  const DetectionMap& map) const;
 
  private:
-  HdFacePipeline& pipeline_;
+  std::shared_ptr<HdFacePipeline> pipeline_;
   std::size_t window_;
   std::size_t stride_;
   int positive_class_;

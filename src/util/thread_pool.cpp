@@ -59,6 +59,25 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+// Wait for every future, then rethrow the first stored exception (in chunk
+// order). Waiting for all of them before any rethrow keeps the caller's frame
+// — which owns the loop body — alive until no task can still be running it.
+void drain_and_rethrow(std::vector<std::future<void>>& futs) {
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace
+
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
   if (end <= begin) return;
@@ -80,7 +99,31 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }));
   }
-  for (auto& f : futs) f.get();  // propagates exceptions
+  drain_and_rethrow(futs);
+}
+
+void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          std::size_t min_chunk,
+                          const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (min_chunk == 0) min_chunk = 1;
+  const std::size_t workers = pool.size();
+  // Chunk geometry depends only on (n, workers, min_chunk): ~4 chunks per
+  // worker for load balancing, but never smaller than min_chunk.
+  std::size_t chunks = std::max<std::size_t>(1, std::min(workers * 4, n / min_chunk));
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  if (workers <= 1 || chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futs.push_back(pool.submit([lo, hi, &body] { body(lo, hi); }));
+  }
+  drain_and_rethrow(futs);
 }
 
 ThreadPool& global_pool() {

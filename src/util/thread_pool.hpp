@@ -48,9 +48,24 @@ class ThreadPool {
 
 // Run body(i) for i in [begin, end). Serial when the pool has one worker or
 // the range is tiny; otherwise splits the range into contiguous chunks.
-// body must be safe to call concurrently for distinct i.
+// body must be safe to call concurrently for distinct i. If any invocation
+// throws, every spawned chunk still runs to completion (or observes its own
+// exception) before the first exception rethrows on the caller — the caller's
+// frame, which owns `body`, never unwinds under a still-running task.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
+
+// Chunked variant: splits [begin, end) into contiguous chunks of at least
+// `min_chunk` items and calls body(lo, hi) once per chunk. This is the shape
+// batch engines want — a worker can set up per-chunk scratch state once and
+// sweep a contiguous range. Chunk boundaries are a pure function of
+// (range, pool size, min_chunk), never of scheduling, so deterministic
+// algorithms can rely on them. Exceptions propagate as in parallel_for:
+// all chunks finish, then the first chunk's exception (in chunk order)
+// rethrows.
+void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          std::size_t min_chunk,
+                          const std::function<void(std::size_t, std::size_t)>& body);
 
 // Shared process-wide pool (constructed on first use).
 ThreadPool& global_pool();

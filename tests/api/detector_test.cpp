@@ -1,0 +1,180 @@
+#include "api/detector.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "dataset/background_generator.hpp"
+#include "dataset/emotion_generator.hpp"
+#include "dataset/face_generator.hpp"
+#include "image/transform.hpp"
+
+namespace hdface::api {
+namespace {
+
+Detector small_face_detector() {
+  return DetectorBuilder()
+      .window(16)
+      .dim(2048)
+      .hd_hog_mode(hog::HdHogMode::kDecodeShortcut)
+      .epochs(5)
+      .build();
+}
+
+TEST(DetectorBuilder, RejectsUnusableGeometry) {
+  EXPECT_THROW(DetectorBuilder().window(0).build(), std::invalid_argument);
+  EXPECT_THROW(DetectorBuilder().classes(1).build(), std::invalid_argument);
+  // 18 is not tiled by the default cell size of 4.
+  EXPECT_THROW(DetectorBuilder().window(18).build(), std::invalid_argument);
+}
+
+TEST(DetectorBuilder, DefaultsProduceWorkingDetector) {
+  Detector det = DetectorBuilder().build();
+  EXPECT_EQ(det.window(), 32u);
+  ASSERT_NE(det.pipeline(), nullptr);
+  EXPECT_EQ(det.pipeline()->classifier().config().classes, 2u);
+}
+
+TEST(Detector, FitEvaluatePredictFace) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 16;
+  data_cfg.num_samples = 60;
+  const auto train = dataset::make_face_dataset(data_cfg);
+  data_cfg.num_samples = 24;
+  data_cfg.seed = 999;
+  const auto test = dataset::make_face_dataset(data_cfg);
+
+  Detector det = small_face_detector();
+  det.fit(train);
+  const double acc = det.evaluate(test);
+  EXPECT_GT(acc, 0.6);  // synthetic faces vs clutter separates easily
+  const int pred = det.predict(test.images.front());
+  EXPECT_TRUE(pred == 0 || pred == 1);
+}
+
+TEST(Detector, DetectMapAndBoxesOnPlantedFace) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 16;
+  data_cfg.num_samples = 60;
+  Detector det = small_face_detector();
+  det.fit(dataset::make_face_dataset(data_cfg));
+
+  image::Image scene(48, 48, 0.5f);
+  core::Rng rng(33);
+  dataset::render_background(scene, dataset::BackgroundKind::kValueNoise, rng);
+  image::paste(scene, dataset::render_face_window(16, 1234), 16, 16);
+
+  DetectOptions opts;
+  opts.threads = 1;
+  opts.stride = 8;
+  const auto map = det.detect_map(scene, opts);
+  EXPECT_EQ(map.steps_x, 5u);
+  EXPECT_EQ(map.steps_y, 5u);
+
+  // NMS off (default): one box per positive window.
+  const auto raw = det.detect(scene, opts);
+  std::size_t positives = 0;
+  for (const auto p : map.predictions) positives += (p == 1);
+  EXPECT_EQ(raw.size(), positives);
+
+  // NMS on: never more boxes than raw positives.
+  opts.nms = true;
+  const auto merged = det.detect(scene, opts);
+  EXPECT_LE(merged.size(), raw.size());
+  // Boxes sorted by descending score.
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GE(merged[i - 1].score, merged[i].score);
+  }
+
+  const auto overlay = det.render_overlay(scene, map);
+  EXPECT_EQ(overlay.width, scene.width());
+  const auto boxes_img = det.render(scene, merged);
+  EXPECT_EQ(boxes_img.height, scene.height());
+}
+
+TEST(Detector, DetectIsThreadCountInvariant) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 16;
+  data_cfg.num_samples = 60;
+  Detector det = small_face_detector();
+  det.fit(dataset::make_face_dataset(data_cfg));
+
+  image::Image scene(48, 32, 0.5f);
+  core::Rng rng(7);
+  dataset::render_background(scene, dataset::BackgroundKind::kMixed, rng);
+
+  DetectOptions one;
+  one.threads = 1;
+  DetectOptions four;
+  four.threads = 4;
+  const auto a = det.detect_map(scene, one);
+  const auto b = det.detect_map(scene, four);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_EQ(a.scores[i], b.scores[i]) << "window " << i;
+    EXPECT_EQ(a.predictions[i], b.predictions[i]) << "window " << i;
+  }
+}
+
+TEST(Detector, MultiScaleOptionsUsePyramid) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 16;
+  data_cfg.num_samples = 60;
+  Detector det = small_face_detector();
+  det.fit(dataset::make_face_dataset(data_cfg));
+
+  image::Image scene(64, 48, 0.5f);
+  core::Rng rng(11);
+  dataset::render_background(scene, dataset::BackgroundKind::kValueNoise, rng);
+  image::paste(scene, dataset::render_face_window(32, 77), 24, 8);
+
+  DetectOptions opts;
+  opts.threads = 1;
+  opts.stride = 8;
+  opts.scales = {1.0, 0.5};
+  opts.nms = true;
+  const auto boxes = det.detect(scene, opts);
+  // The pyramid path may return any box count, but every box must fit the
+  // scene and carry one of the two pyramid sizes.
+  for (const auto& b : boxes) {
+    EXPECT_TRUE(b.size == 16 || b.size == 32) << b.size;
+    EXPECT_LE(b.x + b.size, scene.width());
+    EXPECT_LE(b.y + b.size, scene.height());
+  }
+}
+
+TEST(Detector, EmotionWorkloadSevenClasses) {
+  dataset::EmotionDatasetConfig data_cfg;
+  data_cfg.num_samples = 70;
+  const auto train = dataset::make_emotion_dataset(data_cfg);
+
+  Detector det = DetectorBuilder()
+                     .window(48)
+                     .classes(dataset::kNumEmotions)
+                     .dim(2048)
+                     .hd_hog_mode(hog::HdHogMode::kDecodeShortcut)
+                     .epochs(3)
+                     .build();
+  det.fit(train);
+  const int pred = det.predict(train.images.front());
+  EXPECT_GE(pred, 0);
+  EXPECT_LT(pred, static_cast<int>(dataset::kNumEmotions));
+}
+
+TEST(Detector, FeatureCounterAccumulatesThroughOptions) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 16;
+  data_cfg.num_samples = 40;
+  Detector det = small_face_detector();
+  det.fit(dataset::make_face_dataset(data_cfg));
+
+  core::OpCounter ops;
+  DetectOptions opts;
+  opts.threads = 2;
+  opts.feature_counter = &ops;
+  det.detect_map(image::Image(32, 32, 0.5f), opts);
+  EXPECT_GT(ops.total(), 0u);
+}
+
+}  // namespace
+}  // namespace hdface::api

@@ -1,0 +1,140 @@
+#include "core/op_counter.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stochastic.hpp"
+
+namespace hdface::core {
+namespace {
+
+TEST(OpCounter, AddGetResetMerge) {
+  OpCounter c;
+  c.add(OpKind::kWordLogic, 5);
+  c.add(OpKind::kPopcount, 3);
+  c.add(OpKind::kWordLogic, 2);
+  EXPECT_EQ(c.get(OpKind::kWordLogic), 7u);
+  EXPECT_EQ(c.total(), 10u);
+  OpCounter d;
+  d.add(OpKind::kPopcount, 1);
+  c.merge(d);
+  EXPECT_EQ(c.get(OpKind::kPopcount), 4u);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(ShardedOpCounter, ZeroShardsClampsToOne) {
+  ShardedOpCounter sharded(0);
+  EXPECT_EQ(sharded.num_shards(), 1u);
+}
+
+TEST(ShardedOpCounter, ShardsDoNotShareCacheLines) {
+  ShardedOpCounter sharded(4);
+  const auto* a = &sharded.shard(0);
+  const auto* b = &sharded.shard(1);
+  const auto gap = reinterpret_cast<std::uintptr_t>(b) -
+                   reinterpret_cast<std::uintptr_t>(a);
+  EXPECT_GE(gap, 64u);
+}
+
+TEST(ShardedOpCounter, ConcurrentShardWritesCombineExactly) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  ShardedOpCounter sharded(kThreads);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sharded, t] {
+      OpCounter& mine = sharded.shard(t);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        mine.add(OpKind::kWordLogic, 1);
+        mine.add(OpKind::kRngWord, 2);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const OpCounter total = sharded.combined();
+  EXPECT_EQ(total.get(OpKind::kWordLogic), kThreads * kPerThread);
+  EXPECT_EQ(total.get(OpKind::kRngWord), 2 * kThreads * kPerThread);
+  sharded.reset();
+  EXPECT_EQ(sharded.combined().total(), 0u);
+}
+
+TEST(ShardedOpCounter, ConcurrentEncodeTotalsAreThreadCountInvariant) {
+  // The engine's accounting model end-to-end: forks of one warmed context
+  // encode concurrently, each counting into its own shard; merged totals must
+  // equal a serial run of the same per-fork seeds.
+  StochasticConfig cfg;
+  cfg.dim = 1024;
+  StochasticContext parent(cfg);
+  parent.warm_pool();
+  constexpr std::size_t kForks = 6;
+
+  auto run = [&parent](std::size_t concurrency) {
+    ShardedOpCounter sharded(kForks);
+    auto work = [&parent, &sharded](std::size_t f) {
+      StochasticContext ctx = parent.fork(1000 + f);
+      ctx.set_counter(&sharded.shard(f));
+      Hypervector v = ctx.construct(0.25);
+      for (int i = 0; i < 8; ++i) v = ctx.square(v);
+      (void)ctx.decode(v);
+    };
+    if (concurrency <= 1) {
+      for (std::size_t f = 0; f < kForks; ++f) work(f);
+    } else {
+      std::vector<std::thread> workers;
+      for (std::size_t f = 0; f < kForks; ++f) workers.emplace_back(work, f);
+      for (auto& w : workers) w.join();
+    }
+    return sharded.combined();
+  };
+
+  const OpCounter serial = run(1);
+  const OpCounter parallel = run(kForks);
+  EXPECT_GT(serial.total(), 0u);
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    EXPECT_EQ(serial.counts[k], parallel.counts[k])
+        << op_kind_name(static_cast<OpKind>(k));
+  }
+}
+
+TEST(StochasticFork, RequiresWarmedPool) {
+  StochasticConfig cfg;
+  cfg.dim = 512;
+  StochasticContext ctx(cfg);
+  EXPECT_FALSE(ctx.pool_warmed());
+  EXPECT_THROW(ctx.fork(1), std::logic_error);
+  ctx.warm_pool();
+  EXPECT_TRUE(ctx.pool_warmed());
+  EXPECT_NO_THROW(ctx.fork(1));
+}
+
+TEST(StochasticFork, PoollessContextForksWithoutWarming) {
+  StochasticConfig cfg;
+  cfg.dim = 512;
+  cfg.mask_pool = 0;
+  StochasticContext ctx(cfg);
+  EXPECT_NO_THROW(ctx.fork(7));
+}
+
+TEST(StochasticFork, ReseedMakesForkDeterministic) {
+  StochasticConfig cfg;
+  cfg.dim = 1024;
+  StochasticContext parent(cfg);
+  parent.warm_pool();
+  StochasticContext a = parent.fork(42);
+  StochasticContext b = parent.fork(99);
+  b.reseed(42);
+  const Hypervector va = a.construct(0.5);
+  const Hypervector vb = b.construct(0.5);
+  EXPECT_EQ(va, vb);
+  // Same seed again on the same fork restarts the chain.
+  a.reseed(42);
+  EXPECT_EQ(a.construct(0.5), va);
+}
+
+}  // namespace
+}  // namespace hdface::core

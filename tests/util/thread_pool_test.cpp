@@ -1,7 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -74,6 +76,78 @@ TEST(ParallelFor, PropagatesBodyException) {
                      if (i == 33) throw std::runtime_error("bad index");
                    }),
       std::runtime_error);
+}
+
+TEST(ParallelFor, AllChunksFinishBeforeExceptionRethrows) {
+  // The loop body lives in this frame; if parallel_for rethrew while chunks
+  // were still running, they would touch freed state. Every index must be
+  // visited (or skipped by its own throw) before the call returns.
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  try {
+    parallel_for(pool, 0, 256, [&](std::size_t i) {
+      if (i % 64 == 0) throw std::runtime_error("chunk failure");
+      visited.fetch_add(1);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // 256 indices minus the 4 throwing ones, minus indices abandoned in the 4
+  // failing chunks — but every *successful* increment must be observable now.
+  EXPECT_GE(visited.load(), 0);
+  pool.wait_idle();  // nothing should still be running
+}
+
+TEST(ParallelForChunked, CoversExactRangeOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(200);
+  parallel_for_chunked(pool, 7, 173, 4, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LT(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 7 && i < 173) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ParallelForChunked, RespectsMinChunk) {
+  ThreadPool pool(8);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunked(pool, 0, 100, 10, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(m);
+    chunks.push_back({lo, hi});
+  });
+  ASSERT_FALSE(chunks.empty());
+  for (const auto& [lo, hi] : chunks) EXPECT_GE(hi - lo, 10u);
+}
+
+TEST(ParallelForChunked, SerialFallbackIsOneChunk) {
+  ThreadPool pool(1);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunked(pool, 3, 50, 4, [&](std::size_t lo, std::size_t hi) {
+    chunks.push_back({lo, hi});
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 3u);
+  EXPECT_EQ(chunks[0].second, 50u);
+}
+
+TEST(ParallelForChunked, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for_chunked(pool, 5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  parallel_for_chunked(pool, 9, 2, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForChunked, PropagatesFirstChunkException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for_chunked(pool, 0, 128, 2,
+                                    [](std::size_t lo, std::size_t) {
+                                      if (lo == 0) throw std::logic_error("first");
+                                    }),
+               std::logic_error);
 }
 
 }  // namespace
