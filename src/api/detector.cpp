@@ -26,12 +26,25 @@ pipeline::ParallelDetectConfig Detector::engine_config(
   pipeline::ParallelDetectConfig engine;
   engine.threads = options.threads;
   engine.feature_counter = options.feature_counter;
+  // Points into the caller's options, which outlive the scan call.
+  engine.fault_plan = options.fault_plan ? &*options.fault_plan : nullptr;
   return engine;
 }
 
 pipeline::DetectionMap Detector::detect_map(const image::Image& scene,
                                             const DetectOptions& options) {
   if (options.stride == 0) throw std::invalid_argument("DetectOptions: stride 0");
+  if (options.fault_plan) {
+    // Inject the plan's stored-memory faults for the duration of the scan;
+    // restore() is explicit so verification errors surface to the caller.
+    pipeline::FaultSession session(*pipeline_, *options.fault_plan);
+    auto map = pipeline::detect_windows_parallel(*pipeline_, scene, window_,
+                                                 options.stride,
+                                                 options.positive_class,
+                                                 engine_config(options));
+    session.restore();
+    return map;
+  }
   return pipeline::detect_windows_parallel(*pipeline_, scene, window_,
                                            options.stride,
                                            options.positive_class,
@@ -59,6 +72,14 @@ std::vector<pipeline::Detection> Detector::detect(const image::Image& scene,
   // face; options.nms_iou only tunes how aggressively.
   ms.iou_threshold = options.nms ? options.nms_iou : 0.3;
   pipeline::MultiScaleDetector det(pipeline_, window_, ms);
+  if (options.fault_plan) {
+    // One session spans every pyramid level: a persistent storage fault
+    // corrupts all scales of a scan, not each independently.
+    pipeline::FaultSession session(*pipeline_, *options.fault_plan);
+    auto boxes = det.detect(scene, engine_config(options));
+    session.restore();
+    return boxes;
+  }
   return det.detect(scene, engine_config(options));
 }
 

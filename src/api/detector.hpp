@@ -25,12 +25,15 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/op_counter.hpp"
 #include "dataset/dataset.hpp"
 #include "image/image.hpp"
 #include "image/pnm.hpp"
+#include "noise/fault_model.hpp"
+#include "pipeline/fault_injection.hpp"
 #include "pipeline/hdface_pipeline.hpp"
 #include "pipeline/multiscale.hpp"
 #include "pipeline/parallel_detect.hpp"
@@ -59,6 +62,16 @@ struct DetectOptions {
   int positive_class = 1;
   // Optional feature-op accounting (exact totals at any thread count).
   core::OpCounter* feature_counter = nullptr;
+  // Fault-injection plan for robustness studies. When set, the scan runs
+  // against a detector whose stored hypervector memories (item memories,
+  // mask pool, binarized prototypes) carry the plan's sampled faults —
+  // injected copy-on-inject via pipeline::FaultSession before the scan and
+  // restore-verified after, so the detector is bit-identical to a
+  // never-faulted one once the call returns. Query-plane faults are applied
+  // in flight per window. Note: when the plan targets prototypes, inference
+  // switches to the binary Hamming path even at rate 0 (clean-baseline cells
+  // of a sweep stay comparable to faulted ones).
+  std::optional<noise::FaultPlan> fault_plan;
 };
 
 class Detector {

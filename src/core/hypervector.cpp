@@ -112,6 +112,21 @@ void Hypervector::mask_tail() {
   if (!words_.empty()) words_.back() &= tail_mask(dim_);
 }
 
+void Hypervector::apply_fault_pattern(const Hypervector& clear,
+                                      const Hypervector& set,
+                                      const Hypervector& flip) {
+  check_compatible(clear);
+  check_compatible(set);
+  check_compatible(flip);
+  const auto cw = clear.words();
+  const auto sw = set.words();
+  const auto fw = flip.words();
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = ((words_[i] & ~cw[i]) | sw[i]) ^ fw[i];
+  }
+  mask_tail();
+}
+
 std::size_t hamming(const Hypervector& a, const Hypervector& b) {
   if (a.dim() != b.dim()) {
     throw std::invalid_argument("hamming: dimensionality mismatch");

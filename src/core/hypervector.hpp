@@ -64,6 +64,14 @@ class Hypervector {
   // Restores the zero-tail invariant after external word mutation.
   void mask_tail();
 
+  // Fault-injection hook (noise/fault_model.hpp): applies a raw bit-level
+  // fault pattern v ← ((v & ~clear) | set) ^ flip word-wise, then re-imposes
+  // the zero-tail invariant so popcount-based reductions stay correct even
+  // when a fault pattern touches the tail word. Operands must share this
+  // dimensionality.
+  void apply_fault_pattern(const Hypervector& clear, const Hypervector& set,
+                           const Hypervector& flip);
+
  private:
   void check_compatible(const Hypervector& o) const;
 

@@ -46,6 +46,11 @@ double LevelItemMemory::value_of_level(std::size_t i) const {
   return value_of_level_impl(i, table_.size());
 }
 
+Hypervector& LevelItemMemory::mutable_level(std::size_t i) {
+  if (i >= table_.size()) throw std::out_of_range("LevelItemMemory: level index");
+  return table_[i];
+}
+
 std::size_t LevelItemMemory::index_of(double v) const {
   v = std::clamp(v, lo_, hi_);
   const double t = (v - lo_) / (hi_ - lo_);

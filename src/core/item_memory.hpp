@@ -38,6 +38,13 @@ class LevelItemMemory {
   // The value a level represents under the stochastic-arithmetic semantics.
   double value_of_level(std::size_t i) const;
 
+  // Fault-injection hook (noise/fault_model.hpp): mutable access to the
+  // stored words of one level. Every read accessor keeps returning the
+  // (possibly faulted) stored contents — exactly what a stuck-at fault in a
+  // level ROM does. The caller owns restoring the clean bits; see
+  // pipeline::FaultSession for the copy-on-inject / restore-verified wrapper.
+  Hypervector& mutable_level(std::size_t i);
+
  private:
   double value_of_level_impl(std::size_t i, std::size_t levels) const;
 

@@ -92,4 +92,34 @@ class ShardedOpCounter {
   std::vector<PaddedCounter> shards_;
 };
 
+// Cache-line-padded integer tally with the same sharding discipline as
+// ShardedOpCounter: each worker owns a shard, totals merge by addition, so
+// the combined count is exact and identical at every thread count. Used by
+// evaluation sweeps (hit counting) where a full OpCounter is overkill.
+class ShardedTally {
+ public:
+  explicit ShardedTally(std::size_t shards) : shards_(shards ? shards : 1) {}
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  // Shard i is exclusively the caller's (same rule as ShardedOpCounter).
+  std::uint64_t& shard(std::size_t i) { return shards_[i].value; }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& s : shards_) t += s.value;
+    return t;
+  }
+
+  void reset() {
+    for (auto& s : shards_) s.value = 0;
+  }
+
+ private:
+  struct alignas(64) PaddedValue {
+    std::uint64_t value = 0;
+  };
+  std::vector<PaddedValue> shards_;
+};
+
 }  // namespace hdface::core

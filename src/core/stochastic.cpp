@@ -48,6 +48,15 @@ StochasticContext StochasticContext::fork(std::uint64_t stream_seed) const {
   return out;
 }
 
+std::vector<Hypervector>& StochasticContext::mutable_pool_bucket(
+    std::size_t bucket) {
+  if (!pool_ || !pool_warmed_) {
+    throw std::logic_error(
+        "StochasticContext::mutable_pool_bucket: warm_pool() first");
+  }
+  return pool_->at(bucket);
+}
+
 int StochasticContext::effective_search_iters() const {
   if (config_.search_iters > 0) return config_.search_iters;
   // Stop once the interval term 2^-iters sinks below the ~1/√D noise floor.

@@ -156,6 +156,23 @@ class StochasticContext {
   // Restart the RNG chain from a fixed seed (per-window determinism).
   void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
+  // --- fault-injection hooks -------------------------------------------------
+  //
+  // The warmed mask pool is the software analogue of a hardware mask ROM /
+  // LFSR bank — stored hypervector material that device-level faults can
+  // corrupt. These hooks give the fault subsystem (pipeline::FaultSession)
+  // mutable access to that storage. The pool is shared with every fork, so a
+  // patched entry is read by all scan workers, and restoring the clean words
+  // heals every fork at once. Mutation is only safe while no fork is
+  // concurrently reading (inject before dispatch, restore after).
+
+  // Number of quantized probability buckets (0 when pooling is disabled).
+  std::size_t pool_buckets() const { return pool_ ? pool_->size() : 0; }
+
+  // Mutable view of one warmed bucket. Throws std::logic_error before
+  // warm_pool() — patching a lazily-filled pool would race with the fill.
+  std::vector<Hypervector>& mutable_pool_bucket(std::size_t bucket);
+
  private:
   void count(OpKind kind, std::uint64_t n) {
     if (counter_) counter_->add(kind, n);

@@ -74,6 +74,15 @@ class HdHogExtractor {
   std::size_t slots() const { return cells_x_ * cells_y_ * config_.hog.bins; }
   const core::LevelItemMemory& item_memory() const { return item_memory_; }
 
+  // Fault-injection hooks: mutable access to the two stored level tables
+  // (pixel item memory and histogram re-quantization memory) — the "item
+  // memory" storage planes the robustness study corrupts. Every encode path
+  // reads these tables, so a patched level is seen by all subsequent
+  // extractions (including via forked contexts) until the caller restores
+  // the clean words. See pipeline::FaultSession.
+  core::LevelItemMemory& mutable_item_memory() { return item_memory_; }
+  core::LevelItemMemory& mutable_histogram_memory() { return histogram_memory_; }
+
   // Per-(cell, bin) value hypervectors plus their (window-normalized) decoded
   // values, row-major cells then bins.
   struct SlotRecord {

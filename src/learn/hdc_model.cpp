@@ -21,6 +21,11 @@ void HdcClassifier::set_counter(core::OpCounter* counter) {
 }
 
 bool HdcClassifier::update(const core::Hypervector& feature, int label) {
+  if (has_binary_override()) {
+    throw std::logic_error(
+        "HdcClassifier::update: training while a binary override (faulted "
+        "prototype memory) is active would corrupt the clean model");
+  }
   const auto y = static_cast<std::size_t>(label);
   if (y >= config_.classes) throw std::invalid_argument("HdcClassifier: bad label");
 
@@ -61,10 +66,29 @@ void HdcClassifier::fit(const std::vector<core::Hypervector>& features,
 
 std::vector<double> HdcClassifier::scores(const core::Hypervector& feature) const {
   std::vector<double> s(config_.classes);
+  if (has_binary_override()) {
+    for (std::size_t c = 0; c < config_.classes; ++c) {
+      s[c] = core::similarity(binary_override_[c], feature);
+    }
+    return s;
+  }
   for (std::size_t c = 0; c < config_.classes; ++c) {
     s[c] = prototypes_[c].cosine(feature);
   }
   return s;
+}
+
+void HdcClassifier::set_binary_override(
+    std::vector<core::Hypervector> prototypes) {
+  if (prototypes.size() != config_.classes) {
+    throw std::invalid_argument("set_binary_override: class count mismatch");
+  }
+  for (const auto& p : prototypes) {
+    if (p.dim() != config_.dim) {
+      throw std::invalid_argument("set_binary_override: dimensionality mismatch");
+    }
+  }
+  binary_override_ = std::move(prototypes);
 }
 
 int HdcClassifier::predict(const core::Hypervector& feature) const {

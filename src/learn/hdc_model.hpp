@@ -62,6 +62,23 @@ class HdcClassifier {
   static int predict_binary(const std::vector<core::Hypervector>& prototypes,
                             const core::Hypervector& feature);
 
+  // --- fault-injection override ---------------------------------------------
+  //
+  // When set, scores()/predict()/evaluate() switch to binary Hamming
+  // inference against these prototypes (normalized similarity δ ∈ [−1, 1])
+  // instead of cosine against the float accumulators. This is the
+  // copy-on-inject path for prototype faults: the deployment storage the
+  // robustness study corrupts is the binarized prototype memory, and the
+  // float accumulators are physically untouched — clear_binary_override()
+  // restores the clean model exactly. Training under an override is a
+  // programming error (update() throws std::logic_error).
+  void set_binary_override(std::vector<core::Hypervector> prototypes);
+  void clear_binary_override() { binary_override_.clear(); }
+  bool has_binary_override() const { return !binary_override_.empty(); }
+  const std::vector<core::Hypervector>& binary_override() const {
+    return binary_override_;
+  }
+
   const core::Accumulator& prototype(std::size_t c) const { return prototypes_[c]; }
 
   // Restores a prototype's accumulator (deserialization).
@@ -74,6 +91,7 @@ class HdcClassifier {
  private:
   HdcConfig config_;
   std::vector<core::Accumulator> prototypes_;
+  std::vector<core::Hypervector> binary_override_;
   core::Rng rng_;
   core::OpCounter* counter_ = nullptr;
 };

@@ -52,6 +52,13 @@ class HdFacePipeline {
   core::StochasticContext& context() { return ctx_; }
   const learn::HdcClassifier& classifier() const { return *classifier_; }
 
+  // Fault-injection hooks: mutable access to the classifier (to set/clear a
+  // faulted binary-prototype override) and to the HD-HOG extractor's stored
+  // item memories. hd_extractor() is nullptr in kOrigHogEncoder mode, which
+  // has no hypervector item memory to corrupt. See pipeline::FaultSession.
+  learn::HdcClassifier& mutable_classifier() { return *classifier_; }
+  hog::HdHogExtractor* hd_extractor() { return hd_extractor_.get(); }
+
   // Image → feature hypervector (the encoder must be calibrated first in
   // kOrigHogEncoder mode; fit() and encode_dataset() handle that).
   core::Hypervector encode_image(const image::Image& img);

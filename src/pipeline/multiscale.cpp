@@ -23,10 +23,16 @@ double box_iou(const Detection& a, const Detection& b) {
   return uni > 0.0 ? inter / uni : 0.0;
 }
 
+bool detection_before(const Detection& a, const Detection& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.y != b.y) return a.y < b.y;
+  if (a.x != b.x) return a.x < b.x;
+  return a.size < b.size;
+}
+
 std::vector<Detection> non_max_suppression(std::vector<Detection> detections,
                                            double iou_threshold) {
-  std::sort(detections.begin(), detections.end(),
-            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  std::sort(detections.begin(), detections.end(), detection_before);
   std::vector<Detection> kept;
   for (const auto& d : detections) {
     bool suppressed = false;
@@ -56,8 +62,7 @@ std::vector<Detection> map_detections(const DetectionMap& map,
     }
   }
   auto kept = non_max_suppression(std::move(boxes), iou_threshold);
-  std::sort(kept.begin(), kept.end(),
-            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  std::sort(kept.begin(), kept.end(), detection_before);
   return kept;
 }
 
@@ -146,8 +151,7 @@ std::vector<Detection> MultiScaleDetector::merge_scales(
     }
   }
   auto kept = non_max_suppression(std::move(all), config_.iou_threshold);
-  std::sort(kept.begin(), kept.end(),
-            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  std::sort(kept.begin(), kept.end(), detection_before);
   return kept;
 }
 

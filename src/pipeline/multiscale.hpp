@@ -27,8 +27,16 @@ struct Detection {
 // Intersection-over-union of two square boxes.
 double box_iou(const Detection& a, const Detection& b);
 
+// Deterministic detection ordering: score descending, ties broken by
+// position (y, then x) and size ascending. std::sort leaves equal elements
+// in unspecified order, so sorting on score alone would let equal-score ties
+// — common on synthetic scenes — pick NMS winners by accident of the
+// sort implementation. Every detection sort in this module uses this.
+bool detection_before(const Detection& a, const Detection& b);
+
 // Greedy non-maximum suppression: keeps the highest-scoring box of every
-// group overlapping above `iou_threshold`.
+// group overlapping above `iou_threshold`; equal scores resolve by
+// detection_before, so the kept set is a pure function of the input set.
 std::vector<Detection> non_max_suppression(std::vector<Detection> detections,
                                            double iou_threshold);
 

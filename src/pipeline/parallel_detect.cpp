@@ -22,6 +22,7 @@ constexpr std::uint64_t kWindowStreamSalt = 0xBA7C4ED0ULL;
 void scan_range(const HdFacePipeline& pipeline, const image::Image& scene,
                 const DetectionMap& geometry, std::size_t window,
                 std::size_t stride, int positive_class, std::uint64_t seed_base,
+                const noise::FaultPlan* fault_plan,
                 core::StochasticContext& scratch, std::size_t lo, std::size_t hi,
                 std::vector<int>& predictions, std::vector<double>& scores) {
   for (std::size_t idx = lo; idx < hi; ++idx) {
@@ -30,7 +31,10 @@ void scan_range(const HdFacePipeline& pipeline, const image::Image& scene,
     scratch.reseed(core::mix64(seed_base, idx));
     const image::Image patch =
         image::crop(scene, sx * stride, sy * stride, window, window);
-    const core::Hypervector feature = pipeline.encode_image(patch, scratch);
+    core::Hypervector feature = pipeline.encode_image(patch, scratch);
+    // In-flight query corruption (deterministic in the window index, so the
+    // bit-identical-at-any-thread-count contract holds for faulted scans too).
+    if (fault_plan) noise::apply_query_fault(*fault_plan, idx, feature);
     const auto class_scores = pipeline.classifier().scores(feature);
     predictions[idx] = static_cast<int>(
         std::max_element(class_scores.begin(), class_scores.end()) -
@@ -87,7 +91,8 @@ DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
     core::OpCounter local;
     if (config.feature_counter) scratch.set_counter(&local);
     scan_range(frozen, scene, map, window, stride, positive_class, seed_base,
-               scratch, 0, total, map.predictions, map.scores);
+               config.fault_plan, scratch, 0, total, map.predictions,
+               map.scores);
     if (config.feature_counter) config.feature_counter->merge(local);
     return map;
   }
@@ -108,7 +113,8 @@ DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
           scratch.set_counter(shard);
         }
         scan_range(frozen, scene, map, window, stride, positive_class,
-                   seed_base, scratch, lo, hi, map.predictions, map.scores);
+                   seed_base, config.fault_plan, scratch, lo, hi,
+                   map.predictions, map.scores);
       });
   if (config.feature_counter) config.feature_counter->merge(shards.combined());
   return map;

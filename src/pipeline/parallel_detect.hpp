@@ -27,6 +27,7 @@
 
 #include "core/op_counter.hpp"
 #include "image/image.hpp"
+#include "noise/fault_model.hpp"
 #include "pipeline/hdface_pipeline.hpp"
 #include "pipeline/sliding_window.hpp"
 #include "util/thread_pool.hpp"
@@ -43,6 +44,14 @@ struct ParallelDetectConfig {
   util::ThreadPool* pool = nullptr;
   // Optional feature-op accounting (merged shard totals; see file comment).
   core::OpCounter* feature_counter = nullptr;
+  // Optional query-plane fault injection: when set and the plan targets
+  // queries, each window's encoded hypervector is corrupted in flight via
+  // noise::apply_query_fault before classification. The fault pattern is a
+  // pure function of (plan seed, window index), so faulted scans keep the
+  // engine's any-thread-count bit-identical contract. Stored-memory targets
+  // of the plan are NOT injected here — wrap the scan in a
+  // pipeline::FaultSession for those. Must outlive the call.
+  const noise::FaultPlan* fault_plan = nullptr;
 };
 
 // Scan `scene` with `window`-sized windows at `stride`, classifying each with

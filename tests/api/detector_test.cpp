@@ -92,6 +92,37 @@ TEST(Detector, DetectMapAndBoxesOnPlantedFace) {
   EXPECT_EQ(boxes_img.height, scene.height());
 }
 
+TEST(Detector, NmsOffByDefaultMatchesRawMapDetections) {
+  // The default DetectOptions must reproduce the seed's raw Fig 6 view:
+  // detect() without nms is exactly map_detections over the same map with a
+  // never-suppressing IoU threshold — same boxes, same scores, same order.
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 16;
+  data_cfg.num_samples = 60;
+  Detector det = small_face_detector();
+  det.fit(dataset::make_face_dataset(data_cfg));
+
+  image::Image scene(48, 48, 0.5f);
+  core::Rng rng(44);
+  dataset::render_background(scene, dataset::BackgroundKind::kMixed, rng);
+  image::paste(scene, dataset::render_face_window(16, 555), 8, 24);
+
+  DetectOptions opts;
+  opts.threads = 1;
+  EXPECT_FALSE(opts.nms);
+  const auto map = det.detect_map(scene, opts);
+  const auto expected = pipeline::map_detections(
+      map, opts.positive_class, opts.score_threshold, /*iou_threshold=*/2.0);
+  const auto raw = det.detect(scene, opts);
+  ASSERT_EQ(raw.size(), expected.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(raw[i].x, expected[i].x);
+    EXPECT_EQ(raw[i].y, expected[i].y);
+    EXPECT_EQ(raw[i].size, expected[i].size);
+    EXPECT_EQ(raw[i].score, expected[i].score);
+  }
+}
+
 TEST(Detector, DetectIsThreadCountInvariant) {
   dataset::FaceDatasetConfig data_cfg;
   data_cfg.image_size = 16;

@@ -101,6 +101,32 @@ TEST(ShardedOpCounter, ConcurrentEncodeTotalsAreThreadCountInvariant) {
   }
 }
 
+TEST(ShardedTally, ConcurrentShardIncrementsCombineExactly) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 25000;
+  ShardedTally tally(kThreads);
+  EXPECT_EQ(tally.num_shards(), kThreads);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tally, t] {
+      std::uint64_t& mine = tally.shard(t);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) ++mine;
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tally.total(), kThreads * kPerThread);
+  tally.reset();
+  EXPECT_EQ(tally.total(), 0u);
+}
+
+TEST(ShardedTally, ZeroShardsClampsToOneAndPadsCacheLines) {
+  EXPECT_EQ(ShardedTally(0).num_shards(), 1u);
+  ShardedTally tally(4);
+  const auto gap = reinterpret_cast<std::uintptr_t>(&tally.shard(1)) -
+                   reinterpret_cast<std::uintptr_t>(&tally.shard(0));
+  EXPECT_GE(gap, 64u);
+}
+
 TEST(StochasticFork, RequiresWarmedPool) {
   StochasticConfig cfg;
   cfg.dim = 512;

@@ -1,0 +1,133 @@
+// Regression tests for stochastic arithmetic at the representable-interval
+// edges: divide / sqrt at and just inside the [−1, 1] boundaries and the
+// statistical-zero region, plus the square-decorrelation sweep (a decoded
+// square must track a², not |a| — a correlated ⊗ would collapse to 1).
+
+#include "core/stochastic.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hdface::core {
+namespace {
+
+constexpr std::size_t kDim = 16384;
+const double kTol = 4.0 / std::sqrt(static_cast<double>(kDim));
+
+class StochasticEdgeTest : public ::testing::Test {
+ protected:
+  StochasticContext ctx_{kDim, 0xED6E};
+};
+
+// ---- divide at the boundaries ----------------------------------------------
+
+TEST_F(StochasticEdgeTest, DivideOneByOneIsOne) {
+  const auto q = ctx_.divide(ctx_.construct(1.0), ctx_.construct(1.0));
+  // The binary search can stop a half-interval short of the endpoint.
+  EXPECT_NEAR(ctx_.decode(q), 1.0, 0.02 + 3 * kTol);
+}
+
+TEST_F(StochasticEdgeTest, DivideMinusOneByOneIsMinusOne) {
+  const auto q = ctx_.divide(ctx_.construct(-1.0), ctx_.construct(1.0));
+  EXPECT_NEAR(ctx_.decode(q), -1.0, 0.02 + 3 * kTol);
+}
+
+TEST_F(StochasticEdgeTest, DivideMinusOneByMinusOneIsOne) {
+  const auto q = ctx_.divide(ctx_.construct(-1.0), ctx_.construct(-1.0));
+  EXPECT_NEAR(ctx_.decode(q), 1.0, 0.02 + 3 * kTol);
+}
+
+TEST_F(StochasticEdgeTest, DivideClampsOutOfRangeQuotients) {
+  // 0.9 / 0.3 = 3: outside the representation, must saturate near +1, and
+  // the mirrored signs must saturate near −1.
+  EXPECT_NEAR(ctx_.decode(ctx_.divide(ctx_.construct(0.9), ctx_.construct(0.3))),
+              1.0, 0.02 + 3 * kTol);
+  EXPECT_NEAR(
+      ctx_.decode(ctx_.divide(ctx_.construct(-0.9), ctx_.construct(0.3))),
+      -1.0, 0.02 + 3 * kTol);
+}
+
+TEST_F(StochasticEdgeTest, DivideByStatisticalZeroSaturates) {
+  // b ≈ 0 is below the sign margin: the quotient saturates with a's sign
+  // instead of oscillating on comparison noise.
+  EXPECT_NEAR(ctx_.decode(ctx_.divide(ctx_.construct(0.4), ctx_.zero())), 1.0,
+              1e-12);
+  EXPECT_NEAR(ctx_.decode(ctx_.divide(ctx_.construct(-0.4), ctx_.zero())),
+              -1.0, 1e-12);
+}
+
+TEST_F(StochasticEdgeTest, DivideZeroByZeroSaturatesPositive) {
+  // 0/0 takes the nonnegative-sign branch by convention; the regression here
+  // is that it returns a legal constant rather than searching on noise.
+  EXPECT_NEAR(ctx_.decode(ctx_.divide(ctx_.zero(), ctx_.zero())), 1.0, 1e-12);
+}
+
+TEST_F(StochasticEdgeTest, DivideZeroByLargeIsNearZero) {
+  const auto q = ctx_.divide(ctx_.zero(), ctx_.construct(1.0));
+  // |q| can't resolve below the comparison margin; it must stay near 0.
+  EXPECT_NEAR(ctx_.decode(q), 0.0, 0.05);
+}
+
+TEST_F(StochasticEdgeTest, DivideJustInsideBoundaryStaysMonotone) {
+  // Near-saturation quotients must order correctly: 0.95/1 < 1/1.
+  const double lo =
+      ctx_.decode(ctx_.divide(ctx_.construct(0.95), ctx_.construct(1.0)));
+  const double hi =
+      ctx_.decode(ctx_.divide(ctx_.construct(1.0), ctx_.construct(1.0)));
+  EXPECT_NEAR(lo, 0.95, 0.04 + 3 * kTol);
+  EXPECT_LE(lo, hi + 0.02);
+}
+
+// ---- sqrt at the boundaries -------------------------------------------------
+
+TEST_F(StochasticEdgeTest, SqrtOfOneIsOne) {
+  EXPECT_NEAR(ctx_.decode(ctx_.sqrt(ctx_.construct(1.0))), 1.0,
+              0.02 + 3 * kTol);
+}
+
+TEST_F(StochasticEdgeTest, SqrtOfZeroStaysAtNoiseFourthRoot) {
+  // √ amplifies values near 0 (d√/da → ∞), so the best possible readout sits
+  // near the fourth root of the noise floor, not at exactly 0.
+  const double r = ctx_.decode(ctx_.sqrt(ctx_.construct(0.0)));
+  EXPECT_GE(r, -kTol);
+  EXPECT_LE(r, 2.0 * std::pow(1.0 / kDim, 0.25));
+}
+
+TEST_F(StochasticEdgeTest, SqrtOfNegativeClampsToZeroRegion) {
+  // Negative inputs arise only from stochastic noise around 0; they must
+  // behave like 0, not produce NaN-analogues or sign flips.
+  const double r = ctx_.decode(ctx_.sqrt(ctx_.construct(-0.4)));
+  EXPECT_GE(r, -kTol);
+  EXPECT_LE(r, 2.0 * std::pow(1.0 / kDim, 0.25));
+}
+
+TEST_F(StochasticEdgeTest, SqrtJustInsideBoundary) {
+  EXPECT_NEAR(ctx_.decode(ctx_.sqrt(ctx_.construct(0.9025))), 0.95,
+              0.02 + 3 * kTol);
+}
+
+// ---- square decorrelation ---------------------------------------------------
+
+TEST_F(StochasticEdgeTest, SquareSweepTracksSquareNotAbsoluteValue) {
+  // The paper's literal V ⊗ V is the basis (≡ 1) for every input; the
+  // regeneration fix must instead track a² across the whole range —
+  // including negative a, where a² differs from both |a| and 1.
+  for (const double a : {-0.9, -0.6, -0.3, -0.1, 0.1, 0.3, 0.6, 0.9}) {
+    const double decoded = ctx_.decode(ctx_.square(ctx_.construct(a)));
+    EXPECT_NEAR(decoded, a * a, 0.02 + 3 * kTol) << "a=" << a;
+  }
+  // Explicit anti-|a| guard where the gap is widest: (−0.6)² = 0.36 vs 0.6.
+  const double d = ctx_.decode(ctx_.square(ctx_.construct(-0.6)));
+  EXPECT_LT(std::fabs(d - 0.36), std::fabs(d - 0.6));
+  EXPECT_LT(std::fabs(d - 0.36), std::fabs(d - 1.0));
+}
+
+TEST_F(StochasticEdgeTest, SquareAtBoundariesAndZero) {
+  EXPECT_NEAR(ctx_.decode(ctx_.square(ctx_.construct(1.0))), 1.0, 2 * kTol);
+  EXPECT_NEAR(ctx_.decode(ctx_.square(ctx_.construct(-1.0))), 1.0, 2 * kTol);
+  EXPECT_NEAR(ctx_.decode(ctx_.square(ctx_.zero())), 0.0, 0.02 + 2 * kTol);
+}
+
+}  // namespace
+}  // namespace hdface::core

@@ -42,6 +42,53 @@ TEST(Nms, KeepsSeparatedDetections) {
   EXPECT_EQ(kept.size(), 2u);
 }
 
+TEST(DetectionBefore, TotalOrderOnScoreThenPosition) {
+  EXPECT_TRUE(detection_before({5, 5, 10, 0.9}, {0, 0, 10, 0.5}));
+  // Equal score: y breaks first, then x, then size ascending.
+  EXPECT_TRUE(detection_before({9, 2, 10, 0.5}, {0, 3, 10, 0.5}));
+  EXPECT_TRUE(detection_before({1, 2, 10, 0.5}, {4, 2, 10, 0.5}));
+  EXPECT_TRUE(detection_before({1, 2, 10, 0.5}, {1, 2, 20, 0.5}));
+  // Irreflexive on identical boxes.
+  EXPECT_FALSE(detection_before({1, 2, 10, 0.5}, {1, 2, 10, 0.5}));
+}
+
+TEST(Nms, EqualScoreTieBreaksDeterministically) {
+  // Three fully-overlapping boxes with the same score: the winner must be
+  // the detection_before minimum (topmost, then leftmost), regardless of the
+  // order the candidates arrive in.
+  const std::vector<Detection> boxes = {
+      {4, 2, 20, 0.7}, {2, 2, 20, 0.7}, {3, 5, 20, 0.7}};
+  std::vector<std::vector<Detection>> orders = {
+      {boxes[0], boxes[1], boxes[2]},
+      {boxes[2], boxes[0], boxes[1]},
+      {boxes[1], boxes[2], boxes[0]}};
+  for (const auto& input : orders) {
+    const auto kept = non_max_suppression(input, 0.3);
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_EQ(kept[0].x, 2u);
+    EXPECT_EQ(kept[0].y, 2u);
+  }
+}
+
+TEST(Nms, EqualScoreNestedTieBreaksOnSize) {
+  // Same corner, same score, one nested in the other (IoU 16²/20² = 0.64):
+  // the smaller box sorts first and suppresses the larger.
+  const auto kept = non_max_suppression(
+      {{8, 8, 20, 0.6}, {8, 8, 16, 0.6}}, 0.3);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].size, 16u);
+}
+
+TEST(Nms, NestedBoxSuppressionFollowsIouThreshold) {
+  // A size-10 box nested in a size-20 box shares 100 of 400 pixels
+  // (IoU 0.25): kept at threshold 0.3, suppressed at 0.2.
+  const std::vector<Detection> input = {{0, 0, 20, 0.9}, {0, 0, 10, 0.8}};
+  EXPECT_EQ(non_max_suppression(input, 0.3).size(), 2u);
+  const auto tight = non_max_suppression(input, 0.2);
+  ASSERT_EQ(tight.size(), 1u);
+  EXPECT_DOUBLE_EQ(tight[0].score, 0.9);
+}
+
 HdFaceConfig detector_config() {
   HdFaceConfig c;
   c.dim = 2048;
