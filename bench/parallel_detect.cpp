@@ -1,5 +1,8 @@
 // Parallel batched detection engine: wall-clock and determinism check.
 //
+// hdlint: allow-file(wall-clock) — this bench *measures* elapsed time; the
+// timings are reported output and never influence what the detector computes.
+//
 // A fig6-style clutter scene (several planted faces) is scanned three ways:
 //   legacy   — the seed's serial SlidingWindowDetector::detect (one RNG chain
 //              threaded through the whole scan),

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace hdface::core {
 
 namespace {
@@ -36,10 +38,14 @@ Hypervector Hypervector::bernoulli(std::size_t dim, double p, Rng& rng) {
 }
 
 bool Hypervector::get(std::size_t i) const {
+  HD_DCHECK(i < dim_, "bit index past the hypervector dimension reads an "
+                      "out-of-bounds packed word");
   return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
 }
 
 void Hypervector::set(std::size_t i, bool value) {
+  HD_DCHECK(i < dim_, "bit index past the hypervector dimension writes an "
+                      "out-of-bounds packed word");
   const std::uint64_t bit = 1ULL << (i % kWordBits);
   if (value) {
     words_[i / kWordBits] |= bit;
@@ -48,7 +54,11 @@ void Hypervector::set(std::size_t i, bool value) {
   }
 }
 
-void Hypervector::flip(std::size_t i) { words_[i / kWordBits] ^= 1ULL << (i % kWordBits); }
+void Hypervector::flip(std::size_t i) {
+  HD_DCHECK(i < dim_, "bit index past the hypervector dimension flips an "
+                      "out-of-bounds packed word");
+  words_[i / kWordBits] ^= 1ULL << (i % kWordBits);
+}
 
 std::size_t Hypervector::popcount() const {
   std::size_t n = 0;
@@ -97,6 +107,8 @@ Hypervector& Hypervector::operator^=(const Hypervector& o) {
 }
 
 Hypervector Hypervector::rotated(std::size_t k) const {
+  HD_CHECK(dim_ > 0, "rotating a default-constructed (dimension-0) "
+                     "hypervector divides by zero");
   Hypervector r(dim_);
   k %= dim_;
   if (k == 0) return *this;

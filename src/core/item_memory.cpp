@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace hdface::core {
 
 LevelItemMemory::LevelItemMemory(StochasticContext& ctx, std::size_t levels,
@@ -52,6 +54,9 @@ Hypervector& LevelItemMemory::mutable_level(std::size_t i) {
 }
 
 std::size_t LevelItemMemory::index_of(double v) const {
+  // NaN survives std::clamp; llround(NaN) would then produce an arbitrary
+  // table index — a silent out-of-bounds read in the unchecked build.
+  HD_CHECK(!std::isnan(v), "index_of: NaN value (poisoned feature upstream)");
   v = std::clamp(v, lo_, hi_);
   const double t = (v - lo_) / (hi_ - lo_);
   return static_cast<std::size_t>(

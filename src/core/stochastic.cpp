@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace hdface::core {
 
 namespace {
@@ -66,6 +68,10 @@ int StochasticContext::effective_search_iters() const {
 }
 
 Hypervector StochasticContext::bernoulli_mask(double p) {
+  // NaN survives std::clamp and would turn llround() into an out-of-bounds
+  // pool-bucket index — a silent wild read in the unchecked build.
+  HD_CHECK(!std::isnan(p), "bernoulli_mask: NaN probability (upstream "
+                           "arithmetic produced a poisoned value)");
   p = std::clamp(p, 0.0, 1.0);
   if (config_.mask_pool == 0) return fresh_mask(p);
   // Pool mode: quantize the probability to 8 bits, lazily fill the bucket's
@@ -104,6 +110,8 @@ Hypervector StochasticContext::bernoulli_mask(double p) {
 }
 
 Hypervector StochasticContext::fresh_mask(double p) {
+  HD_CHECK(!std::isnan(p), "fresh_mask: NaN probability (upstream "
+                           "arithmetic produced a poisoned value)");
   p = std::clamp(p, 0.0, 1.0);
   const int bits = config_.mask_bits;
   const auto scale = static_cast<std::uint64_t>(1) << bits;
@@ -138,6 +146,7 @@ Hypervector StochasticContext::fresh_mask(double p) {
 }
 
 Hypervector StochasticContext::construct(double a) {
+  HD_CHECK(!std::isnan(a), "construct: NaN value cannot be represented");
   a = clamp_unit(a);
   // Flip each basis bit with probability (1−a)/2 so that agreement with V₁
   // is (1+a)/2 and δ(V_a, V₁) = a in expectation.
@@ -181,12 +190,15 @@ Hypervector StochasticContext::multiply(const Hypervector& a, const Hypervector&
 }
 
 Hypervector StochasticContext::square(const Hypervector& v) {
+  HD_CHECK(v.dim() == dim(), "square: operand dimensionality mismatch");
   // Regeneration decorrelates the operands (rotation-decorrelated pooled
   // masks make a collision with v's own construction negligible).
   return multiply(v, regenerate(v));
 }
 
 Hypervector StochasticContext::scale(const Hypervector& v, double c) {
+  HD_CHECK(v.dim() == dim(), "scale: operand dimensionality mismatch");
+  HD_CHECK(!std::isnan(c), "scale: NaN factor");
   c = clamp_unit(c);
   // δ(wavg(v, fresh-zero, |c|), V₁) = |c|·a; flip for negative c.
   Hypervector out = weighted_average(v, zero(), std::fabs(c));
@@ -198,6 +210,7 @@ Hypervector StochasticContext::scale(const Hypervector& v, double c) {
 }
 
 Hypervector StochasticContext::abs(const Hypervector& v) {
+  HD_CHECK(v.dim() == dim(), "abs: operand dimensionality mismatch");
   if (sign_of(v) < 0) {
     count(OpKind::kWordLogic, v.num_words());
     return ~v;
@@ -206,6 +219,7 @@ Hypervector StochasticContext::abs(const Hypervector& v) {
 }
 
 Hypervector StochasticContext::sqrt(const Hypervector& v) {
+  HD_CHECK(v.dim() == dim(), "sqrt: operand dimensionality mismatch");
   // Binary search per paper §4.2: the interval endpoints start at the known
   // constants 0 and 1, so every midpoint is a known dyadic constant — the
   // hyperspace work is the per-step comparison of V_m ⊗ V_m (decorrelated)
@@ -233,6 +247,8 @@ Hypervector StochasticContext::sqrt(const Hypervector& v) {
 }
 
 Hypervector StochasticContext::divide(const Hypervector& a, const Hypervector& b) {
+  HD_CHECK(a.dim() == dim() && b.dim() == dim(),
+           "divide: operand dimensionality mismatch");
   // Find q with q·b ≈ a via binary search over |q| ∈ [0, 1] (results are
   // clamped to the representable interval), handling signs separately.
   const int sign_a = sign_of(a);

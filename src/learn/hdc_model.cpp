@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace hdface::learn {
 
 HdcClassifier::HdcClassifier(const HdcConfig& config)
@@ -65,6 +67,9 @@ void HdcClassifier::fit(const std::vector<core::Hypervector>& features,
 }
 
 std::vector<double> HdcClassifier::scores(const core::Hypervector& feature) const {
+  HD_CHECK(feature.dim() == config_.dim,
+           "scores: query hypervector width does not match the prototype "
+           "width this classifier was trained at");
   std::vector<double> s(config_.classes);
   if (has_binary_override()) {
     for (std::size_t c = 0; c < config_.classes; ++c) {

@@ -1,8 +1,15 @@
 #include "learn/serialize.hpp"
 
-#include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "util/bytes.hpp"
+
+// All raw byte I/O is routed through the io:: shim (src/util/bytes.hpp), the
+// one reinterpret_cast-allowlisted translation unit hdlint accepts. Loaders
+// validate magic/version and bound-check every on-disk size *before*
+// allocating payload storage, so a corrupted or adversarial .hdc file cannot
+// drive a multi-gigabyte allocation or a short read into live memory.
 
 namespace hdface::learn {
 
@@ -13,56 +20,36 @@ constexpr std::uint32_t kHdcMagic = 0x48444343;  // "HDCC"
 constexpr std::uint32_t kMlpMagic = 0x48444D4C;  // "HDML"
 constexpr std::uint32_t kVersion = 1;
 
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("serialize: truncated stream");
-  return value;
-}
+// Plausibility ceilings for on-disk shape fields. Far above anything the
+// detector produces (the paper operates near 10^4 dimensions) while small
+// enough that a corrupted size field fails loudly instead of allocating.
+constexpr std::uint64_t kMaxDim = 1ull << 26;       // 64M hypervector bits
+constexpr std::uint64_t kMaxClasses = 1ull << 16;   // class prototypes
+constexpr std::uint64_t kMaxLayers = 64;            // MLP depth
+constexpr std::uint64_t kMaxLayerWidth = 1ull << 24;
 
 void write_doubles(std::ostream& out, const std::vector<double>& v) {
-  write_pod(out, static_cast<std::uint64_t>(v.size()));
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(double)));
+  io::write_pod(out, static_cast<std::uint64_t>(v.size()));
+  io::write_array(out, v.data(), v.size());
 }
 
-std::vector<double> read_doubles(std::istream& in) {
-  const auto n = read_pod<std::uint64_t>(in);
-  std::vector<double> v(n);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(double)));
-  if (!in) throw std::runtime_error("serialize: truncated doubles");
+std::vector<double> read_doubles(std::istream& in, const char* what) {
+  const auto n = io::read_checked_size(in, kMaxDim, what);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  io::read_array(in, v.data(), v.size(), what);
   return v;
 }
 
 void write_floats(std::ostream& out, const std::vector<float>& v) {
-  write_pod(out, static_cast<std::uint64_t>(v.size()));
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(float)));
+  io::write_pod(out, static_cast<std::uint64_t>(v.size()));
+  io::write_array(out, v.data(), v.size());
 }
 
-std::vector<float> read_floats(std::istream& in) {
-  const auto n = read_pod<std::uint64_t>(in);
-  std::vector<float> v(n);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(float)));
-  if (!in) throw std::runtime_error("serialize: truncated floats");
+std::vector<float> read_floats(std::istream& in, const char* what) {
+  const auto n = io::read_checked_size(in, kMaxLayerWidth * kMaxLayerWidth, what);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  io::read_array(in, v.data(), v.size(), what);
   return v;
-}
-
-void expect_header(std::istream& in, std::uint32_t magic, const char* what) {
-  if (read_pod<std::uint32_t>(in) != magic) {
-    throw std::runtime_error(std::string("serialize: bad magic for ") + what);
-  }
-  if (read_pod<std::uint32_t>(in) != kVersion) {
-    throw std::runtime_error(std::string("serialize: unsupported version for ") + what);
-  }
 }
 
 std::ofstream open_out(const std::string& path) {
@@ -80,40 +67,34 @@ std::ifstream open_in(const std::string& path) {
 }  // namespace
 
 void write_hypervector(std::ostream& out, const core::Hypervector& v) {
-  write_pod(out, kHvMagic);
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint64_t>(v.dim()));
+  io::write_pod(out, kHvMagic);
+  io::write_pod(out, kVersion);
+  io::write_pod(out, static_cast<std::uint64_t>(v.dim()));
   const auto words = v.words();
-  out.write(reinterpret_cast<const char*>(words.data()),
-            static_cast<std::streamsize>(words.size() * sizeof(std::uint64_t)));
+  io::write_array(out, words.data(), words.size());
 }
 
 core::Hypervector read_hypervector(std::istream& in) {
-  expect_header(in, kHvMagic, "hypervector");
-  const auto dim = read_pod<std::uint64_t>(in);
-  if (dim == 0 || dim > (1ull << 32)) {
-    throw std::runtime_error("serialize: implausible hypervector dimension");
-  }
+  io::expect_header(in, kHvMagic, kVersion, "hypervector");
+  const auto dim = io::read_checked_size(in, kMaxDim, "hypervector dimension");
   core::Hypervector v(static_cast<std::size_t>(dim));
   auto words = v.mutable_words();
-  in.read(reinterpret_cast<char*>(words.data()),
-          static_cast<std::streamsize>(words.size() * sizeof(std::uint64_t)));
-  if (!in) throw std::runtime_error("serialize: truncated hypervector");
+  io::read_array(in, words.data(), words.size(), "hypervector words");
   v.mask_tail();
   return v;
 }
 
 void save_classifier(const HdcClassifier& model, const std::string& path) {
   auto out = open_out(path);
-  write_pod(out, kHdcMagic);
-  write_pod(out, kVersion);
+  io::write_pod(out, kHdcMagic);
+  io::write_pod(out, kVersion);
   const HdcConfig& cfg = model.config();
-  write_pod(out, static_cast<std::uint64_t>(cfg.dim));
-  write_pod(out, static_cast<std::uint64_t>(cfg.classes));
-  write_pod(out, cfg.learning_rate);
-  write_pod(out, static_cast<std::uint64_t>(cfg.epochs));
-  write_pod(out, static_cast<std::uint8_t>(cfg.adaptive ? 1 : 0));
-  write_pod(out, cfg.seed);
+  io::write_pod(out, static_cast<std::uint64_t>(cfg.dim));
+  io::write_pod(out, static_cast<std::uint64_t>(cfg.classes));
+  io::write_pod(out, cfg.learning_rate);
+  io::write_pod(out, static_cast<std::uint64_t>(cfg.epochs));
+  io::write_pod(out, static_cast<std::uint8_t>(cfg.adaptive ? 1 : 0));
+  io::write_pod(out, cfg.seed);
   for (std::size_t c = 0; c < cfg.classes; ++c) {
     write_doubles(out, model.prototype(c).counts());
   }
@@ -122,17 +103,20 @@ void save_classifier(const HdcClassifier& model, const std::string& path) {
 
 HdcClassifier load_classifier(const std::string& path) {
   auto in = open_in(path);
-  expect_header(in, kHdcMagic, "HDC classifier");
+  io::expect_header(in, kHdcMagic, kVersion, "HDC classifier");
   HdcConfig cfg;
-  cfg.dim = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  cfg.classes = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  cfg.learning_rate = read_pod<double>(in);
-  cfg.epochs = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  cfg.adaptive = read_pod<std::uint8_t>(in) != 0;
-  cfg.seed = read_pod<std::uint64_t>(in);
+  cfg.dim = static_cast<std::size_t>(
+      io::read_checked_size(in, kMaxDim, "classifier dimension"));
+  cfg.classes = static_cast<std::size_t>(
+      io::read_checked_size(in, kMaxClasses, "classifier class count"));
+  cfg.learning_rate = io::read_pod<double>(in, "classifier learning rate");
+  cfg.epochs = static_cast<std::size_t>(
+      io::read_pod<std::uint64_t>(in, "classifier epochs"));
+  cfg.adaptive = io::read_pod<std::uint8_t>(in, "classifier flags") != 0;
+  cfg.seed = io::read_pod<std::uint64_t>(in, "classifier seed");
   HdcClassifier model(cfg);
   for (std::size_t c = 0; c < cfg.classes; ++c) {
-    const auto counts = read_doubles(in);
+    const auto counts = read_doubles(in, "prototype counts");
     if (counts.size() != cfg.dim) {
       throw std::runtime_error("serialize: prototype dimension mismatch");
     }
@@ -143,17 +127,17 @@ HdcClassifier load_classifier(const std::string& path) {
 
 void save_mlp(const Mlp& model, const std::string& path) {
   auto out = open_out(path);
-  write_pod(out, kMlpMagic);
-  write_pod(out, kVersion);
+  io::write_pod(out, kMlpMagic);
+  io::write_pod(out, kVersion);
   const MlpConfig& cfg = model.config();
-  write_pod(out, static_cast<std::uint64_t>(cfg.layers.size()));
-  for (auto l : cfg.layers) write_pod(out, static_cast<std::uint64_t>(l));
-  write_pod(out, cfg.learning_rate);
-  write_pod(out, cfg.momentum);
-  write_pod(out, cfg.weight_decay);
-  write_pod(out, static_cast<std::uint64_t>(cfg.epochs));
-  write_pod(out, static_cast<std::uint64_t>(cfg.batch_size));
-  write_pod(out, cfg.seed);
+  io::write_pod(out, static_cast<std::uint64_t>(cfg.layers.size()));
+  for (auto l : cfg.layers) io::write_pod(out, static_cast<std::uint64_t>(l));
+  io::write_pod(out, cfg.learning_rate);
+  io::write_pod(out, cfg.momentum);
+  io::write_pod(out, cfg.weight_decay);
+  io::write_pod(out, static_cast<std::uint64_t>(cfg.epochs));
+  io::write_pod(out, static_cast<std::uint64_t>(cfg.batch_size));
+  io::write_pod(out, cfg.seed);
   for (const auto& layer : model.layers()) {
     write_floats(out, layer.weights);
     write_floats(out, layer.bias);
@@ -163,25 +147,28 @@ void save_mlp(const Mlp& model, const std::string& path) {
 
 Mlp load_mlp(const std::string& path) {
   auto in = open_in(path);
-  expect_header(in, kMlpMagic, "MLP");
+  io::expect_header(in, kMlpMagic, kVersion, "MLP");
   MlpConfig cfg;
-  const auto n_layers = read_pod<std::uint64_t>(in);
-  if (n_layers < 2 || n_layers > 64) {
+  const auto n_layers = io::read_checked_size(in, kMaxLayers, "MLP layer count");
+  if (n_layers < 2) {
     throw std::runtime_error("serialize: implausible layer count");
   }
   for (std::uint64_t i = 0; i < n_layers; ++i) {
-    cfg.layers.push_back(static_cast<std::size_t>(read_pod<std::uint64_t>(in)));
+    cfg.layers.push_back(static_cast<std::size_t>(
+        io::read_checked_size(in, kMaxLayerWidth, "MLP layer width")));
   }
-  cfg.learning_rate = read_pod<double>(in);
-  cfg.momentum = read_pod<double>(in);
-  cfg.weight_decay = read_pod<double>(in);
-  cfg.epochs = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  cfg.batch_size = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  cfg.seed = read_pod<std::uint64_t>(in);
+  cfg.learning_rate = io::read_pod<double>(in, "MLP learning rate");
+  cfg.momentum = io::read_pod<double>(in, "MLP momentum");
+  cfg.weight_decay = io::read_pod<double>(in, "MLP weight decay");
+  cfg.epochs = static_cast<std::size_t>(
+      io::read_pod<std::uint64_t>(in, "MLP epochs"));
+  cfg.batch_size = static_cast<std::size_t>(
+      io::read_pod<std::uint64_t>(in, "MLP batch size"));
+  cfg.seed = io::read_pod<std::uint64_t>(in, "MLP seed");
   Mlp model(cfg);
   for (auto& layer : model.mutable_layers()) {
-    auto weights = read_floats(in);
-    auto bias = read_floats(in);
+    auto weights = read_floats(in, "MLP layer weights");
+    auto bias = read_floats(in, "MLP layer bias");
     if (weights.size() != layer.weights.size() || bias.size() != layer.bias.size()) {
       throw std::runtime_error("serialize: layer shape mismatch");
     }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace hdface::noise {
 
 void FaultMask::apply(core::Hypervector& v) const {
@@ -63,7 +65,7 @@ double expected_disturbed_fraction(const FaultModel& model) {
     case FaultKind::kWordBurst:
       return model.rate;
   }
-  return model.rate;
+  HD_UNREACHABLE("expected_disturbed_fraction: FaultKind outside the enum");
 }
 
 double expected_similarity_after_fault(const FaultModel& model) {

@@ -144,8 +144,12 @@ FaultCampaignCell FaultCampaign::evaluate_cell(
       [&](std::size_t lo, std::size_t hi) {
         core::StochasticContext scratch =
             pipe.fork_context(core::mix64(eval_base, lo));
-        std::uint64_t& shard =
-            hits.shard(next_shard.fetch_add(1) % hits.num_shards());
+        // Which shard a chunk claims depends on scheduling, but the shard
+        // *sum* does not: integer adds commute, so hits.total() is identical
+        // at every thread count and interleaving.
+        // hdlint: allow(sched-dependent-value)
+        std::uint64_t& shard = hits.shard(next_shard.fetch_add(1) %
+                                          hits.num_shards());
         for (std::size_t i = lo; i < hi; ++i) {
           scratch.reseed(core::mix64(eval_base, i));
           core::Hypervector feature =

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/rng.hpp"
+#include "util/check.hpp"
 
 namespace hdface::pipeline {
 
@@ -23,6 +24,11 @@ void FaultSession::inject(noise::FaultTarget target, std::uint64_t index,
   core::Rng rng(noise::fault_seed(plan_.seed, target, index));
   const noise::FaultMask mask =
       noise::sample_fault_mask(plan_.model, stored.dim(), rng);
+  // Each fault plane indexes the same packed words as the storage it patches;
+  // a width disagreement would read/write past the shorter word array.
+  HD_CHECK(mask.clear.dim() == stored.dim() && mask.set.dim() == stored.dim() &&
+               mask.flip.dim() == stored.dim(),
+           "inject: fault-plane width does not match the target storage");
   patches_.push_back(Patch{&stored, stored});
   mask.apply(stored);
   disturbed_bits_ += core::hamming(patches_.back().clean, stored);

@@ -109,7 +109,12 @@ DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
             frozen.fork_context(core::mix64(seed_base, lo));
         core::OpCounter* shard = nullptr;
         if (config.feature_counter) {
-          shard = &shards.shard(next_shard.fetch_add(1) % shards.num_shards());
+          // Shard choice is scheduling-dependent; shard totals are merged
+          // with integer adds (commutative), so combined() is exact and
+          // identical at every thread count.
+          // hdlint: allow(sched-dependent-value)
+          shard = &shards.shard(next_shard.fetch_add(1) %
+                                shards.num_shards());
           scratch.set_counter(shard);
         }
         scan_range(frozen, scene, map, window, stride, positive_class,

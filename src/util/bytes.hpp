@@ -1,0 +1,104 @@
+#pragma once
+
+// The single allowlisted byte-I/O shim.
+//
+// Every raw byte-level (de)serialization in the repository flows through
+// these helpers so that tools/hdlint can ban naked reinterpret_cast
+// everywhere else: this file is the one entry in the linter's cast
+// allowlist. The shim only punning-casts types that are statically proven
+// trivially copyable, rejects short reads with std::runtime_error (an
+// environmental error, thrown in every build mode — corruption is not a
+// programming contract, see util/check.hpp), and gives loaders a
+// header-validation helper so magic/version/shape are checked *before* any
+// payload-sized allocation happens.
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace hdface::io {
+
+// --- scalar / array writes --------------------------------------------------
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "write_pod: only trivially copyable types have a defined "
+                "byte representation");
+  out.write(reinterpret_cast<const char*>(&value),
+            static_cast<std::streamsize>(sizeof(T)));
+}
+
+template <typename T>
+void write_array(std::ostream& out, const T* data, std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "write_array: only trivially copyable types have a defined "
+                "byte representation");
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+// --- scalar / array reads (short reads rejected) ----------------------------
+
+template <typename T>
+T read_pod(std::istream& in, const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "read_pod: only trivially copyable types can be rebuilt "
+                "from raw bytes");
+  T value{};
+  in.read(reinterpret_cast<char*>(&value),
+          static_cast<std::streamsize>(sizeof(T)));
+  if (!in || in.gcount() != static_cast<std::streamsize>(sizeof(T))) {
+    throw std::runtime_error(std::string("serialize: truncated ") + what);
+  }
+  return value;
+}
+
+template <typename T>
+void read_array(std::istream& in, T* data, std::size_t count,
+                const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "read_array: only trivially copyable types can be rebuilt "
+                "from raw bytes");
+  const auto bytes = static_cast<std::streamsize>(count * sizeof(T));
+  in.read(reinterpret_cast<char*>(data), bytes);
+  if (!in || in.gcount() != bytes) {
+    throw std::runtime_error(std::string("serialize: truncated ") + what);
+  }
+}
+
+// --- header validation ------------------------------------------------------
+
+// Reads and validates a `magic, version` header. Loaders call this before
+// reading any payload size, and bound-check sizes (see read_checked_size)
+// before allocating, so a corrupted or adversarial file can never drive an
+// implausible allocation.
+inline void expect_header(std::istream& in, std::uint32_t magic,
+                          std::uint32_t version, const char* what) {
+  if (read_pod<std::uint32_t>(in, what) != magic) {
+    throw std::runtime_error(std::string("serialize: bad magic for ") + what);
+  }
+  if (read_pod<std::uint32_t>(in, what) != version) {
+    throw std::runtime_error(
+        std::string("serialize: unsupported version for ") + what);
+  }
+}
+
+// Reads a u64 element count and rejects anything outside (0, max_plausible]
+// before the caller allocates storage for it.
+inline std::uint64_t read_checked_size(std::istream& in,
+                                       std::uint64_t max_plausible,
+                                       const char* what) {
+  const auto n = read_pod<std::uint64_t>(in, what);
+  if (n == 0 || n > max_plausible) {
+    throw std::runtime_error(std::string("serialize: implausible size for ") +
+                             what);
+  }
+  return n;
+}
+
+}  // namespace hdface::io

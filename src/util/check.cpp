@@ -1,0 +1,16 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hdface::util {
+
+void contract_failure(const char* kind, const char* file, int line,
+                      const char* expr, const char* msg) noexcept {
+  std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n  %s\n", kind, expr, file,
+               line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hdface::util

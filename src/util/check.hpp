@@ -1,0 +1,92 @@
+#pragma once
+
+// Contract-checking layer (the HDFACE_CHECKED build mode).
+//
+// HDFace's determinism and memory-safety invariants — hypervector dimension
+// agreement before any bitwise op, packed-word index bounds, stochastic
+// divide/sqrt domains, prototype/query width match — are hardware contracts
+// in the in-memory HDC deployments the paper targets. The default build
+// trusts callers on hot paths (the seed behavior); configuring with
+// -DHDFACE_CHECKED=ON compiles every HD_CHECK into a fatal, diagnosable trap
+// instead of silent undefined behavior.
+//
+//   HD_CHECK(cond, msg)   API-boundary contract. Active in HDFACE_CHECKED
+//                         builds regardless of NDEBUG; the check must be
+//                         cheap relative to the operation it guards.
+//   HD_DCHECK(cond, msg)  Per-element hot-loop invariant (e.g. bit-index
+//                         bounds). Active only in HDFACE_CHECKED builds that
+//                         also keep assert() (no NDEBUG), because it costs a
+//                         branch per element access.
+//   HD_UNREACHABLE(msg)   Marks control flow the surrounding invariants rule
+//                         out. Traps when checked; __builtin_unreachable()
+//                         otherwise (the seed behavior).
+//
+// A failed contract is a *programming error*, so it aborts (death-testable
+// under GTest) rather than throwing: unwinding past a violated invariant
+// would run destructors over the very state the check found corrupt.
+// Environmental errors — unreadable files, malformed .hdc headers, truncated
+// streams — keep throwing std::runtime_error unconditionally in every build
+// mode; see src/util/bytes.hpp and src/learn/serialize.cpp.
+//
+// The condition expression must be side-effect free: unchecked builds do not
+// evaluate it (it is only compiled, inside a dead branch, so both modes keep
+// each other honest).
+
+namespace hdface::util {
+
+// Prints "<kind> failed: <expr>\n  at <file>:<line>\n  <msg>" to stderr and
+// aborts. Out-of-line so the macro expansion stays one test + one call.
+[[noreturn]] void contract_failure(const char* kind, const char* file, int line,
+                                   const char* expr, const char* msg) noexcept;
+
+}  // namespace hdface::util
+
+#if defined(HDFACE_CHECKED)
+#define HDFACE_CHECK_ENABLED 1
+#else
+#define HDFACE_CHECK_ENABLED 0
+#endif
+
+#if HDFACE_CHECK_ENABLED && !defined(NDEBUG)
+#define HDFACE_DCHECK_ENABLED 1
+#else
+#define HDFACE_DCHECK_ENABLED 0
+#endif
+
+#if HDFACE_CHECK_ENABLED
+#define HD_CHECK(cond, msg)                                                 \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::hdface::util::contract_failure("HD_CHECK", __FILE__, __LINE__,      \
+                                       #cond, msg);                         \
+    }                                                                       \
+  } while (false)
+#define HD_UNREACHABLE(msg)                                                 \
+  ::hdface::util::contract_failure("HD_UNREACHABLE", __FILE__, __LINE__,    \
+                                   "unreachable code executed", msg)
+#else
+#define HD_CHECK(cond, msg)                                                 \
+  do {                                                                      \
+    if (false) {                                                            \
+      (void)(cond);                                                         \
+    }                                                                       \
+  } while (false)
+#define HD_UNREACHABLE(msg) __builtin_unreachable()
+#endif
+
+#if HDFACE_DCHECK_ENABLED
+#define HD_DCHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::hdface::util::contract_failure("HD_DCHECK", __FILE__, __LINE__,     \
+                                       #cond, msg);                         \
+    }                                                                       \
+  } while (false)
+#else
+#define HD_DCHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (false) {                                                            \
+      (void)(cond);                                                         \
+    }                                                                       \
+  } while (false)
+#endif

@@ -2,6 +2,9 @@
 
 // Wall-clock stopwatch for coarse pipeline timing (benches report model-based
 // cycle counts for the paper's platforms; the stopwatch covers host timing).
+//
+// hdlint: allow-file(wall-clock) — measurement only: elapsed time is reported
+// to the operator and never feeds encoding, detection, or fault schedules.
 
 #include <chrono>
 

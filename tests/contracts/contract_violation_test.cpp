@@ -1,0 +1,246 @@
+// Contract-violation and determinism-regression suite (ISSUE 3 satellite c).
+//
+// Three layers, all compiled in every build mode:
+//   1. Checked-build death tests: poisoned inputs (NaN probabilities, width
+//      mismatches, out-of-range bit indices) must trap via HD_CHECK/HD_DCHECK
+//      when contracts are compiled in. Skipped (not silently passed) in
+//      unchecked builds, where the same inputs are undefined behavior.
+//   2. Environmental-error tests: corrupted, truncated, or implausibly-sized
+//      .hdc streams must throw std::runtime_error in *every* build mode —
+//      file corruption is not a programming error (see util/check.hpp).
+//   3. Golden determinism regression: bit-path quantities (seeded RNG
+//      streams, hypervector construction, fault masks, Hamming inference)
+//      must match literals captured from the unchecked Release build. The
+//      same test running under -DHDFACE_CHECKED=ON (the asan preset) proves
+//      the contract layer observes without perturbing: checked and unchecked
+//      builds produce bit-identical detections.
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/hypervector.hpp"
+#include "core/item_memory.hpp"
+#include "core/rng.hpp"
+#include "core/stochastic.hpp"
+#include "dataset/face_generator.hpp"
+#include "learn/hdc_model.hpp"
+#include "learn/serialize.hpp"
+#include "noise/fault_model.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+
+namespace hdface {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t checksum(const core::Hypervector& v) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const std::uint64_t w : v.words()) h = core::mix64(h, w);
+  return h;
+}
+
+// --- 1. contract violations trap in checked builds ---------------------------
+
+#if HDFACE_CHECK_ENABLED
+
+TEST(ContractViolation, NaNProbabilityTrapsBeforeWildRead) {
+  core::StochasticContext ctx(256, 11);
+  EXPECT_DEATH(ctx.bernoulli_mask(kNaN), "HD_CHECK failed");
+  EXPECT_DEATH(ctx.construct(kNaN), "HD_CHECK failed");
+  EXPECT_DEATH(ctx.scale(ctx.basis(), kNaN), "HD_CHECK failed");
+}
+
+TEST(ContractViolation, StochasticWidthMismatchTraps) {
+  core::StochasticContext ctx(256, 11);
+  core::Rng rng(3);
+  const auto foreign = core::Hypervector::random(128, rng);
+  EXPECT_DEATH(ctx.divide(ctx.basis(), foreign), "HD_CHECK failed");
+  EXPECT_DEATH(ctx.sqrt(foreign), "HD_CHECK failed");
+  EXPECT_DEATH(ctx.square(foreign), "HD_CHECK failed");
+  EXPECT_DEATH(ctx.abs(foreign), "HD_CHECK failed");
+}
+
+TEST(ContractViolation, ClassifierQueryWidthMismatchTraps) {
+  learn::HdcConfig cfg;
+  cfg.dim = 256;
+  cfg.classes = 2;
+  const learn::HdcClassifier model(cfg);
+  core::Rng rng(5);
+  const auto narrow = core::Hypervector::random(64, rng);
+  EXPECT_DEATH((void)model.scores(narrow), "HD_CHECK failed");
+}
+
+TEST(ContractViolation, NaNLevelLookupTraps) {
+  core::StochasticContext ctx(256, 11);
+  const core::LevelItemMemory memory(ctx, 8, -1.0, 1.0);
+  EXPECT_DEATH((void)memory.at_value(kNaN), "HD_CHECK failed");
+}
+
+#else
+
+TEST(ContractViolation, SkippedInUncheckedBuild) {
+  GTEST_SKIP() << "contracts compiled out (configure with -DHDFACE_CHECKED=ON "
+                  "or the asan preset to run the violation suite)";
+}
+
+#endif
+
+#if HDFACE_DCHECK_ENABLED
+
+TEST(ContractViolation, BitIndexPastDimensionTraps) {
+  core::Hypervector v(100);
+  EXPECT_DEATH((void)v.get(100), "HD_DCHECK failed");
+  EXPECT_DEATH(v.set(200, true), "HD_DCHECK failed");
+  EXPECT_DEATH(v.flip(1000), "HD_DCHECK failed");
+}
+
+#endif
+
+// --- 2. environmental errors throw in every build mode -----------------------
+
+TEST(CorruptedStream, ImplausibleHypervectorDimensionRejectedBeforeAlloc) {
+  std::stringstream ss;
+  io::write_pod(ss, std::uint32_t{0x48444856});  // kHvMagic
+  io::write_pod(ss, std::uint32_t{1});           // version
+  io::write_pod(ss, std::uint64_t{1} << 40);     // absurd dimension
+  EXPECT_THROW(learn::read_hypervector(ss), std::runtime_error);
+
+  std::stringstream zero;
+  io::write_pod(zero, std::uint32_t{0x48444856});
+  io::write_pod(zero, std::uint32_t{1});
+  io::write_pod(zero, std::uint64_t{0});
+  EXPECT_THROW(learn::read_hypervector(zero), std::runtime_error);
+}
+
+TEST(CorruptedStream, WrongVersionRejected) {
+  std::stringstream ss;
+  io::write_pod(ss, std::uint32_t{0x48444856});
+  io::write_pod(ss, std::uint32_t{999});
+  io::write_pod(ss, std::uint64_t{64});
+  EXPECT_THROW(learn::read_hypervector(ss), std::runtime_error);
+}
+
+TEST(CorruptedStream, TruncatedPayloadRejected) {
+  core::Rng rng(1);
+  const auto v = core::Hypervector::random(256, rng);
+  std::stringstream ss;
+  learn::write_hypervector(ss, v);
+  const std::string full = ss.str();
+  // Every strict prefix must throw, never return a short-read hypervector.
+  for (const std::size_t keep : {std::size_t{3}, std::size_t{9},
+                                 full.size() / 2, full.size() - 1}) {
+    std::stringstream cut(full.substr(0, keep));
+    EXPECT_THROW(learn::read_hypervector(cut), std::runtime_error)
+        << "prefix of " << keep << " bytes";
+  }
+  std::stringstream intact(full);
+  EXPECT_EQ(learn::read_hypervector(intact), v);
+}
+
+TEST(CorruptedStream, ImplausibleClassifierShapeRejected) {
+  const auto craft = [](std::uint64_t dim, std::uint64_t classes) {
+    const std::string path =
+        testing::TempDir() + "hdface_contract_classifier.hdc";
+    std::ofstream out(path, std::ios::binary);
+    io::write_pod(out, std::uint32_t{0x48444343});  // kHdcMagic
+    io::write_pod(out, std::uint32_t{1});
+    io::write_pod(out, dim);
+    io::write_pod(out, classes);
+    return path;
+  };
+  EXPECT_THROW(learn::load_classifier(craft(std::uint64_t{1} << 40, 2)),
+               std::runtime_error);
+  EXPECT_THROW(learn::load_classifier(craft(64, std::uint64_t{1} << 40)),
+               std::runtime_error);
+}
+
+TEST(CorruptedStream, ImplausibleMlpLayerCountRejected) {
+  const std::string path = testing::TempDir() + "hdface_contract_mlp.hdc";
+  {
+    std::ofstream out(path, std::ios::binary);
+    io::write_pod(out, std::uint32_t{0x48444D4C});  // kMlpMagic
+    io::write_pod(out, std::uint32_t{1});
+    io::write_pod(out, std::uint64_t{100000});  // layer count
+  }
+  EXPECT_THROW(learn::load_mlp(path), std::runtime_error);
+}
+
+// --- 3. golden determinism regression ----------------------------------------
+//
+// Literals captured from the unchecked Release build. Quantities are chosen
+// from the bit-exact integer path (packed words, Hamming distances, seeded
+// RNG draws) that the determinism contract governs, so the identical values
+// are required from every preset: default, asan (HDFACE_CHECKED=ON), tsan.
+
+TEST(DeterminismGolden, CorePrimitiveBitPatterns) {
+  core::Rng rng(42);
+  EXPECT_EQ(checksum(core::Hypervector::random(1000, rng)),
+            8010801974104478672ULL);
+
+  core::StochasticContext ctx(512, 7);
+  EXPECT_EQ(checksum(ctx.construct(0.25)), 12794702804303740661ULL);
+  EXPECT_EQ(checksum(ctx.bernoulli_mask(0.125)), 17103032713372494503ULL);
+
+  const core::LevelItemMemory memory(ctx, 16, -1.0, 1.0);
+  EXPECT_EQ(memory.index_of(0.3), 10u);
+  EXPECT_EQ(checksum(memory.at_value(0.3)), 14723463257440388541ULL);
+}
+
+TEST(DeterminismGolden, FaultMaskSchedule) {
+  core::Rng rng(noise::fault_seed(0xFA117, noise::FaultTarget::kPrototype, 2));
+  const auto mask = noise::sample_fault_mask(
+      noise::FaultModel{noise::FaultKind::kWordBurst, 0.05}, 512, rng);
+  EXPECT_EQ(mask.selected_bits(), 0u);  // no word failed at this rate/seed
+  EXPECT_EQ(checksum(mask.flip), 16675773786834595128ULL);
+
+  core::Rng rng2(noise::fault_seed(0xFA117, noise::FaultTarget::kQuery, 0));
+  const auto flips = noise::sample_fault_mask(
+      noise::FaultModel{noise::FaultKind::kTransientFlip, 0.02}, 512, rng2);
+  EXPECT_EQ(flips.selected_bits(), 13u);
+}
+
+TEST(DeterminismGolden, HammingInferencePath) {
+  // The binary (faulted-prototype) inference path is pure integer compare.
+  core::Rng rng(99);
+  std::vector<core::Hypervector> prototypes;
+  for (int c = 0; c < 3; ++c) {
+    prototypes.push_back(core::Hypervector::random(256, rng));
+  }
+  const auto query = core::Hypervector::random(256, rng);
+  EXPECT_EQ(core::hamming(prototypes[0], query), 123u);
+  EXPECT_EQ(core::hamming(prototypes[1], query), 126u);
+  EXPECT_EQ(core::hamming(prototypes[2], query), 124u);
+  EXPECT_EQ(learn::HdcClassifier::predict_binary(prototypes, query), 0);
+}
+
+TEST(DeterminismGolden, EncodedFeatureBitPattern) {
+  pipeline::HdFaceConfig cfg;
+  cfg.dim = 512;
+  cfg.mode = pipeline::HdFaceMode::kHdHog;
+  cfg.hd_hog_mode = hog::HdHogMode::kDecodeShortcut;
+  cfg.hog.cell_size = 4;
+  cfg.hog.bins = 8;
+  pipeline::HdFacePipeline pipe(cfg, 16, 16, 2);
+  const auto face = dataset::render_face_window(16, 4321);
+
+  // Scratch-context encoding: reseeded, so a pure function of (pipeline
+  // construction seed, scratch seed, image) — the parallel-scan contract.
+  pipe.prepare_concurrent();
+  auto scratch = pipe.fork_context(123);
+  scratch.reseed(777);
+  const auto feature = pipe.encode_image(face, scratch);
+  EXPECT_EQ(feature.dim(), 512u);
+  EXPECT_EQ(checksum(feature), 5646390414447182697ULL);
+
+  scratch.reseed(777);
+  EXPECT_EQ(checksum(pipe.encode_image(face, scratch)), checksum(feature));
+}
+
+}  // namespace
+}  // namespace hdface

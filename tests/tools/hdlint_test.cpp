@@ -1,0 +1,170 @@
+#include "linter.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+// Drives every hdlint rule against small fixture sources: each banned
+// pattern must fire, the curated exemptions (declarations, own-class
+// qualifiers, allowlisted paths) must not, and the suppression mechanism
+// must shield exactly the line it names.
+
+namespace hdface::lint {
+namespace {
+
+std::vector<std::string> rules_hit(const std::string& source,
+                                   const std::string& path = "src/x.cpp") {
+  std::vector<std::string> out;
+  for (const auto& f : lint_source(path, source, Options{})) {
+    out.push_back(f.rule);
+  }
+  return out;
+}
+
+bool fires(const std::string& source, const std::string& rule,
+           const std::string& path = "src/x.cpp") {
+  const auto hit = rules_hit(source, path);
+  return std::find(hit.begin(), hit.end(), rule) != hit.end();
+}
+
+TEST(Hdlint, RandFamilyCallsFire) {
+  EXPECT_TRUE(fires("int f() { return rand(); }\n", "rand-family"));
+  EXPECT_TRUE(fires("void f() { srand(42); }\n", "rand-family"));
+  EXPECT_TRUE(fires("double g() { return drand48(); }\n", "rand-family"));
+  EXPECT_TRUE(fires("long h() { return std::rand(); }\n", "rand-family"));
+}
+
+TEST(Hdlint, OwnRandomFactoryDoesNotFire) {
+  // A declaration whose *name* collides with POSIX random() is not a call.
+  EXPECT_FALSE(fires("static Hypervector random(std::size_t dim, Rng& rng);\n",
+                     "rand-family"));
+  // Nor is a call through a non-std qualifier (our own factory).
+  EXPECT_FALSE(fires("auto v = core::Hypervector::random(64, rng);\n",
+                     "rand-family"));
+  EXPECT_FALSE(fires("auto v = obj.random(64);\n", "rand-family"));
+}
+
+TEST(Hdlint, RandomDeviceFires) {
+  EXPECT_TRUE(fires("std::random_device rd;\n", "random-device"));
+  EXPECT_TRUE(fires("auto s = std::random_device{}();\n", "random-device"));
+}
+
+TEST(Hdlint, UnseededMt19937Fires) {
+  EXPECT_TRUE(fires("void f() { std::mt19937 gen; }\n", "unseeded-mt19937"));
+  EXPECT_TRUE(fires("void f() { std::mt19937 gen{}; }\n", "unseeded-mt19937"));
+  EXPECT_TRUE(fires("void f() { std::mt19937_64 gen(); }\n", "unseeded-mt19937"));
+  EXPECT_FALSE(fires("void f() { std::mt19937 gen(seed); }\n",
+                     "unseeded-mt19937"));
+  EXPECT_FALSE(fires("void f() { std::mt19937 gen{cfg.seed}; }\n",
+                     "unseeded-mt19937"));
+}
+
+TEST(Hdlint, WallClockFires) {
+  EXPECT_TRUE(
+      fires("auto t = std::chrono::steady_clock::now();\n", "wall-clock"));
+  EXPECT_TRUE(fires("auto t = Clock::now();\n", "wall-clock"));
+  EXPECT_TRUE(fires("auto t = time(nullptr);\n", "wall-clock"));
+  EXPECT_TRUE(fires("auto c = clock();\n", "wall-clock"));
+  // `clock_hz` is a different identifier; `now` without :: is not a clock.
+  EXPECT_FALSE(fires("auto hz = device.clock_hz;\n", "wall-clock"));
+  EXPECT_FALSE(fires("run_now(queue);\n", "wall-clock"));
+}
+
+TEST(Hdlint, UnorderedContainerFires) {
+  EXPECT_TRUE(fires("std::unordered_map<int, int> m;\n", "unordered-container"));
+  EXPECT_TRUE(fires("std::unordered_set<Key> s;\n", "unordered-container"));
+  EXPECT_FALSE(fires("std::map<int, int> m;\n", "unordered-container"));
+}
+
+TEST(Hdlint, MutableGlobalFires) {
+  EXPECT_TRUE(fires("namespace x {\nint counter = 0;\n}\n", "mutable-global"));
+  EXPECT_TRUE(fires("double total;\n", "mutable-global"));
+  EXPECT_FALSE(fires("constexpr int kDim = 64;\n", "mutable-global"));
+  EXPECT_FALSE(fires("const char* kName = \"x\";\n", "mutable-global"));
+  // Function-local state is not namespace-scope state.
+  EXPECT_FALSE(fires("void f() {\nint counter = 0;\n}\n", "mutable-global"));
+}
+
+TEST(Hdlint, ReinterpretCastFiresOutsideAllowlist) {
+  const std::string cast = "auto* p = reinterpret_cast<char*>(&v);\n";
+  EXPECT_TRUE(fires(cast, "reinterpret-cast", "src/learn/serialize.cpp"));
+  EXPECT_FALSE(fires(cast, "reinterpret-cast", "src/util/bytes.hpp"));
+  EXPECT_FALSE(fires(cast, "reinterpret-cast",
+                     "/abs/tree/src/util/bytes.hpp"));
+}
+
+TEST(Hdlint, SchedDependentValueFires) {
+  EXPECT_TRUE(fires("auto idx = next.fetch_add(1);\n", "sched-dependent-value"));
+  EXPECT_TRUE(fires("use(shards[next.fetch_add(1) % n]);\n",
+                    "sched-dependent-value"));
+  // A discarded result is a pure counter bump — fine.
+  EXPECT_FALSE(fires("next.fetch_add(1);\n", "sched-dependent-value"));
+  EXPECT_FALSE(fires("pending.fetch_sub(1);\n", "sched-dependent-value"));
+}
+
+TEST(Hdlint, CommentsAndStringsAreInert) {
+  EXPECT_FALSE(fires("// call rand() here\n", "rand-family"));
+  EXPECT_FALSE(fires("/* std::random_device */\n", "random-device"));
+  EXPECT_FALSE(fires("const char* s = \"rand()\";\n", "rand-family"));
+  EXPECT_FALSE(fires("auto s = R\"(time(nullptr))\";\n", "wall-clock"));
+}
+
+TEST(Hdlint, TrailingSuppressionShieldsItsLine) {
+  EXPECT_FALSE(fires("auto c = clock();  // hdlint: allow(wall-clock)\n",
+                     "wall-clock"));
+  // The suppression only shields its own line.
+  EXPECT_TRUE(fires("auto c = clock();  // hdlint: allow(wall-clock)\n"
+                    "auto d = clock();\n",
+                    "wall-clock"));
+}
+
+TEST(Hdlint, CommentLineSuppressionShieldsNextCodeLine) {
+  EXPECT_FALSE(fires("// hdlint: allow(sched-dependent-value)\n"
+                     "auto idx = next.fetch_add(1);\n",
+                     "sched-dependent-value"));
+  // Intervening comment lines are skipped, not shielded past code.
+  EXPECT_FALSE(fires("// hdlint: allow(wall-clock)\n"
+                     "// timing is measurement only\n"
+                     "auto t = Clock::now();\n",
+                     "wall-clock"));
+}
+
+TEST(Hdlint, FileWideSuppression) {
+  EXPECT_FALSE(fires("// hdlint: allow-file(wall-clock)\n"
+                     "auto a = Clock::now();\n"
+                     "auto b = Clock::now();\n",
+                     "wall-clock"));
+}
+
+TEST(Hdlint, UnknownSuppressionIsItselfReported) {
+  EXPECT_TRUE(fires("// hdlint: allow(no-such-rule)\n int x = 0;\n",
+                    "unknown-suppression"));
+}
+
+TEST(Hdlint, FindingsCarryFileAndLine) {
+  const auto findings =
+      lint_source("src/a.cpp", "int ok;\nauto t = time(nullptr);\n", Options{});
+  ASSERT_FALSE(findings.empty());
+  bool found = false;
+  for (const auto& f : findings) {
+    if (f.rule == "wall-clock") {
+      EXPECT_EQ(f.file, "src/a.cpp");
+      EXPECT_EQ(f.line, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Hdlint, EveryRuleHasADescription) {
+  for (const auto& [name, desc] : rules()) {
+    EXPECT_FALSE(name.empty());
+    EXPECT_FALSE(desc.empty());
+  }
+  EXPECT_GE(rules().size(), 8u);
+}
+
+}  // namespace
+}  // namespace hdface::lint

@@ -1,0 +1,76 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+// HD_CHECK / HD_DCHECK / HD_UNREACHABLE behavior in the build mode this
+// binary was compiled under. The same file compiles in every mode: checked
+// builds death-test the abort path, unchecked builds verify the macros are
+// true no-ops (a failing condition must not fire and must not be evaluated).
+
+namespace {
+
+TEST(Check, PassingConditionsAreSilent) {
+  HD_CHECK(1 + 1 == 2, "arithmetic holds");
+  HD_DCHECK(true, "trivially true");
+  SUCCEED();
+}
+
+TEST(Check, ContractFailureAlwaysAborts) {
+  // The reporting primitive itself is mode-independent.
+  EXPECT_DEATH(hdface::util::contract_failure("HD_CHECK", "file.cpp", 7,
+                                              "x == y", "widths must agree"),
+               "HD_CHECK failed");
+}
+
+#if HDFACE_CHECK_ENABLED
+
+TEST(Check, FailedCheckAbortsWithDiagnostics) {
+  EXPECT_DEATH(HD_CHECK(false, "must trap"), "HD_CHECK failed");
+  EXPECT_DEATH(HD_CHECK(2 + 2 == 5, "must trap"), "2 \\+ 2 == 5");
+  EXPECT_DEATH(HD_CHECK(false, "the message text"), "the message text");
+}
+
+TEST(Check, UnreachableAborts) {
+  EXPECT_DEATH(HD_UNREACHABLE("fell off an exhaustive switch"),
+               "HD_UNREACHABLE failed");
+}
+
+#else
+
+TEST(Check, UncheckedBuildCompilesChecksOut) {
+  // A false condition must be inert — and must not even be evaluated.
+  bool evaluated = false;
+  const auto probe = [&]() {
+    evaluated = true;
+    return false;
+  };
+  HD_CHECK(probe(), "never fires in unchecked builds");
+  EXPECT_FALSE(evaluated);
+  HD_CHECK(false, "never fires in unchecked builds");
+  SUCCEED();
+}
+
+#endif
+
+#if HDFACE_DCHECK_ENABLED
+
+TEST(Check, FailedDcheckAborts) {
+  EXPECT_DEATH(HD_DCHECK(false, "hot-loop invariant"), "HD_DCHECK failed");
+}
+
+#else
+
+TEST(Check, DcheckCompilesOutWhenDisabled) {
+  bool evaluated = false;
+  const auto probe = [&]() {
+    evaluated = true;
+    return false;
+  };
+  HD_DCHECK(probe(), "inactive");
+  EXPECT_FALSE(evaluated);
+  SUCCEED();
+}
+
+#endif
+
+}  // namespace

@@ -1,0 +1,59 @@
+// hdlint CLI — scans C++ sources for determinism and memory-safety hazards.
+//
+//   hdlint [--root DIR] [--list-rules] PATH...
+//
+// PATHs are files or directories, resolved against --root when given.
+// Prints file:line: [rule] message for each finding and exits 1 if any were
+// found (2 on usage or I/O errors), so it can gate CI and run under ctest.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& [name, desc] : hdface::lint::rules()) {
+        std::printf("%-22s %s\n", name.c_str(), desc.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hdlint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: hdlint [--root DIR] [--list-rules] PATH...\n");
+      return 2;
+    }
+    paths.push_back(root.empty() ? arg : root + "/" + arg);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: hdlint [--root DIR] [--list-rules] PATH...\n");
+    return 2;
+  }
+
+  try {
+    const auto findings = hdface::lint::lint_tree(paths);
+    for (const auto& f : findings) {
+      std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    std::printf("hdlint: %zu finding(s)\n", findings.size());
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hdlint: %s\n", e.what());
+    return 2;
+  }
+}
