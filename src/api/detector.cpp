@@ -28,6 +28,8 @@ pipeline::ParallelDetectConfig Detector::engine_config(
   engine.feature_counter = options.feature_counter;
   // Points into the caller's options, which outlive the scan call.
   engine.fault_plan = options.fault_plan ? &*options.fault_plan : nullptr;
+  engine.encode_mode = options.encode_mode;
+  engine.cache_stats = options.encode_cache_stats;
   return engine;
 }
 

@@ -62,6 +62,16 @@ struct DetectOptions {
   int positive_class = 1;
   // Optional feature-op accounting (exact totals at any thread count).
   core::OpCounter* feature_counter = nullptr;
+  // Encode strategy for the batched engine. kPerWindow (default) reproduces
+  // the engine's historical bit streams exactly; kCellPlane computes the
+  // per-pixel stochastic chain once per scene cell and assembles windows from
+  // the cache — roughly (window/stride)²-cheaper on the encode stage, still
+  // bit-identical at every thread count, but a (deterministically) different
+  // random stream than kPerWindow. Requires an HD-HOG pipeline.
+  pipeline::EncodeMode encode_mode = pipeline::EncodeMode::kPerWindow;
+  // Optional cell-plane cache accounting (cells computed / cached slot reads /
+  // windows assembled; exact at any thread count, untouched in kPerWindow).
+  pipeline::EncodeCacheStats* encode_cache_stats = nullptr;
   // Fault-injection plan for robustness studies. When set, the scan runs
   // against a detector whose stored hypervector memories (item memories,
   // mask pool, binarized prototypes) carry the plan's sampled faults —

@@ -19,6 +19,39 @@ void Accumulator::add(const Hypervector& v, double weight) {
   if (op_counter_) op_counter_->add(OpKind::kIntAdd, counts_.size());
 }
 
+void Accumulator::add_xor(const Hypervector& a, const Hypervector& b,
+                          double weight) {
+  if (a.dim() != counts_.size() || b.dim() != counts_.size()) {
+    throw std::invalid_argument("Accumulator: dimensionality mismatch");
+  }
+  const std::span<const std::uint64_t> aw = a.words();
+  const std::span<const std::uint64_t> bw = b.words();
+  double* counts = counts_.data();
+  const std::size_t dim = counts_.size();
+  // XOR bits are near-uniform, so a conditional here would mispredict ~50% of
+  // the time; the two-entry table keeps the loop branch-free.
+  const double sel[2] = {-weight, weight};
+  const std::size_t full_words = dim / 64;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    std::uint64_t x = aw[w] ^ bw[w];
+    double* c = counts + w * 64;
+    for (std::size_t bit = 0; bit < 64; ++bit, x >>= 1) {
+      c[bit] += sel[x & 1ULL];
+    }
+  }
+  if (full_words < aw.size()) {
+    std::uint64_t x = aw[full_words] ^ bw[full_words];
+    double* c = counts + full_words * 64;
+    for (std::size_t bit = 0; bit < dim - full_words * 64; ++bit, x >>= 1) {
+      c[bit] += sel[x & 1ULL];
+    }
+  }
+  if (op_counter_) {
+    op_counter_->add(OpKind::kWordLogic, aw.size());
+    op_counter_->add(OpKind::kIntAdd, dim);
+  }
+}
+
 void Accumulator::reset() {
   for (auto& c : counts_) c = 0.0;
 }

@@ -28,6 +28,14 @@ class Accumulator {
   // Adds `weight` × bipolar(v) to the counters (weight may be negative).
   void add(const Hypervector& v, double weight = 1.0);
 
+  // Exactly add(a ^ b, weight) without materializing the XOR: the word-wise
+  // loop selects ±weight per bit (IEEE sign flip is exact, so the counters
+  // are bit-identical to the two-step form) and skips the temporary
+  // hypervector allocation. This is the bundling hot path for window
+  // assembly from the cell-plane cache. Counts the XOR's kWordLogic here
+  // (callers must not count it again) plus the usual kIntAdd per dimension.
+  void add_xor(const Hypervector& a, const Hypervector& b, double weight = 1.0);
+
   void reset();
 
   double count(std::size_t i) const { return counts_[i]; }

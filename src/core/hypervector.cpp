@@ -152,6 +152,57 @@ std::size_t hamming(const Hypervector& a, const Hypervector& b) {
   return h;
 }
 
+void hamming_many(const Hypervector& query,
+                  std::span<const Hypervector> prototypes,
+                  std::span<std::size_t> out, OpCounter* counter) {
+  if (out.size() != prototypes.size()) {
+    throw std::invalid_argument("hamming_many: output size mismatch");
+  }
+  for (const auto& p : prototypes) {
+    if (p.dim() != query.dim()) {
+      throw std::invalid_argument("hamming_many: dimensionality mismatch");
+    }
+  }
+  const auto qw = query.words();
+  const std::size_t nw = qw.size();
+  const std::size_t n4 = nw - nw % 4;
+  std::vector<const std::uint64_t*> pw(prototypes.size());
+  for (std::size_t c = 0; c < prototypes.size(); ++c) {
+    pw[c] = prototypes[c].words().data();
+    out[c] = 0;
+  }
+  // One pass over the query words, four at a time, against every class plane
+  // — the query block stays in registers across the (short) prototype loop.
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const std::uint64_t q0 = qw[i], q1 = qw[i + 1];
+    const std::uint64_t q2 = qw[i + 2], q3 = qw[i + 3];
+    for (std::size_t c = 0; c < prototypes.size(); ++c) {
+      const std::uint64_t* p = pw[c] + i;
+      out[c] += static_cast<std::size_t>(
+          std::popcount(q0 ^ p[0]) + std::popcount(q1 ^ p[1]) +
+          std::popcount(q2 ^ p[2]) + std::popcount(q3 ^ p[3]));
+    }
+  }
+  for (std::size_t i = n4; i < nw; ++i) {
+    for (std::size_t c = 0; c < prototypes.size(); ++c) {
+      out[c] += static_cast<std::size_t>(std::popcount(qw[i] ^ pw[c][i]));
+    }
+  }
+  if (counter) {
+    const auto ops = static_cast<std::uint64_t>(nw) * prototypes.size();
+    counter->add(OpKind::kWordLogic, ops);
+    counter->add(OpKind::kPopcount, ops);
+  }
+}
+
+std::vector<std::size_t> hamming_many(const Hypervector& query,
+                                      std::span<const Hypervector> prototypes,
+                                      OpCounter* counter) {
+  std::vector<std::size_t> out(prototypes.size());
+  hamming_many(query, prototypes, out, counter);
+  return out;
+}
+
 double similarity(const Hypervector& a, const Hypervector& b) {
   return 1.0 - 2.0 * static_cast<double>(hamming(a, b)) / static_cast<double>(a.dim());
 }

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "core/op_counter.hpp"
 #include "core/rng.hpp"
 
 namespace hdface::core {
@@ -81,6 +82,23 @@ class Hypervector {
 
 // Number of dimensions at which a and b differ.
 std::size_t hamming(const Hypervector& a, const Hypervector& b);
+
+// Batched multi-prototype Hamming: out[c] = hamming(query, prototypes[c])
+// for every class plane, scanning the query's words once with a 4-word
+// unrolled XOR+popcount inner loop (the similarity-search hot loop of
+// classifier inference — one query against all class prototypes). Exactly
+// equal to calling hamming() per prototype, just cheaper. When `counter` is
+// set, the word XORs and popcounts are charged to it (one of each per
+// prototype word). Throws std::invalid_argument on any dimensionality
+// mismatch or when out.size() != prototypes.size().
+void hamming_many(const Hypervector& query,
+                  std::span<const Hypervector> prototypes,
+                  std::span<std::size_t> out, OpCounter* counter = nullptr);
+
+// Convenience allocation form.
+std::vector<std::size_t> hamming_many(const Hypervector& query,
+                                      std::span<const Hypervector> prototypes,
+                                      OpCounter* counter = nullptr);
 
 // Normalized dot-product similarity δ(a, b) = 1 − 2·hamming/D ∈ [−1, 1].
 double similarity(const Hypervector& a, const Hypervector& b);

@@ -1,0 +1,48 @@
+#include "hog/cell_plane.hpp"
+
+#include <stdexcept>
+
+namespace hdface::hog {
+
+bool CellPlane::window_on_grid(std::size_t origin_x, std::size_t origin_y,
+                               std::size_t cells_x, std::size_t cells_y) const {
+  if (grid_step == 0) return false;
+  if (origin_x % grid_step != 0 || origin_y % grid_step != 0) return false;
+  // Cells inside the window sit at origin + i·cell_size; cell_size is a
+  // multiple of grid_step by construction, so only the far corner can fall
+  // off the plane.
+  const std::size_t last_x = origin_x + (cells_x - 1) * cell_size;
+  const std::size_t last_y = origin_y + (cells_y - 1) * cell_size;
+  return cells_x > 0 && cells_y > 0 && last_x / grid_step < grid_x &&
+         last_y / grid_step < grid_y;
+}
+
+CellPlane make_cell_plane_geometry(std::size_t scene_width,
+                                   std::size_t scene_height,
+                                   std::size_t cell_size, std::size_t bins,
+                                   std::size_t grid_step,
+                                   std::size_t scale_index) {
+  if (cell_size == 0 || bins == 0 || grid_step == 0) {
+    throw std::invalid_argument("make_cell_plane_geometry: zero geometry");
+  }
+  if (cell_size % grid_step != 0) {
+    throw std::invalid_argument(
+        "make_cell_plane_geometry: grid_step must divide cell_size so every "
+        "window cell lands on the grid");
+  }
+  if (scene_width < cell_size || scene_height < cell_size) {
+    throw std::invalid_argument(
+        "make_cell_plane_geometry: scene smaller than one cell");
+  }
+  CellPlane plane;
+  plane.cell_size = cell_size;
+  plane.grid_step = grid_step;
+  plane.bins = bins;
+  plane.grid_x = (scene_width - cell_size) / grid_step + 1;
+  plane.grid_y = (scene_height - cell_size) / grid_step + 1;
+  plane.scale_index = scale_index;
+  plane.values.assign(plane.cells() * bins, 0.0);
+  return plane;
+}
+
+}  // namespace hdface::hog

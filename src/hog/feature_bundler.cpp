@@ -50,4 +50,23 @@ core::Hypervector FeatureBundler::bundle_weighted(
   return acc.threshold(tie_rng);
 }
 
+core::Hypervector FeatureBundler::bundle_weighted_refs(
+    const std::vector<const core::Hypervector*>& slot_values,
+    const std::vector<double>& weights, double min_weight,
+    core::OpCounter* counter) const {
+  if (slot_values.size() != keys_.size() || weights.size() != keys_.size()) {
+    throw std::invalid_argument("FeatureBundler: slot count mismatch");
+  }
+  core::Accumulator acc(keys_.front().dim());
+  acc.set_counter(counter);
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (std::abs(weights[i]) < min_weight) continue;
+    // add_xor counts the binding XOR itself (same totals as the allocating
+    // path: kWordLogic per word + kIntAdd per dimension).
+    acc.add_xor(keys_[i], *slot_values[i], weights[i]);
+  }
+  core::Rng tie_rng(tie_seed_);
+  return acc.threshold(tie_rng);
+}
+
 }  // namespace hdface::hog

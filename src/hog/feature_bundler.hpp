@@ -48,6 +48,17 @@ class FeatureBundler {
       const std::vector<double>& weights, double min_weight = 0.02,
       core::OpCounter* counter = nullptr) const;
 
+  // Borrowed-slot variant with bit-identical output: slot hypervectors are
+  // passed by pointer (typically straight into a stored level item memory)
+  // and the key binding runs through Accumulator::add_xor, so no per-slot
+  // hypervector is allocated. This is the window-assembly hot path of the
+  // cell-plane encode cache, where the per-window cost must stay at "cheap
+  // tail" scale (see hog/cell_plane.hpp).
+  core::Hypervector bundle_weighted_refs(
+      const std::vector<const core::Hypervector*>& slot_values,
+      const std::vector<double>& weights, double min_weight = 0.02,
+      core::OpCounter* counter = nullptr) const;
+
  private:
   std::size_t bins_;
   std::vector<core::Hypervector> keys_;

@@ -116,64 +116,52 @@ HdHogExtractor::SlotRecord HdHogExtractor::slot_record(const image::Image& img) 
   return slot_record(img, ctx_);
 }
 
-HdHogExtractor::SlotRecord HdHogExtractor::slot_record(
-    const image::Image& img, core::StochasticContext& ctx) const {
-  if (config_.hog.cells_x(img.width()) != cells_x_ ||
-      config_.hog.cells_y(img.height()) != cells_y_) {
-    throw std::invalid_argument("HdHogExtractor: image geometry mismatch");
-  }
+void HdHogExtractor::cell_raw_values(const image::Image& img, std::size_t x0,
+                                     std::size_t y0,
+                                     core::StochasticContext& ctx,
+                                     double* out) const {
   const std::size_t bins = config_.hog.bins;
   const std::size_t cell = config_.hog.cell_size;
   const std::size_t pixels_per_cell = cell * cell;
 
-  // First pass: per-(cell, bin) decoded histogram values from the hyperspace
-  // magnitude/bin chain.
-  std::vector<double> values;
-  values.reserve(cells_x_ * cells_y_ * bins);
-
   std::vector<core::Hypervector> bin_mean(bins);
   std::vector<std::size_t> bin_count(bins);
-  for (std::size_t cy = 0; cy < cells_y_; ++cy) {
-    for (std::size_t cx = 0; cx < cells_x_; ++cx) {
-      for (auto& m : bin_mean) m = core::Hypervector();
-      for (auto& c : bin_count) c = 0;
-
-      for (std::size_t py = 0; py < cell; ++py) {
-        for (std::size_t px = 0; px < cell; ++px) {
-          const std::size_t x = cx * cell + px;
-          const std::size_t y = cy * cell + py;
-          GradientHv grad = pixel_gradient(img, x, y, ctx);
-          const std::size_t bin = pixel_bin(grad, ctx);
-          core::Hypervector mag = pixel_magnitude(grad, ctx);
-          // Running stochastic mean of the magnitudes matched to this bin.
-          auto& n = bin_count[bin];
-          if (n == 0) {
-            bin_mean[bin] = std::move(mag);
-          } else {
-            const double keep =
-                static_cast<double>(n) / static_cast<double>(n + 1);
-            bin_mean[bin] = ctx.weighted_average(bin_mean[bin], mag, keep);
-          }
-          ++n;
-        }
+  for (std::size_t py = 0; py < cell; ++py) {
+    for (std::size_t px = 0; px < cell; ++px) {
+      const std::size_t x = x0 + px;
+      const std::size_t y = y0 + py;
+      GradientHv grad = pixel_gradient(img, x, y, ctx);
+      const std::size_t bin = pixel_bin(grad, ctx);
+      core::Hypervector mag = pixel_magnitude(grad, ctx);
+      // Running stochastic mean of the magnitudes matched to this bin.
+      auto& n = bin_count[bin];
+      if (n == 0) {
+        bin_mean[bin] = std::move(mag);
+      } else {
+        const double keep = static_cast<double>(n) / static_cast<double>(n + 1);
+        bin_mean[bin] = ctx.weighted_average(bin_mean[bin], mag, keep);
       }
-      // Bin value = mean of matched magnitudes × hit rate
-      //           = (Σ matched magnitudes) / pixels-per-cell,
-      // read out via the hyperspace decode.
-      for (std::size_t b = 0; b < bins; ++b) {
-        if (bin_count[b] == 0) {
-          values.push_back(0.0);
-        } else {
-          const double rate = static_cast<double>(bin_count[b]) /
-                              static_cast<double>(pixels_per_cell);
-          values.push_back(ctx.decode(ctx.scale(bin_mean[b], rate)));
-        }
-      }
+      ++n;
     }
   }
+  // Bin value = mean of matched magnitudes × hit rate
+  //           = (Σ matched magnitudes) / pixels-per-cell,
+  // read out via the hyperspace decode.
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (bin_count[b] == 0) {
+      out[b] = 0.0;
+    } else {
+      const double rate = static_cast<double>(bin_count[b]) /
+                          static_cast<double>(pixels_per_cell);
+      out[b] = ctx.decode(ctx.scale(bin_mean[b], rate));
+    }
+  }
+}
 
-  // Second pass: window normalization (the HD analogue of HOG block
-  // normalization) and correlative level re-quantization (see HdHogConfig).
+HdHogExtractor::SlotRecord HdHogExtractor::normalize_slots(
+    std::vector<double> values) const {
+  // Window normalization (the HD analogue of HOG block normalization) and
+  // correlative level re-quantization (see HdHogConfig).
   double vmax = config_.histogram_floor;
   for (double v : values) vmax = std::max(vmax, v);
   SlotRecord record;
@@ -185,6 +173,101 @@ HdHogExtractor::SlotRecord HdHogExtractor::slot_record(
     record.hvs.push_back(histogram_memory_.at_value(normalized));
   }
   return record;
+}
+
+HdHogExtractor::SlotRecord HdHogExtractor::slot_record(
+    const image::Image& img, core::StochasticContext& ctx) const {
+  if (config_.hog.cells_x(img.width()) != cells_x_ ||
+      config_.hog.cells_y(img.height()) != cells_y_) {
+    throw std::invalid_argument("HdHogExtractor: image geometry mismatch");
+  }
+  const std::size_t bins = config_.hog.bins;
+  const std::size_t cell = config_.hog.cell_size;
+
+  // First pass: per-(cell, bin) decoded histogram values from the hyperspace
+  // magnitude/bin chain, row-major over the window's cells on one continuous
+  // RNG chain (the seed-compatible stream; the CellPlane cache instead
+  // reseeds per cell — see cell_plane.hpp).
+  std::vector<double> values(cells_x_ * cells_y_ * bins);
+  for (std::size_t cy = 0; cy < cells_y_; ++cy) {
+    for (std::size_t cx = 0; cx < cells_x_; ++cx) {
+      cell_raw_values(img, cx * cell, cy * cell, ctx,
+                      values.data() + (cy * cells_x_ + cx) * bins);
+    }
+  }
+  return normalize_slots(std::move(values));
+}
+
+HdHogExtractor::SlotRecord HdHogExtractor::slot_record_from_plane(
+    const CellPlane& plane, std::size_t origin_x, std::size_t origin_y) const {
+  if (plane.bins != config_.hog.bins ||
+      plane.cell_size != config_.hog.cell_size) {
+    throw std::invalid_argument(
+        "HdHogExtractor: cell plane geometry mismatches this extractor");
+  }
+  if (!plane.window_on_grid(origin_x, origin_y, cells_x_, cells_y_)) {
+    throw std::invalid_argument(
+        "HdHogExtractor: window origin off the cell-plane grid");
+  }
+  const std::size_t bins = config_.hog.bins;
+  const std::size_t cell = config_.hog.cell_size;
+  std::vector<double> values;
+  values.reserve(cells_x_ * cells_y_ * bins);
+  for (std::size_t cy = 0; cy < cells_y_; ++cy) {
+    for (std::size_t cx = 0; cx < cells_x_; ++cx) {
+      const std::size_t gx = (origin_x + cx * cell) / plane.grid_step;
+      const std::size_t gy = (origin_y + cy * cell) / plane.grid_step;
+      const double* cached = plane.cell(gx, gy);
+      values.insert(values.end(), cached, cached + bins);
+    }
+  }
+  return normalize_slots(std::move(values));
+}
+
+core::Hypervector HdHogExtractor::extract_from_plane(
+    const CellPlane& plane, std::size_t origin_x, std::size_t origin_y,
+    core::OpCounter* counter) const {
+  // Same validation and values as slot_record_from_plane + bundle_weighted,
+  // but allocation-free: slot hypervectors stay inside histogram_memory_ and
+  // key binding runs through Accumulator::add_xor. Per-window cost is what
+  // makes the cell-plane cache pay off, so this path must stay at "cheap
+  // tail" scale. Output is bit-identical to the record-based form.
+  if (plane.bins != config_.hog.bins ||
+      plane.cell_size != config_.hog.cell_size) {
+    throw std::invalid_argument(
+        "HdHogExtractor: cell plane geometry mismatches this extractor");
+  }
+  if (!plane.window_on_grid(origin_x, origin_y, cells_x_, cells_y_)) {
+    throw std::invalid_argument(
+        "HdHogExtractor: window origin off the cell-plane grid");
+  }
+  const std::size_t bins = config_.hog.bins;
+  const std::size_t cell = config_.hog.cell_size;
+  const std::size_t n_slots = cells_x_ * cells_y_ * bins;
+
+  double vmax = config_.histogram_floor;
+  std::vector<double> raw(n_slots);
+  std::size_t s = 0;
+  for (std::size_t cy = 0; cy < cells_y_; ++cy) {
+    for (std::size_t cx = 0; cx < cells_x_; ++cx) {
+      const std::size_t gx = (origin_x + cx * cell) / plane.grid_step;
+      const std::size_t gy = (origin_y + cy * cell) / plane.grid_step;
+      const double* cached = plane.cell(gx, gy);
+      for (std::size_t b = 0; b < bins; ++b, ++s) {
+        raw[s] = cached[b];
+        vmax = std::max(vmax, cached[b]);
+      }
+    }
+  }
+  std::vector<const core::Hypervector*> hvs(n_slots);
+  std::vector<double> values(n_slots);
+  for (std::size_t i = 0; i < n_slots; ++i) {
+    const double normalized = std::max(0.0, raw[i]) / vmax;
+    values[i] = normalized;
+    hvs[i] = &histogram_memory_.at_value(normalized);
+  }
+  return bundler_.bundle_weighted_refs(hvs, values, config_.histogram_floor,
+                                       counter);
 }
 
 core::Hypervector HdHogExtractor::extract(const image::Image& img) {

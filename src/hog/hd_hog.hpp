@@ -26,6 +26,7 @@
 #include "core/item_memory.hpp"
 #include "core/stochastic.hpp"
 #include "hog/angle_bins.hpp"
+#include "hog/cell_plane.hpp"
 #include "hog/feature_bundler.hpp"
 #include "hog/hog.hpp"
 #include "hog/hog_config.hpp"
@@ -96,6 +97,31 @@ class HdHogExtractor {
     return slot_record(img).hvs;
   }
 
+  // Raw (pre-normalization) decoded slot values for one cell whose top-left
+  // pixel is (x0, y0) in `img` — the expensive first pass of slot_record for
+  // exactly one cell, written to out[0..bins). Gradients clamp at the edges
+  // of `img`, so computing cells over a full scene (the CellPlane cache)
+  // reads true neighbors where a cropped window would read clamped copies.
+  // All stochastic arithmetic draws from `ctx`; reseed it per cell to make
+  // the result a pure function of (extractor state, pixels, seed).
+  void cell_raw_values(const image::Image& img, std::size_t x0, std::size_t y0,
+                       core::StochasticContext& ctx, double* out) const;
+
+  // Window assembly from a scene-level cell-plane cache: slices the window's
+  // cells out of `plane`, then runs only the cheap per-window tail of
+  // slot_record (vmax normalization, histogram level lookup, weighted
+  // bundling). Consumes no RNG — the result is a pure function of the plane
+  // and the extractor's stored tables. (origin_x, origin_y) is the window's
+  // top-left pixel in the plane's scene; throws std::invalid_argument when
+  // the plane geometry mismatches this extractor or the origin is off-grid.
+  SlotRecord slot_record_from_plane(const CellPlane& plane,
+                                    std::size_t origin_x,
+                                    std::size_t origin_y) const;
+  core::Hypervector extract_from_plane(const CellPlane& plane,
+                                       std::size_t origin_x,
+                                       std::size_t origin_y,
+                                       core::OpCounter* counter) const;
+
   // Single bundled feature hypervector (the HDC learner's input).
   core::Hypervector extract(const image::Image& img);
 
@@ -137,6 +163,10 @@ class HdHogExtractor {
   const core::Hypervector& pixel_hv(float value) const {
     return item_memory_.at_value(static_cast<double>(value));
   }
+
+  // Shared per-window tail: vmax normalization + histogram level lookup over
+  // raw slot values (row-major cells then bins). Consumes no RNG.
+  SlotRecord normalize_slots(std::vector<double> values) const;
 
   core::StochasticContext& ctx_;
   HdHogConfig config_;

@@ -36,16 +36,23 @@ Image resize(const Image& src, std::size_t new_w, std::size_t new_h) {
 
 Image crop(const Image& src, std::size_t x, std::size_t y, std::size_t w,
            std::size_t h) {
+  Image dst;
+  crop_into(src, x, y, w, h, dst);
+  return dst;
+}
+
+void crop_into(const Image& src, std::size_t x, std::size_t y, std::size_t w,
+               std::size_t h, Image& dst) {
   if (x + w > src.width() || y + h > src.height()) {
     throw std::invalid_argument("crop: rectangle out of bounds");
   }
-  Image dst(w, h);
+  if (dst.width() != w || dst.height() != h) dst = Image(w, h);
+  const std::span<const float> src_px = src.pixels();
+  const std::span<float> dst_px = dst.pixels();
   for (std::size_t j = 0; j < h; ++j) {
-    for (std::size_t i = 0; i < w; ++i) {
-      dst.at(i, j) = src.at(x + i, y + j);
-    }
+    const float* row = src_px.data() + (y + j) * src.width() + x;
+    std::copy(row, row + w, dst_px.data() + j * w);
   }
-  return dst;
 }
 
 void paste(Image& dst, const Image& src, std::ptrdiff_t x, std::ptrdiff_t y) {

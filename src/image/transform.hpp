@@ -14,6 +14,12 @@ Image resize(const Image& src, std::size_t new_w, std::size_t new_h);
 Image crop(const Image& src, std::size_t x, std::size_t y, std::size_t w,
            std::size_t h);
 
+// Allocation-free crop into a caller-owned scratch image: dst is resized only
+// when its geometry differs, so a scan loop cropping thousands of same-sized
+// windows reuses one buffer instead of heap-allocating per window.
+void crop_into(const Image& src, std::size_t x, std::size_t y, std::size_t w,
+               std::size_t h, Image& dst);
+
 // Paste src into dst with its top-left corner at (x, y); pixels falling
 // outside dst are dropped.
 void paste(Image& dst, const Image& src, std::ptrdiff_t x, std::ptrdiff_t y);

@@ -72,8 +72,12 @@ std::vector<double> HdcClassifier::scores(const core::Hypervector& feature) cons
            "width this classifier was trained at");
   std::vector<double> s(config_.classes);
   if (has_binary_override()) {
+    // Batched similarity search: one pass over the query's words against all
+    // class planes (core::hamming_many), then the δ = 1 − 2h/D readout.
+    const auto h = core::hamming_many(feature, binary_override_, counter_);
     for (std::size_t c = 0; c < config_.classes; ++c) {
-      s[c] = core::similarity(binary_override_[c], feature);
+      s[c] = 1.0 - 2.0 * static_cast<double>(h[c]) /
+                       static_cast<double>(config_.dim);
     }
     return s;
   }
@@ -132,14 +136,10 @@ std::vector<core::Hypervector> HdcClassifier::binary_prototypes() const {
 int HdcClassifier::predict_binary(const std::vector<core::Hypervector>& prototypes,
                                   const core::Hypervector& feature) {
   if (prototypes.empty()) throw std::invalid_argument("predict_binary: no prototypes");
+  const auto h = core::hamming_many(feature, prototypes);
   int best = 0;
-  std::size_t best_hamming = hamming(prototypes[0], feature);
-  for (std::size_t c = 1; c < prototypes.size(); ++c) {
-    const std::size_t h = hamming(prototypes[c], feature);
-    if (h < best_hamming) {
-      best_hamming = h;
-      best = static_cast<int>(c);
-    }
+  for (std::size_t c = 1; c < h.size(); ++c) {
+    if (h[c] < h[static_cast<std::size_t>(best)]) best = static_cast<int>(c);
   }
   return best;
 }

@@ -173,10 +173,16 @@ std::vector<Detection> MultiScaleDetector::detect(
   maps.reserve(pyramid.levels.size());
   // Levels run sequentially, windows within a level in parallel: window work
   // dominates (levels are few, windows are thousands), and this keeps every
-  // level's result bit-identical to its own single-level scan.
-  for (const auto& level : pyramid.levels) {
-    maps.push_back(detect_windows_parallel(*pipeline_, level, window_,
-                                           config_.stride, 1, engine));
+  // level's result bit-identical to its own single-level scan. Each level
+  // scans under its own scale_index so the cell-plane encode mode draws an
+  // independent deterministic stream per pyramid level (same-sized levels
+  // would otherwise share cell seeds).
+  for (std::size_t level = 0; level < pyramid.levels.size(); ++level) {
+    ParallelDetectConfig level_engine = engine;
+    level_engine.scale_index = level;
+    maps.push_back(detect_windows_parallel(*pipeline_, pyramid.levels[level],
+                                           window_, config_.stride, 1,
+                                           level_engine));
   }
   return merge_scales(pyramid, maps);
 }

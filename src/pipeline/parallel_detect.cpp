@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <numeric>
 #include <stdexcept>
 
 #include "core/rng.hpp"
@@ -16,40 +17,31 @@ namespace {
 // consumer of the pipeline seed.
 constexpr std::uint64_t kWindowStreamSalt = 0xBA7C4ED0ULL;
 
-// Classify windows [lo, hi) of the row-major grid into map.predictions /
-// map.scores. Pure function of (pipeline, scene, window index) — the scratch
-// RNG restarts from the window seed before every window.
-void scan_range(const HdFacePipeline& pipeline, const image::Image& scene,
-                const DetectionMap& geometry, std::size_t window,
-                std::size_t stride, int positive_class, std::uint64_t seed_base,
-                const noise::FaultPlan* fault_plan,
-                core::StochasticContext& scratch, std::size_t lo, std::size_t hi,
-                std::vector<int>& predictions, std::vector<double>& scores) {
-  for (std::size_t idx = lo; idx < hi; ++idx) {
-    const std::size_t sx = idx % geometry.steps_x;
-    const std::size_t sy = idx / geometry.steps_x;
-    scratch.reseed(core::mix64(seed_base, idx));
-    const image::Image patch =
-        image::crop(scene, sx * stride, sy * stride, window, window);
-    core::Hypervector feature = pipeline.encode_image(patch, scratch);
-    // In-flight query corruption (deterministic in the window index, so the
-    // bit-identical-at-any-thread-count contract holds for faulted scans too).
-    if (fault_plan) noise::apply_query_fault(*fault_plan, idx, feature);
-    const auto class_scores = pipeline.classifier().scores(feature);
-    predictions[idx] = static_cast<int>(
-        std::max_element(class_scores.begin(), class_scores.end()) -
-        class_scores.begin());
-    scores[idx] = class_scores[static_cast<std::size_t>(positive_class)];
+// Resolve the execution resource. threads == 1 never dispatches; a caller
+// pool wins over the threads knob; otherwise 0 = global pool and N spins up
+// a call-local pool of exactly N workers.
+struct PoolChoice {
+  util::ThreadPool* pool = nullptr;
+  std::unique_ptr<util::ThreadPool> local;
+  bool serial() const { return pool == nullptr || pool->size() <= 1; }
+};
+
+PoolChoice resolve_pool(const ParallelDetectConfig& config) {
+  PoolChoice choice;
+  choice.pool = config.pool;
+  if (choice.pool == nullptr && config.threads != 1) {
+    if (config.threads == 0) {
+      choice.pool = &util::global_pool();
+    } else {
+      choice.local = std::make_unique<util::ThreadPool>(config.threads);
+      choice.pool = choice.local.get();
+    }
   }
+  return choice;
 }
 
-}  // namespace
-
-DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
-                                     const image::Image& scene,
-                                     std::size_t window, std::size_t stride,
-                                     int positive_class,
-                                     const ParallelDetectConfig& config) {
+DetectionMap make_map_geometry(const image::Image& scene, std::size_t window,
+                               std::size_t stride) {
   if (window == 0 || stride == 0) {
     throw std::invalid_argument("detect_windows_parallel: zero geometry");
   }
@@ -65,6 +57,198 @@ DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
   const std::size_t total = map.steps_x * map.steps_y;
   map.predictions.assign(total, 0);
   map.scores.assign(total, 0.0);
+  return map;
+}
+
+// Classify windows [lo, hi) of the row-major grid into map.predictions /
+// map.scores. Pure function of (pipeline, scene, window index) — the scratch
+// RNG restarts from the window seed before every window.
+void scan_range(const HdFacePipeline& pipeline, const image::Image& scene,
+                const DetectionMap& geometry, std::size_t window,
+                std::size_t stride, int positive_class, std::uint64_t seed_base,
+                const noise::FaultPlan* fault_plan,
+                core::StochasticContext& scratch, std::size_t lo, std::size_t hi,
+                std::vector<int>& predictions, std::vector<double>& scores) {
+  // One scratch patch per chunk, reused across its windows (crop_into).
+  image::Image patch;
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const std::size_t sx = idx % geometry.steps_x;
+    const std::size_t sy = idx / geometry.steps_x;
+    scratch.reseed(core::mix64(seed_base, idx));
+    image::crop_into(scene, sx * stride, sy * stride, window, window, patch);
+    core::Hypervector feature = pipeline.encode_image(patch, scratch);
+    // In-flight query corruption (deterministic in the window index, so the
+    // bit-identical-at-any-thread-count contract holds for faulted scans too).
+    if (fault_plan) noise::apply_query_fault(*fault_plan, idx, feature);
+    const auto class_scores = pipeline.classifier().scores(feature);
+    predictions[idx] = static_cast<int>(
+        std::max_element(class_scores.begin(), class_scores.end()) -
+        class_scores.begin());
+    scores[idx] = class_scores[static_cast<std::size_t>(positive_class)];
+  }
+}
+
+// Cell-plane window assembly for windows [lo, hi): only the cheap per-window
+// tail runs here (plane slicing, vmax normalization, level lookup, weighted
+// bundling) — no stochastic context at all, so the result is trivially
+// independent of scheduling.
+void assemble_range(const HdFacePipeline& pipeline,
+                    const hog::HdHogExtractor& extractor,
+                    const hog::CellPlane& plane, const DetectionMap& geometry,
+                    std::size_t stride, int positive_class,
+                    const noise::FaultPlan* fault_plan,
+                    core::OpCounter* counter, std::size_t lo, std::size_t hi,
+                    std::vector<int>& predictions, std::vector<double>& scores) {
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const std::size_t sx = idx % geometry.steps_x;
+    const std::size_t sy = idx / geometry.steps_x;
+    core::Hypervector feature =
+        extractor.extract_from_plane(plane, sx * stride, sy * stride, counter);
+    if (fault_plan) noise::apply_query_fault(*fault_plan, idx, feature);
+    const auto class_scores = pipeline.classifier().scores(feature);
+    predictions[idx] = static_cast<int>(
+        std::max_element(class_scores.begin(), class_scores.end()) -
+        class_scores.begin());
+    scores[idx] = class_scores[static_cast<std::size_t>(positive_class)];
+  }
+}
+
+DetectionMap detect_windows_cell_plane(HdFacePipeline& pipeline,
+                                       const image::Image& scene,
+                                       std::size_t window, std::size_t stride,
+                                       int positive_class,
+                                       const ParallelDetectConfig& config) {
+  DetectionMap map = make_map_geometry(scene, window, stride);
+  const std::size_t total = map.steps_x * map.steps_y;
+
+  const hog::HdHogExtractor* extractor = pipeline.hd_extractor();
+  // build_scene_cell_plane re-validates, but the error should name the scan.
+  if (extractor == nullptr) {
+    throw std::invalid_argument(
+        "detect_windows_parallel: cell_plane encode requires an HD-HOG "
+        "pipeline (kOrigHogEncoder has no hypervector encode to cache)");
+  }
+  const std::size_t cell = extractor->config().hog.cell_size;
+  const std::size_t grid_step = std::gcd(stride, cell);
+  const hog::CellPlane plane =
+      build_scene_cell_plane(pipeline, scene, grid_step, config);
+  const HdFacePipeline& frozen = pipeline;
+  const std::size_t slots_per_window = extractor->slots();
+
+  PoolChoice exec = resolve_pool(config);
+  if (exec.serial()) {
+    core::OpCounter local;
+    assemble_range(frozen, *extractor, plane, map, stride, positive_class,
+                   config.fault_plan, config.feature_counter ? &local : nullptr,
+                   0, total, map.predictions, map.scores);
+    if (config.feature_counter) config.feature_counter->merge(local);
+  } else {
+    core::ShardedOpCounter shards(exec.pool->size() * 4 + 1);
+    std::atomic<std::size_t> next_shard{0};
+    util::parallel_for_chunked(
+        *exec.pool, 0, total, config.min_chunk,
+        [&](std::size_t lo, std::size_t hi) {
+          core::OpCounter* shard = nullptr;
+          if (config.feature_counter) {
+            // hdlint: allow(sched-dependent-value) — shard totals merge with
+            // integer adds, so combined() is exact at every thread count.
+            shard = &shards.shard(next_shard.fetch_add(1) %
+                                  shards.num_shards());
+          }
+          assemble_range(frozen, *extractor, plane, map, stride,
+                         positive_class, config.fault_plan, shard, lo, hi,
+                         map.predictions, map.scores);
+        });
+    if (config.feature_counter) config.feature_counter->merge(shards.combined());
+  }
+  if (config.cache_stats) {
+    // Assembly-side accounting is a pure function of the grid geometry (every
+    // window reads exactly slots() cached values), so the totals are exact by
+    // construction; the compute side was tallied by build_scene_cell_plane.
+    config.cache_stats->slot_reads +=
+        static_cast<std::uint64_t>(total) * slots_per_window;
+    config.cache_stats->windows_assembled += total;
+  }
+  return map;
+}
+
+}  // namespace
+
+hog::CellPlane build_scene_cell_plane(HdFacePipeline& pipeline,
+                                      const image::Image& scene,
+                                      std::size_t grid_step,
+                                      const ParallelDetectConfig& config) {
+  const hog::HdHogExtractor* extractor = pipeline.hd_extractor();
+  if (extractor == nullptr) {
+    throw std::invalid_argument(
+        "build_scene_cell_plane: pipeline has no HD-HOG extractor");
+  }
+  const hog::HdHogConfig& hd = extractor->config();
+  hog::CellPlane plane = hog::make_cell_plane_geometry(
+      scene.width(), scene.height(), hd.hog.cell_size, hd.hog.bins, grid_step,
+      config.scale_index);
+  const std::size_t total = plane.cells();
+
+  // The one mutation, before any dispatch: freeze the shared mask pool.
+  pipeline.prepare_concurrent();
+  const std::uint64_t seed = pipeline.config().seed;
+  const HdFacePipeline& frozen = pipeline;
+
+  // Per-cell work on [lo, hi): reseed from the pure (seed, scale, gx, gy)
+  // key, then run the cell's stochastic chain into the plane.
+  const auto fill_range = [&](core::StochasticContext& scratch, std::size_t lo,
+                              std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const std::size_t gx = idx % plane.grid_x;
+      const std::size_t gy = idx / plane.grid_x;
+      scratch.reseed(
+          hog::cell_plane_seed(seed, config.scale_index, gx, gy));
+      extractor->cell_raw_values(scene, gx * plane.grid_step,
+                                 gy * plane.grid_step, scratch,
+                                 plane.mutable_cell(gx, gy));
+    }
+  };
+
+  PoolChoice exec = resolve_pool(config);
+  if (exec.serial()) {
+    core::StochasticContext scratch = frozen.fork_context(seed);
+    core::OpCounter local;
+    if (config.feature_counter) scratch.set_counter(&local);
+    fill_range(scratch, 0, total);
+    if (config.feature_counter) config.feature_counter->merge(local);
+  } else {
+    core::ShardedOpCounter shards(exec.pool->size() * 4 + 1);
+    std::atomic<std::size_t> next_shard{0};
+    util::parallel_for_chunked(
+        *exec.pool, 0, total, config.min_chunk,
+        [&](std::size_t lo, std::size_t hi) {
+          core::StochasticContext scratch =
+              frozen.fork_context(core::mix64(seed, lo));
+          if (config.feature_counter) {
+            // hdlint: allow(sched-dependent-value) — shard totals merge with
+            // integer adds, so combined() is exact at every thread count.
+            scratch.set_counter(&shards.shard(next_shard.fetch_add(1) %
+                                              shards.num_shards()));
+          }
+          fill_range(scratch, lo, hi);
+        });
+    if (config.feature_counter) config.feature_counter->merge(shards.combined());
+  }
+  if (config.cache_stats) config.cache_stats->cells_computed += total;
+  return plane;
+}
+
+DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
+                                     const image::Image& scene,
+                                     std::size_t window, std::size_t stride,
+                                     int positive_class,
+                                     const ParallelDetectConfig& config) {
+  if (config.encode_mode == EncodeMode::kCellPlane) {
+    return detect_windows_cell_plane(pipeline, scene, window, stride,
+                                     positive_class, config);
+  }
+  DetectionMap map = make_map_geometry(scene, window, stride);
+  const std::size_t total = map.steps_x * map.steps_y;
 
   // The one mutation, before any dispatch: freeze the shared mask pool.
   pipeline.prepare_concurrent();
@@ -72,21 +256,8 @@ DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
       core::mix64(pipeline.config().seed, kWindowStreamSalt);
   const HdFacePipeline& frozen = pipeline;
 
-  // Resolve the execution resource. threads == 1 never dispatches; a caller
-  // pool wins over the threads knob; otherwise 0 = global pool and N spins up
-  // a call-local pool of exactly N workers.
-  util::ThreadPool* pool = config.pool;
-  std::unique_ptr<util::ThreadPool> local_pool;
-  if (pool == nullptr && config.threads != 1) {
-    if (config.threads == 0) {
-      pool = &util::global_pool();
-    } else {
-      local_pool = std::make_unique<util::ThreadPool>(config.threads);
-      pool = local_pool.get();
-    }
-  }
-
-  if (pool == nullptr || pool->size() <= 1) {
+  PoolChoice exec = resolve_pool(config);
+  if (exec.serial()) {
     core::StochasticContext scratch = frozen.fork_context(seed_base);
     core::OpCounter local;
     if (config.feature_counter) scratch.set_counter(&local);
@@ -100,10 +271,10 @@ DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
   // One counter shard per chunk, claimed in dispatch order. Shard totals
   // merge after the scan; addition commutes, so the merged counts are exact
   // and identical at every thread count.
-  core::ShardedOpCounter shards(pool->size() * 4 + 1);
+  core::ShardedOpCounter shards(exec.pool->size() * 4 + 1);
   std::atomic<std::size_t> next_shard{0};
   util::parallel_for_chunked(
-      *pool, 0, total, config.min_chunk,
+      *exec.pool, 0, total, config.min_chunk,
       [&](std::size_t lo, std::size_t hi) {
         core::StochasticContext scratch =
             frozen.fork_context(core::mix64(seed_base, lo));

@@ -24,8 +24,10 @@
 // after the scan, so totals are equal at every thread count.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/op_counter.hpp"
+#include "hog/cell_plane.hpp"
 #include "image/image.hpp"
 #include "noise/fault_model.hpp"
 #include "pipeline/hdface_pipeline.hpp"
@@ -33,6 +35,38 @@
 #include "util/thread_pool.hpp"
 
 namespace hdface::pipeline {
+
+// How the scan turns window pixels into feature hypervectors.
+enum class EncodeMode {
+  // Seed behavior: every window re-runs the full per-pixel stochastic chain
+  // on its own reseeded scratch context.
+  kPerWindow,
+  // Scene-level cell-plane cache (hog/cell_plane.hpp): the per-pixel chain
+  // runs once per grid cell of the whole scene, windows assemble from cached
+  // cells. Roughly (window/stride)²-cheaper on the encode stage; results are
+  // a (deterministically) different random stream than kPerWindow, still
+  // bit-identical at every thread count. Requires an HD-HOG pipeline
+  // (kOrigHogEncoder has no hypervector encode to cache — throws
+  // std::invalid_argument).
+  kCellPlane,
+};
+
+// Exact cache accounting for a cell-plane scan, merged from per-chunk shards
+// (ShardedTally) after the scan — totals are identical at every thread count.
+struct EncodeCacheStats {
+  // Cells whose stochastic chain actually ran (the compute side).
+  std::uint64_t cells_computed = 0;
+  // Cached (cell, bin) slot values consumed by window assembly (the hit
+  // side; per_window mode would have recomputed each of these).
+  std::uint64_t slot_reads = 0;
+  std::uint64_t windows_assembled = 0;
+
+  void merge(const EncodeCacheStats& other) {
+    cells_computed += other.cells_computed;
+    slot_reads += other.slot_reads;
+    windows_assembled += other.windows_assembled;
+  }
+};
 
 struct ParallelDetectConfig {
   // 0 = use every worker of the pool; 1 = serial (same code path and same
@@ -52,7 +86,31 @@ struct ParallelDetectConfig {
   // of the plan are NOT injected here — wrap the scan in a
   // pipeline::FaultSession for those. Must outlive the call.
   const noise::FaultPlan* fault_plan = nullptr;
+  // Encode strategy (see EncodeMode). kPerWindow reproduces the engine's
+  // historical bit streams exactly; kCellPlane is the fast path.
+  EncodeMode encode_mode = EncodeMode::kPerWindow;
+  // Pyramid level this scan represents; part of the cell-plane reseed key so
+  // every level of a multiscale scan draws an independent deterministic
+  // stream (MultiScaleDetector sets it per level). Ignored by kPerWindow.
+  std::size_t scale_index = 0;
+  // Optional cell-plane cache accounting (exact totals at any thread count;
+  // untouched in kPerWindow mode).
+  EncodeCacheStats* cache_stats = nullptr;
 };
+
+// Build the scene-level cell-plane cache the kCellPlane scan uses: the raw
+// per-(cell, bin) slot values over the whole scene's cell grid, every cell's
+// scratch context reseeded from the pure key (pipeline seed, scale_index,
+// gx, gy) — bit-identical at any thread count and reusable across scans of
+// the same scene/scale (exposed for benches and tests; detect_windows_parallel
+// builds one internally per call). `grid_step` must divide the extractor's
+// cell size; pass gcd(stride, cell_size) to cover every window of a scan.
+// Calls pipeline.prepare_concurrent() (the one mutation, before dispatch).
+// Throws std::invalid_argument unless the pipeline runs HD-HOG.
+hog::CellPlane build_scene_cell_plane(HdFacePipeline& pipeline,
+                                      const image::Image& scene,
+                                      std::size_t grid_step,
+                                      const ParallelDetectConfig& config = {});
 
 // Scan `scene` with `window`-sized windows at `stride`, classifying each with
 // the trained pipeline. Calls pipeline.prepare_concurrent() internally (the

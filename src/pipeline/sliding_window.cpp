@@ -42,10 +42,13 @@ DetectionMap SlidingWindowDetector::detect(const image::Image& scene) {
   map.steps_y = (scene.height() - window_) / stride_ + 1;
   map.predictions.reserve(map.steps_x * map.steps_y);
   map.scores.reserve(map.steps_x * map.steps_y);
+  // One scratch patch reused across the scan instead of a heap-allocated
+  // copy per window.
+  image::Image patch;
   for (std::size_t sy = 0; sy < map.steps_y; ++sy) {
     for (std::size_t sx = 0; sx < map.steps_x; ++sx) {
-      const image::Image patch =
-          image::crop(scene, sx * stride_, sy * stride_, window_, window_);
+      image::crop_into(scene, sx * stride_, sy * stride_, window_, window_,
+                       patch);
       const core::Hypervector feature = pipeline_->encode_image(patch);
       const auto class_scores = pipeline_->classifier().scores(feature);
       const auto pred = static_cast<int>(
@@ -68,18 +71,30 @@ DetectionMap SlidingWindowDetector::detect(const image::Image& scene,
 image::RgbImage SlidingWindowDetector::render_overlay(
     const image::Image& scene, const DetectionMap& map) const {
   image::RgbImage rgb = image::to_rgb(scene);
+  // Coverage mask first, then one tint pass: overlapping positive windows
+  // must not stack the tint (repeated 0.6 darkening used to black out dense
+  // detection clusters instead of highlighting them).
+  std::vector<std::uint8_t> covered(rgb.width * rgb.height, 0);
   for (std::size_t sy = 0; sy < map.steps_y; ++sy) {
     for (std::size_t sx = 0; sx < map.steps_x; ++sx) {
       if (map.prediction_at(sx, sy) != positive_class_) continue;
-      // Blue tint over the detected window (paper Fig 6 coloring).
       for (std::size_t dy = 0; dy < map.window; ++dy) {
+        const std::size_t row = (sy * map.stride + dy) * rgb.width;
         for (std::size_t dx = 0; dx < map.window; ++dx) {
-          auto& px = rgb.at(sx * map.stride + dx, sy * map.stride + dy);
-          px[0] = static_cast<std::uint8_t>(px[0] * 0.6);
-          px[1] = static_cast<std::uint8_t>(px[1] * 0.6);
-          px[2] = static_cast<std::uint8_t>(std::min(255.0, px[2] * 0.6 + 100.0));
+          covered[row + sx * map.stride + dx] = 1;
         }
       }
+    }
+  }
+  // Blue tint over the detected windows (paper Fig 6 coloring), each covered
+  // pixel tinted exactly once.
+  for (std::size_t y = 0; y < rgb.height; ++y) {
+    for (std::size_t x = 0; x < rgb.width; ++x) {
+      if (!covered[y * rgb.width + x]) continue;
+      auto& px = rgb.at(x, y);
+      px[0] = static_cast<std::uint8_t>(px[0] * 0.6);
+      px[1] = static_cast<std::uint8_t>(px[1] * 0.6);
+      px[2] = static_cast<std::uint8_t>(std::min(255.0, px[2] * 0.6 + 100.0));
     }
   }
   return rgb;

@@ -142,5 +142,63 @@ TEST(Hypervector, MaskTailClearsStrayBits) {
   EXPECT_EQ(v.popcount(), 6u);  // only bits 64..69 survive
 }
 
+TEST(HammingMany, MatchesScalarHammingExactly) {
+  // Property test over dims that exercise the batched kernel's word-block
+  // unroll (multiple of 4 words), its tail (non-multiple), and sub-word
+  // vectors: every batched distance must equal the scalar one bit-for-bit.
+  Rng rng(16);
+  for (const std::size_t dim : {60u, 64u, 100u, 256u, 300u, 1000u, 4096u}) {
+    const auto query = Hypervector::random(dim, rng);
+    std::vector<Hypervector> prototypes;
+    for (int c = 0; c < 7; ++c) {
+      prototypes.push_back(Hypervector::random(dim, rng));
+    }
+    const auto batched = hamming_many(query, prototypes);
+    ASSERT_EQ(batched.size(), prototypes.size());
+    for (std::size_t c = 0; c < prototypes.size(); ++c) {
+      EXPECT_EQ(batched[c], hamming(query, prototypes[c]))
+          << "dim " << dim << " class " << c;
+    }
+  }
+}
+
+TEST(HammingMany, HandlesIdentityAndComplement) {
+  Rng rng(17);
+  const auto v = Hypervector::random(500, rng);
+  const std::vector<Hypervector> prototypes = {v, ~v};
+  const auto d = hamming_many(v, prototypes);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 500u);
+}
+
+TEST(HammingMany, EmptyPrototypeSetIsEmpty) {
+  Rng rng(18);
+  const auto v = Hypervector::random(128, rng);
+  EXPECT_TRUE(hamming_many(v, {}).empty());
+}
+
+TEST(HammingMany, ValidatesDimensionsAndOutputSize) {
+  Rng rng(19);
+  const auto q = Hypervector::random(128, rng);
+  const std::vector<Hypervector> mismatched = {Hypervector::random(128, rng),
+                                               Hypervector::random(64, rng)};
+  EXPECT_THROW(hamming_many(q, mismatched), std::invalid_argument);
+  const std::vector<Hypervector> ok = {Hypervector::random(128, rng)};
+  std::vector<std::size_t> too_small;
+  EXPECT_THROW(hamming_many(q, ok, too_small), std::invalid_argument);
+}
+
+TEST(HammingMany, CountsOpsOnceAcrossTheBatch) {
+  Rng rng(20);
+  const auto q = Hypervector::random(256, rng);  // 4 words
+  std::vector<Hypervector> prototypes;
+  for (int c = 0; c < 3; ++c) prototypes.push_back(Hypervector::random(256, rng));
+  OpCounter counter;
+  hamming_many(q, prototypes, &counter);
+  // One XOR + one popcount per (word, prototype) pair.
+  EXPECT_EQ(counter.get(OpKind::kWordLogic), 4u * 3u);
+  EXPECT_EQ(counter.get(OpKind::kPopcount), 4u * 3u);
+}
+
 }  // namespace
 }  // namespace hdface::core

@@ -101,5 +101,29 @@ TEST(SlidingWindow, OverlayTintsDetections) {
   EXPECT_EQ(overlay.at(20, 20)[0], overlay.at(20, 20)[2]);
 }
 
+TEST(SlidingWindow, OverlayTintsOverlappingWindowsOnce) {
+  // Two positive windows overlapping at stride < window: pixels in the
+  // overlap must carry exactly the same tint as pixels covered by a single
+  // window. (The seed tinted per window, so overlaps were darkened twice and
+  // dense detection clusters rendered near-black instead of highlighted.)
+  HdFacePipeline pipe(detector_config(), 16, 16, 2);
+  SlidingWindowDetector det(pipe, 16, 8);
+  image::Image scene(32, 32, 0.5f);
+  DetectionMap map;
+  map.window = 16;
+  map.stride = 8;
+  map.steps_x = 3;
+  map.steps_y = 3;
+  map.predictions = {1, 1, 0, 0, 0, 0, 0, 0, 0};
+  map.scores = {0.9, 0.9, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1};
+  const auto overlay = det.render_overlay(scene, map);
+  // (4, 4) is covered only by window 0; (12, 4) by both windows 0 and 1.
+  const auto& once = overlay.at(4, 4);
+  const auto& twice = overlay.at(12, 4);
+  EXPECT_EQ(once[0], twice[0]);
+  EXPECT_EQ(once[1], twice[1]);
+  EXPECT_EQ(once[2], twice[2]);
+}
+
 }  // namespace
 }  // namespace hdface::pipeline
