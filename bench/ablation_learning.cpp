@@ -110,7 +110,7 @@ int main() {
     hc.epochs = 10;
     learn::HdcClassifier model(hc);
     model.fit(train_f, w.train.labels);
-    const auto protos = model.binary_prototypes();
+    const core::PrototypeBlock protos(model.binary_prototypes());
     std::size_t hits = 0;
     for (std::size_t i = 0; i < test_f.size(); ++i) {
       if (learn::HdcClassifier::predict_binary(protos, test_f[i]) ==

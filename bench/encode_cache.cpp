@@ -21,6 +21,7 @@
 //   ./build/bench/encode_cache [--dim 2048] [--train 100] [--reps 2]
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -55,6 +56,27 @@ bool maps_identical(const pipeline::DetectionMap& a,
                     const pipeline::DetectionMap& b) {
   return a.steps_x == b.steps_x && a.steps_y == b.steps_y &&
          a.predictions == b.predictions && a.scores == b.scores;
+}
+
+// FNV-1a over the full map content (geometry, predictions, score bit
+// patterns). CI diffs this hash between HDFACE_KERNEL_BACKEND=scalar and
+// the host's best SIMD backend: equal hashes prove the backends produce the
+// same detection map bit for bit.
+std::uint64_t map_hash(const pipeline::DetectionMap& m) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(m.steps_x);
+  mix(m.steps_y);
+  for (const int p : m.predictions) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)));
+  }
+  for (const double s : m.scores) mix(std::bit_cast<std::uint64_t>(s));
+  return h;
 }
 
 // The engine's per-window salt (pipeline/parallel_detect.cpp): the encode-only
@@ -204,6 +226,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.slot_reads), windows_total);
   std::printf("cell-plane maps at threads {1,4,8}: %s\n",
               identical ? "bit-identical" : "MISMATCH");
+  const std::uint64_t hash = map_hash(base);
+  std::printf("map hash (threads=1 cell-plane, backend %s): %016llx\n",
+              std::string(core::kernels::backend_name(
+                              core::kernels::active().backend))
+                  .c_str(),
+              static_cast<unsigned long long>(hash));
 
   FILE* json = std::fopen("bench_out/encode_cache.json", "w");
   if (json) {
@@ -225,14 +253,20 @@ int main(int argc, char** argv) {
                  "  \"detect_speedup\": %.3f,\n"
                  "  \"cells_computed\": %llu,\n"
                  "  \"slot_reads\": %llu,\n"
-                 "  \"cell_plane_bit_identical_threads_1_4_8\": %s\n"
+                 "  \"cell_plane_bit_identical_threads_1_4_8\": %s,\n"
+                 "  \"kernel_backend\": \"%s\",\n"
+                 "  \"map_hash\": \"%016llx\"\n"
                  "}\n",
                  scene.width(), scene.height(), window, stride, dim,
                  windows_total, hw, reps, t_enc_window, t_enc_plane,
                  encode_speedup, t_det_window, t_det_plane, detect_speedup,
                  static_cast<unsigned long long>(stats.cells_computed),
                  static_cast<unsigned long long>(stats.slot_reads),
-                 identical ? "true" : "false");
+                 identical ? "true" : "false",
+                 std::string(core::kernels::backend_name(
+                                 core::kernels::active().backend))
+                     .c_str(),
+                 static_cast<unsigned long long>(hash));
     std::fclose(json);
     std::printf("written: bench_out/encode_cache.json\n");
   }

@@ -7,9 +7,11 @@
 // Usage:
 //   ./build/examples/face_detection [--dim 4096] [--train 200] [--window 48]
 //                                   [--stride 16] [--threads 0] [--nms]
-//                                   [--out overlay.ppm]
+//                                   [--out out/overlay.ppm]
 
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "api/detector.hpp"
 #include "dataset/background_generator.hpp"
@@ -26,7 +28,7 @@ int main(int argc, char** argv) {
   const auto stride = static_cast<std::size_t>(args.get_int("stride", 16));
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
   const bool nms = args.has("nms");
-  const std::string out = args.get("out", "overlay.ppm");
+  const std::string out = args.get("out", "out/overlay.ppm");
 
   // Train a face/no-face pipeline at the window resolution.
   dataset::FaceDatasetConfig data_cfg;
@@ -70,6 +72,10 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // Artifacts land under out/ (or wherever --out points) so example runs
+  // never litter the repo root.
+  const auto out_dir = std::filesystem::path(out).parent_path();
+  if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
   if (nms) {
     opts.nms = true;
     const auto boxes = det.detect(scene, opts);

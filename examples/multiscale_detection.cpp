@@ -4,9 +4,10 @@
 //
 // Usage:
 //   ./build/examples/multiscale_detection [--dim 4096] [--train 200]
-//                                         [--out detections.ppm]
+//                                         [--out out/detections.ppm]
 
 #include <cstdio>
+#include <filesystem>
 
 #include "api/detector.hpp"
 #include "dataset/background_generator.hpp"
@@ -20,7 +21,7 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto dim = static_cast<std::size_t>(args.get_int("dim", 4096));
   const auto n_train = static_cast<std::size_t>(args.get_int("train", 200));
-  const std::string out = args.get("out", "detections.ppm");
+  const std::string out = args.get("out", "out/detections.ppm");
   const std::size_t window = 24;
 
   // Train at a small base window; the pyramid covers larger faces.
@@ -39,8 +40,11 @@ int main(int argc, char** argv) {
   det.fit(train);
 
   // Persist the trained classifier and reload it (deployment round trip).
-  learn::save_classifier(det.pipeline()->classifier(), "hdface_detector.hdc");
-  const auto reloaded = learn::load_classifier("hdface_detector.hdc");
+  // All artifacts land under out/ so example runs never litter the repo root.
+  std::filesystem::create_directories("out");
+  learn::save_classifier(det.pipeline()->classifier(),
+                         "out/hdface_detector.hdc");
+  const auto reloaded = learn::load_classifier("out/hdface_detector.hdc");
   std::printf("model saved + reloaded: %zu classes at D=%zu\n",
               reloaded.config().classes, reloaded.config().dim);
 
@@ -64,6 +68,8 @@ int main(int argc, char** argv) {
     std::printf("  box (%zu, %zu) size %zu score %.3f\n", d.x, d.y, d.size,
                 d.score);
   }
+  const auto out_dir = std::filesystem::path(out).parent_path();
+  if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
   image::write_ppm(det.render(scene, detections), out);
   std::printf("visualization written to %s\n", out.c_str());
   return 0;

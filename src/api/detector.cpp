@@ -36,6 +36,7 @@ pipeline::ParallelDetectConfig Detector::engine_config(
 pipeline::DetectionMap Detector::detect_map(const image::Image& scene,
                                             const DetectOptions& options) {
   if (options.stride == 0) throw std::invalid_argument("DetectOptions: stride 0");
+  const core::kernels::ScopedBackend backend(options.kernel_backend);
   if (options.fault_plan) {
     // Inject the plan's stored-memory faults for the duration of the scan;
     // restore() is explicit so verification errors surface to the caller.
@@ -56,6 +57,7 @@ pipeline::DetectionMap Detector::detect_map(const image::Image& scene,
 std::vector<pipeline::Detection> Detector::detect(const image::Image& scene,
                                                   const DetectOptions& options) {
   if (options.stride == 0) throw std::invalid_argument("DetectOptions: stride 0");
+  const core::kernels::ScopedBackend backend(options.kernel_backend);
   const bool single_scale =
       options.scales.size() == 1 && options.scales.front() == 1.0;
   if (single_scale) {

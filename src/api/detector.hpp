@@ -28,6 +28,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/kernels/kernels.hpp"
 #include "core/op_counter.hpp"
 #include "dataset/dataset.hpp"
 #include "image/image.hpp"
@@ -82,6 +83,15 @@ struct DetectOptions {
   // switches to the binary Hamming path even at rate 0 (clean-baseline cells
   // of a sweep stay comparable to faulted ones).
   std::optional<noise::FaultPlan> fault_plan;
+  // SIMD kernel backend for this scan's packed-word hot loops. nullopt
+  // (default) keeps the process-wide choice (HDFACE_KERNEL_BACKEND env
+  // override, else the best backend the CPU supports). Every backend is
+  // bit-identical — results and op charges never change, only speed. Forced
+  // process-wide for the duration of the call (the dispatch table is global),
+  // so don't race scans with different backends; throws
+  // std::invalid_argument when the backend is not available on this
+  // build/CPU.
+  std::optional<core::kernels::Backend> kernel_backend;
 };
 
 class Detector {

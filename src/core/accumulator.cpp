@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/kernels/kernels.hpp"
+
 namespace hdface::core {
 
 Accumulator::Accumulator(std::size_t dim) : counts_(dim, 0.0) {
@@ -26,26 +28,12 @@ void Accumulator::add_xor(const Hypervector& a, const Hypervector& b,
   }
   const std::span<const std::uint64_t> aw = a.words();
   const std::span<const std::uint64_t> bw = b.words();
-  double* counts = counts_.data();
   const std::size_t dim = counts_.size();
-  // XOR bits are near-uniform, so a conditional here would mispredict ~50% of
-  // the time; the two-entry table keeps the loop branch-free.
-  const double sel[2] = {-weight, weight};
-  const std::size_t full_words = dim / 64;
-  for (std::size_t w = 0; w < full_words; ++w) {
-    std::uint64_t x = aw[w] ^ bw[w];
-    double* c = counts + w * 64;
-    for (std::size_t bit = 0; bit < 64; ++bit, x >>= 1) {
-      c[bit] += sel[x & 1ULL];
-    }
-  }
-  if (full_words < aw.size()) {
-    std::uint64_t x = aw[full_words] ^ bw[full_words];
-    double* c = counts + full_words * 64;
-    for (std::size_t bit = 0; bit < dim - full_words * 64; ++bit, x >>= 1) {
-      c[bit] += sel[x & 1ULL];
-    }
-  }
+  // The dispatched kernel performs the branchless ±weight select (every
+  // backend adds exactly ±weight once per dimension, so the result is
+  // bit-identical regardless of backend).
+  kernels::active().add_xor_weighted(aw.data(), bw.data(), dim, weight,
+                                     counts_.data());
   if (op_counter_) {
     op_counter_->add(OpKind::kWordLogic, aw.size());
     op_counter_->add(OpKind::kIntAdd, dim);
@@ -66,11 +54,13 @@ void Accumulator::set_counts(std::vector<double> counts) {
 Hypervector Accumulator::threshold(Rng& rng) const {
   if (counts_.empty()) throw std::logic_error("Accumulator: empty");
   Hypervector out(counts_.size());
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] > 0.0) {
-      out.set(i, true);
-    } else if (counts_[i] == 0.0 && (rng.next() & 1ULL)) {
-      out.set(i, true);
+  const std::size_t zeros = kernels::active().threshold_words(
+      counts_.data(), counts_.size(), out.mutable_words().data());
+  if (zeros != 0) {
+    // Tie-break pass stays scalar so the RNG stream is identical on every
+    // backend: one draw per exact zero, in ascending dimension order.
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0.0 && (rng.next() & 1ULL)) out.set(i, true);
     }
   }
   return out;

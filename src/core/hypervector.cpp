@@ -1,8 +1,8 @@
 #include "core/hypervector.hpp"
 
-#include <bit>
 #include <stdexcept>
 
+#include "core/kernels/kernels.hpp"
 #include "util/check.hpp"
 
 namespace hdface::core {
@@ -61,9 +61,8 @@ void Hypervector::flip(std::size_t i) {
 }
 
 std::size_t Hypervector::popcount() const {
-  std::size_t n = 0;
-  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
-  return n;
+  return static_cast<std::size_t>(
+      kernels::active().popcount_words(words_.data(), words_.size()));
 }
 
 void Hypervector::check_compatible(const Hypervector& o) const {
@@ -75,34 +74,38 @@ void Hypervector::check_compatible(const Hypervector& o) const {
 Hypervector Hypervector::operator^(const Hypervector& o) const {
   check_compatible(o);
   Hypervector r(dim_);
-  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] ^ o.words_[i];
+  kernels::active().xor_words(words_.data(), o.words_.data(), r.words_.data(),
+                              words_.size());
   return r;
 }
 
 Hypervector Hypervector::operator&(const Hypervector& o) const {
   check_compatible(o);
   Hypervector r(dim_);
-  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] & o.words_[i];
+  kernels::active().and_words(words_.data(), o.words_.data(), r.words_.data(),
+                              words_.size());
   return r;
 }
 
 Hypervector Hypervector::operator|(const Hypervector& o) const {
   check_compatible(o);
   Hypervector r(dim_);
-  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] | o.words_[i];
+  kernels::active().or_words(words_.data(), o.words_.data(), r.words_.data(),
+                             words_.size());
   return r;
 }
 
 Hypervector Hypervector::operator~() const {
   Hypervector r(dim_);
-  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = ~words_[i];
+  kernels::active().not_words(words_.data(), r.words_.data(), words_.size());
   r.mask_tail();
   return r;
 }
 
 Hypervector& Hypervector::operator^=(const Hypervector& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  kernels::active().xor_words(words_.data(), o.words_.data(), words_.data(),
+                              words_.size());
   return *this;
 }
 
@@ -143,13 +146,9 @@ std::size_t hamming(const Hypervector& a, const Hypervector& b) {
   if (a.dim() != b.dim()) {
     throw std::invalid_argument("hamming: dimensionality mismatch");
   }
-  std::size_t h = 0;
   const auto wa = a.words();
-  const auto wb = b.words();
-  for (std::size_t i = 0; i < wa.size(); ++i) {
-    h += static_cast<std::size_t>(std::popcount(wa[i] ^ wb[i]));
-  }
-  return h;
+  return static_cast<std::size_t>(
+      kernels::active().hamming_words(wa.data(), b.words().data(), wa.size()));
 }
 
 void hamming_many(const Hypervector& query,
@@ -165,28 +164,13 @@ void hamming_many(const Hypervector& query,
   }
   const auto qw = query.words();
   const std::size_t nw = qw.size();
-  const std::size_t n4 = nw - nw % 4;
-  std::vector<const std::uint64_t*> pw(prototypes.size());
+  // AoS prototypes can't use the SoA hamming_block kernel; one dispatched
+  // hamming_words pass per prototype still vectorizes the word loop. Hot
+  // callers pack a core::PrototypeBlock instead.
+  const kernels::KernelTable& k = kernels::active();
   for (std::size_t c = 0; c < prototypes.size(); ++c) {
-    pw[c] = prototypes[c].words().data();
-    out[c] = 0;
-  }
-  // One pass over the query words, four at a time, against every class plane
-  // — the query block stays in registers across the (short) prototype loop.
-  for (std::size_t i = 0; i < n4; i += 4) {
-    const std::uint64_t q0 = qw[i], q1 = qw[i + 1];
-    const std::uint64_t q2 = qw[i + 2], q3 = qw[i + 3];
-    for (std::size_t c = 0; c < prototypes.size(); ++c) {
-      const std::uint64_t* p = pw[c] + i;
-      out[c] += static_cast<std::size_t>(
-          std::popcount(q0 ^ p[0]) + std::popcount(q1 ^ p[1]) +
-          std::popcount(q2 ^ p[2]) + std::popcount(q3 ^ p[3]));
-    }
-  }
-  for (std::size_t i = n4; i < nw; ++i) {
-    for (std::size_t c = 0; c < prototypes.size(); ++c) {
-      out[c] += static_cast<std::size_t>(std::popcount(qw[i] ^ pw[c][i]));
-    }
+    out[c] = static_cast<std::size_t>(
+        k.hamming_words(qw.data(), prototypes[c].words().data(), nw));
   }
   if (counter) {
     const auto ops = static_cast<std::uint64_t>(nw) * prototypes.size();

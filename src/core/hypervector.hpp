@@ -84,9 +84,10 @@ class Hypervector {
 std::size_t hamming(const Hypervector& a, const Hypervector& b);
 
 // Batched multi-prototype Hamming: out[c] = hamming(query, prototypes[c])
-// for every class plane, scanning the query's words once with a 4-word
-// unrolled XOR+popcount inner loop (the similarity-search hot loop of
-// classifier inference — one query against all class prototypes). Exactly
+// for every class plane via the dispatched XOR+popcount kernel (the
+// similarity-search hot loop of classifier inference — one query against all
+// class prototypes; callers with a stable prototype set should pack a
+// core::PrototypeBlock and use its SoA hamming_many instead). Exactly
 // equal to calling hamming() per prototype, just cheaper. When `counter` is
 // set, the word XORs and popcounts are charged to it (one of each per
 // prototype word). Throws std::invalid_argument on any dimensionality

@@ -1,0 +1,16 @@
+#pragma once
+
+// Internal declarations for the optional SIMD backend translation units.
+// Each TU is compiled only when the build detects the matching target flags
+// (see src/core/CMakeLists.txt, HDFACE_KERNEL_* definitions); kernels.cpp
+// references these accessors under the same preprocessor guards.
+
+#include "core/kernels/kernels.hpp"
+
+namespace hdface::core::kernels::detail {
+
+const KernelTable& avx2_table();
+const KernelTable& avx512_table();
+const KernelTable& neon_table();
+
+}  // namespace hdface::core::kernels::detail

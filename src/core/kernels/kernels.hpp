@@ -1,0 +1,153 @@
+#pragma once
+
+// Runtime-dispatched SIMD kernels for the packed-word hot loops.
+//
+// Every arithmetic primitive of the paper (§4) bottoms out in the same
+// 64-bit-word loops — XOR+popcount similarity, weighted bundling, majority
+// finalize — and after the cell-plane encode cache those loops *are* the
+// runtime. This layer factors them into a table of free functions over raw
+// word arrays with one reference implementation (scalar) plus optional
+// SIMD backends (AVX2, AVX-512, NEON) compiled into their own translation
+// units with the matching target flags and selected once at startup by a
+// CPU feature probe.
+//
+// Contract — every backend is BIT-IDENTICAL to the scalar reference:
+//   * integer kernels (popcount, hamming, bulk logic) are trivially exact;
+//   * add_xor_weighted adds exactly ±weight per dimension (an IEEE sign
+//     flip is exact, and each counter sees one rounded add — the same
+//     single rounding the scalar loop performs);
+//   * threshold_words only compares against zero (exact) and leaves the
+//     tie-breaking RNG draws to the caller so the draw order is the
+//     scalar order (ascending dimension, zeros only).
+// The op-counter charges are caller-side (hamming_many, Accumulator) and
+// depend only on word/dimension counts, so switching backends never changes
+// an op total either. This is what lets the determinism suites, the
+// fault-injection goldens, and the scalar-vs-SIMD CI hash diff treat the
+// backend as a pure performance knob. All kernels preserve the
+// tail-word-zero invariant: they never read or write bits at or beyond
+// `dim` other than as stored (callers keep tail bits zero).
+//
+// Selection order: HDFACE_KERNEL_BACKEND environment variable (scalar |
+// avx2 | avx512 | neon | auto) when set, otherwise the best backend the
+// CPU supports. Tests and api::DetectOptions::kernel_backend can force any
+// compiled backend for the current process via force_backend()/
+// ScopedBackend.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace hdface::core::kernels {
+
+enum class Backend : std::uint8_t { kScalar = 0, kAvx2, kAvx512, kNeon };
+
+constexpr std::string_view backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kAvx512: return "avx512";
+    case Backend::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+// Kernel table: raw packed-word primitives. `n` is always a word count; all
+// pointers may be unaligned to vector width (backends use unaligned loads)
+// but must not alias across input/output except where noted.
+struct KernelTable {
+  Backend backend = Backend::kScalar;
+
+  // dst[i] = a[i] OP b[i] for i < n. dst may alias a and/or b.
+  void (*xor_words)(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* dst, std::size_t n);
+  void (*and_words)(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* dst, std::size_t n);
+  void (*or_words)(const std::uint64_t* a, const std::uint64_t* b,
+                   std::uint64_t* dst, std::size_t n);
+  // dst[i] = ~a[i] for i < n (caller re-imposes the tail mask). dst may
+  // alias a.
+  void (*not_words)(const std::uint64_t* a, std::uint64_t* dst, std::size_t n);
+
+  // Σ popcount(a[i]) for i < n.
+  std::uint64_t (*popcount_words)(const std::uint64_t* a, std::size_t n);
+
+  // Σ popcount(a[i] ^ b[i]) for i < n.
+  std::uint64_t (*hamming_words)(const std::uint64_t* a, const std::uint64_t* b,
+                                 std::size_t n);
+
+  // SoA multi-prototype Hamming over a word-interleaved block (see
+  // core::PrototypeBlock): out[c] = Σ_w popcount(query[w] ^
+  // block[w * stride + c]) for c < count. stride ≥ count; the padding lanes
+  // c ∈ [count, stride) may be read (they hold zeros) but are never written
+  // to out.
+  void (*hamming_block)(const std::uint64_t* query, const std::uint64_t* block,
+                        std::size_t words, std::size_t count,
+                        std::size_t stride, std::uint64_t* out);
+
+  // Weighted-bundling hot loop: counts[i] += (bit i of a^b) ? +weight
+  // : -weight for i < dim (the Accumulator::add_xor branchless ±weight
+  // select). a and b hold ceil(dim/64) words; tail bits past dim are
+  // ignored.
+  void (*add_xor_weighted)(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t dim, double weight, double* counts);
+
+  // Majority-threshold finalize: bit i of out_words = counts[i] > 0 for
+  // i < dim; bits at/past dim stay untouched (caller provides zeroed words).
+  // Returns the number of exact zeros so the caller can run the (rare)
+  // scalar tie-break pass with its RNG in ascending-dimension order.
+  std::size_t (*threshold_words)(const double* counts, std::size_t dim,
+                                 std::uint64_t* out_words);
+};
+
+// The reference backend (always compiled).
+const KernelTable& scalar_table();
+
+// Every backend compiled into this binary, scalar first. A compiled backend
+// may still be unsupported by the running CPU — check backend_supported().
+std::span<const KernelTable* const> compiled_tables();
+
+// True when the running CPU can execute the given backend's instructions
+// (scalar is always true; a backend that was not compiled in is false).
+bool backend_supported(Backend b);
+
+// Table for one backend; throws std::invalid_argument when the backend is
+// not compiled in or not supported by this CPU.
+const KernelTable& table_for(Backend b);
+
+// The active table: the forced backend if one is set, else the startup
+// choice (HDFACE_KERNEL_BACKEND env override, falling back to the best
+// CPU-supported backend). The first call performs the probe; an invalid or
+// unsupported env value throws std::invalid_argument then.
+const KernelTable& active();
+
+// Force a backend for the whole process (nullopt returns to the automatic
+// choice). Throws like table_for on an unusable backend. Not synchronized
+// with in-flight kernel calls: set it only while no detector/encoder work
+// is running (tests, bench setup, the api facade before dispatch).
+void force_backend(std::optional<Backend> b);
+
+// Currently forced backend, if any.
+std::optional<Backend> forced_backend();
+
+// Parse a backend name ("scalar", "avx2", "avx512", "neon"; exact,
+// lowercase). Returns nullopt for "auto" or empty; throws
+// std::invalid_argument on anything else.
+std::optional<Backend> parse_backend(std::string_view name);
+
+// RAII force/restore (what api::DetectOptions::kernel_backend uses).
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(std::optional<Backend> b) : prev_(forced_backend()) {
+    if (b.has_value()) force_backend(b);
+  }
+  ~ScopedBackend() { force_backend(prev_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  std::optional<Backend> prev_;
+};
+
+}  // namespace hdface::core::kernels

@@ -72,9 +72,9 @@ std::vector<double> HdcClassifier::scores(const core::Hypervector& feature) cons
            "width this classifier was trained at");
   std::vector<double> s(config_.classes);
   if (has_binary_override()) {
-    // Batched similarity search: one pass over the query's words against all
-    // class planes (core::hamming_many), then the δ = 1 − 2h/D readout.
-    const auto h = core::hamming_many(feature, binary_override_, counter_);
+    // Batched SoA similarity search: one kernel pass over the query's words
+    // against all class planes, then the δ = 1 − 2h/D readout.
+    const auto h = binary_block_.hamming_many(feature, counter_);
     for (std::size_t c = 0; c < config_.classes; ++c) {
       s[c] = 1.0 - 2.0 * static_cast<double>(h[c]) /
                        static_cast<double>(config_.dim);
@@ -98,6 +98,7 @@ void HdcClassifier::set_binary_override(
     }
   }
   binary_override_ = std::move(prototypes);
+  binary_block_ = core::PrototypeBlock(binary_override_);
 }
 
 int HdcClassifier::predict(const core::Hypervector& feature) const {
@@ -137,6 +138,17 @@ int HdcClassifier::predict_binary(const std::vector<core::Hypervector>& prototyp
                                   const core::Hypervector& feature) {
   if (prototypes.empty()) throw std::invalid_argument("predict_binary: no prototypes");
   const auto h = core::hamming_many(feature, prototypes);
+  int best = 0;
+  for (std::size_t c = 1; c < h.size(); ++c) {
+    if (h[c] < h[static_cast<std::size_t>(best)]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+int HdcClassifier::predict_binary(const core::PrototypeBlock& prototypes,
+                                  const core::Hypervector& feature) {
+  if (prototypes.empty()) throw std::invalid_argument("predict_binary: no prototypes");
+  const auto h = prototypes.hamming_many(feature);
   int best = 0;
   for (std::size_t c = 1; c < h.size(); ++c) {
     if (h[c] < h[static_cast<std::size_t>(best)]) best = static_cast<int>(c);

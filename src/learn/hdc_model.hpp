@@ -21,6 +21,7 @@
 #include "core/accumulator.hpp"
 #include "core/hypervector.hpp"
 #include "core/op_counter.hpp"
+#include "core/prototype_block.hpp"
 #include "core/rng.hpp"
 
 namespace hdface::learn {
@@ -62,6 +63,13 @@ class HdcClassifier {
   static int predict_binary(const std::vector<core::Hypervector>& prototypes,
                             const core::Hypervector& feature);
 
+  // SoA fast path: callers scoring many queries against a fixed prototype
+  // set (robustness sweeps, ablations) pack the prototypes once into a
+  // core::PrototypeBlock and avoid the per-call pointer chase. Identical
+  // result to the vector overload.
+  static int predict_binary(const core::PrototypeBlock& prototypes,
+                            const core::Hypervector& feature);
+
   // --- fault-injection override ---------------------------------------------
   //
   // When set, scores()/predict()/evaluate() switch to binary Hamming
@@ -73,7 +81,10 @@ class HdcClassifier {
   // restores the clean model exactly. Training under an override is a
   // programming error (update() throws std::logic_error).
   void set_binary_override(std::vector<core::Hypervector> prototypes);
-  void clear_binary_override() { binary_override_.clear(); }
+  void clear_binary_override() {
+    binary_override_.clear();
+    binary_block_ = core::PrototypeBlock();
+  }
   bool has_binary_override() const { return !binary_override_.empty(); }
   const std::vector<core::Hypervector>& binary_override() const {
     return binary_override_;
@@ -92,6 +103,9 @@ class HdcClassifier {
   HdcConfig config_;
   std::vector<core::Accumulator> prototypes_;
   std::vector<core::Hypervector> binary_override_;
+  // SoA mirror of binary_override_, rebuilt by set_binary_override: scores()
+  // streams the query against all class planes through one kernel call.
+  core::PrototypeBlock binary_block_;
   core::Rng rng_;
   core::OpCounter* counter_ = nullptr;
 };

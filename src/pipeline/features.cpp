@@ -1,15 +1,41 @@
 #include "pipeline/features.hpp"
 
+#include <atomic>
+
+#include "util/thread_pool.hpp"
+
 namespace hdface::pipeline {
 
 std::vector<std::vector<float>> extract_hog_features(
     const dataset::Dataset& data, const hog::HogExtractor& extractor,
     core::OpCounter* counter) {
-  std::vector<std::vector<float>> out;
-  out.reserve(data.size());
-  for (const auto& img : data.images) {
-    out.push_back(extractor.extract(img, counter));
+  const std::size_t total = data.size();
+  std::vector<std::vector<float>> out(total);
+  // Classical HOG is deterministic per image, so the fan-out is trivially
+  // bit-identical at any thread count; only op accounting needs sharding.
+  util::ThreadPool& pool = util::global_pool();
+  if (pool.size() <= 1 || total <= 1) {
+    for (std::size_t i = 0; i < total; ++i) {
+      out[i] = extractor.extract(data.images[i], counter);
+    }
+    return out;
   }
+  core::ShardedOpCounter shards(pool.size() * 4 + 1);
+  std::atomic<std::size_t> next_shard{0};
+  util::parallel_for_chunked(
+      pool, 0, total, 1, [&](std::size_t lo, std::size_t hi) {
+        core::OpCounter* chunk_counter = nullptr;
+        if (counter) {
+          // hdlint: allow(sched-dependent-value) — shard totals merge with
+          // integer adds, so combined() is exact at every thread count.
+          chunk_counter = &shards.shard(next_shard.fetch_add(1) %
+                                        shards.num_shards());
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = extractor.extract(data.images[i], chunk_counter);
+        }
+      });
+  if (counter) counter->merge(shards.combined());
   return out;
 }
 

@@ -10,7 +10,10 @@
 
 namespace hdface::pipeline {
 
-// Classical HOG features for every image in the dataset.
+// Classical HOG features for every image in the dataset. Fans out over the
+// global worker pool; results are bit-identical at every thread count (the
+// extractor is deterministic per image) and op totals stay exact via
+// sharded accounting.
 std::vector<std::vector<float>> extract_hog_features(
     const dataset::Dataset& data, const hog::HogExtractor& extractor,
     core::OpCounter* counter = nullptr);

@@ -1,8 +1,19 @@
 #include "pipeline/hdface_pipeline.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
+#include "pipeline/features.hpp"
+#include "util/thread_pool.hpp"
+
 namespace hdface::pipeline {
+
+namespace {
+// Salt separating the dataset-encode seed stream from every other consumer
+// of the pipeline seed (the batched scan salts with 0xBA7C4ED0, cell planes
+// with their own pure key — see parallel_detect.cpp / cell_plane.hpp).
+constexpr std::uint64_t kDatasetStreamSalt = 0xDA7A5E7DULL;
+}  // namespace
 
 HdFacePipeline::HdFacePipeline(const HdFaceConfig& config, std::size_t image_width,
                                std::size_t image_height, std::size_t classes)
@@ -68,20 +79,57 @@ void HdFacePipeline::ensure_encoder_calibrated(const dataset::Dataset& data) {
   if (config_.mode != HdFaceMode::kOrigHogEncoder || encoder_->calibrated()) {
     return;
   }
-  std::vector<std::vector<float>> features;
-  features.reserve(data.size());
-  for (const auto& img : data.images) {
-    features.push_back(hog_extractor_->extract(img, nullptr));
-  }
-  encoder_->calibrate(features);
+  // Calibration statistics come from the batch extraction helper, which fans
+  // out over the worker pool and is bit-identical at every thread count.
+  encoder_->calibrate(extract_hog_features(data, *hog_extractor_, nullptr));
 }
 
 std::vector<core::Hypervector> HdFacePipeline::encode_dataset(
     const dataset::Dataset& data) {
   ensure_encoder_calibrated(data);
-  std::vector<core::Hypervector> out;
-  out.reserve(data.size());
-  for (const auto& img : data.images) out.push_back(encode_image(img));
+  const std::size_t total = data.size();
+  std::vector<core::Hypervector> out(total);
+  // Image idx encodes on a scratch context reseeded from the pure key
+  // mix64(seed_base, idx), so feature [idx] is a function of (config seed,
+  // idx) alone — independent of chunking, thread count, and the pipeline's
+  // own context (which fit order still consumes serially). This is a
+  // deterministically *different* stream than the old serial-chain encode;
+  // any fixed thread count reproduces it exactly.
+  prepare_concurrent();
+  const std::uint64_t seed_base = core::mix64(config_.seed, kDatasetStreamSalt);
+  const HdFacePipeline& frozen = *this;
+  const auto encode_range = [&](core::StochasticContext& scratch,
+                                std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      scratch.reseed(core::mix64(seed_base, idx));
+      out[idx] = frozen.encode_image(data.images[idx], scratch);
+    }
+  };
+
+  util::ThreadPool& pool = util::global_pool();
+  if (pool.size() <= 1 || total <= 1) {
+    core::StochasticContext scratch = fork_context(seed_base);
+    core::OpCounter local;
+    if (feature_counter_) scratch.set_counter(&local);
+    encode_range(scratch, 0, total);
+    if (feature_counter_) feature_counter_->merge(local);
+    return out;
+  }
+  core::ShardedOpCounter shards(pool.size() * 4 + 1);
+  std::atomic<std::size_t> next_shard{0};
+  util::parallel_for_chunked(
+      pool, 0, total, 1, [&](std::size_t lo, std::size_t hi) {
+        core::StochasticContext scratch =
+            frozen.fork_context(core::mix64(seed_base, lo));
+        if (feature_counter_) {
+          // hdlint: allow(sched-dependent-value) — shard totals merge with
+          // integer adds, so combined() is exact at every thread count.
+          scratch.set_counter(&shards.shard(next_shard.fetch_add(1) %
+                                            shards.num_shards()));
+        }
+        encode_range(scratch, lo, hi);
+      });
+  if (feature_counter_) feature_counter_->merge(shards.combined());
   return out;
 }
 

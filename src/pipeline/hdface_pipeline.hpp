@@ -84,6 +84,13 @@ class HdFacePipeline {
     return ctx_.fork(stream_seed);
   }
 
+  // Batch feature extraction over the global worker pool. Feature [idx] is a
+  // pure function of (config seed, idx): each image encodes on a scratch
+  // context reseeded from mix64(mix64(seed, dataset salt), idx), so the
+  // result is bit-identical at every thread count (fit() keeps its serial
+  // update order, so trained models stay bit-identical too). The per-image
+  // keying is a deterministically different stream than the pipeline
+  // context's serial chain that encode_image(img) consumes.
   std::vector<core::Hypervector> encode_dataset(const dataset::Dataset& data);
 
   // Train on a dataset (extracts features, then fits the HDC classifier).

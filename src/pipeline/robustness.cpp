@@ -18,10 +18,13 @@ double hdc_binary_accuracy_under_errors(
   core::Rng rng(core::mix64(seed, 0xB17E));
   std::vector<core::Hypervector> prototypes = classifier.binary_prototypes();
   for (auto& p : prototypes) p = noise::flip_bits(p, rate, rng);
+  // The corrupted prototypes are fixed for the whole sweep: pack once and
+  // score every test feature through the SoA kernel path.
+  const core::PrototypeBlock block(prototypes);
   std::size_t hits = 0;
   for (std::size_t i = 0; i < features.size(); ++i) {
     const core::Hypervector noisy = noise::flip_bits(features[i], rate, rng);
-    if (learn::HdcClassifier::predict_binary(prototypes, noisy) == labels[i]) {
+    if (learn::HdcClassifier::predict_binary(block, noisy) == labels[i]) {
       ++hits;
     }
   }

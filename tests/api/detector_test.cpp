@@ -147,6 +147,56 @@ TEST(Detector, DetectIsThreadCountInvariant) {
   }
 }
 
+// Golden determinism across kernel backends: a full detect map forced to the
+// scalar reference must be bit-identical to the automatic (best SIMD)
+// backend, in both encode modes. This is the end-to-end counterpart of the
+// per-kernel property suite in tests/core/kernels_test.cpp and what licenses
+// treating the backend as a pure performance knob.
+TEST(Detector, DetectMapBitIdenticalAcrossKernelBackends) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 16;
+  data_cfg.num_samples = 60;
+  Detector det = small_face_detector();
+  det.fit(dataset::make_face_dataset(data_cfg));
+
+  image::Image scene(48, 32, 0.5f);
+  core::Rng rng(19);
+  dataset::render_background(scene, dataset::BackgroundKind::kMixed, rng);
+  image::paste(scene, dataset::render_face_window(16, 555), 24, 8);
+
+  for (const auto mode :
+       {pipeline::EncodeMode::kPerWindow, pipeline::EncodeMode::kCellPlane}) {
+    DetectOptions scalar;
+    scalar.threads = 1;
+    scalar.encode_mode = mode;
+    scalar.kernel_backend = core::kernels::Backend::kScalar;
+    DetectOptions fastest = scalar;
+    fastest.kernel_backend.reset();  // automatic choice (best supported)
+    const auto a = det.detect_map(scene, scalar);
+    const auto b = det.detect_map(scene, fastest);
+    ASSERT_EQ(a.scores.size(), b.scores.size());
+    for (std::size_t i = 0; i < a.scores.size(); ++i) {
+      EXPECT_EQ(a.scores[i], b.scores[i]) << "window " << i;
+      EXPECT_EQ(a.predictions[i], b.predictions[i]) << "window " << i;
+    }
+  }
+  // The scan-scoped force is restored once detect_map returns.
+  EXPECT_FALSE(core::kernels::forced_backend().has_value());
+}
+
+TEST(Detector, RejectsUnavailableKernelBackend) {
+  Detector det = small_face_detector();
+  image::Image scene(32, 32, 0.5f);
+  DetectOptions opts;
+#if defined(__aarch64__)
+  opts.kernel_backend = core::kernels::Backend::kAvx2;
+#else
+  opts.kernel_backend = core::kernels::Backend::kNeon;
+#endif
+  EXPECT_THROW((void)det.detect_map(scene, opts), std::invalid_argument);
+  EXPECT_FALSE(core::kernels::forced_backend().has_value());
+}
+
 TEST(Detector, MultiScaleOptionsUsePyramid) {
   dataset::FaceDatasetConfig data_cfg;
   data_cfg.image_size = 16;

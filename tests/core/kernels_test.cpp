@@ -1,0 +1,331 @@
+// Property suite for the runtime-dispatched kernel layer: every backend
+// compiled into this binary (and supported by the running CPU) must be
+// bit-identical to the scalar reference on random inputs, including
+// dimensions not divisible by 64, word counts that misalign every vector
+// width, and empty inputs. PrototypeBlock and the Accumulator/Hypervector
+// rewiring are covered at the same level so a backend bug cannot hide
+// behind the public wrappers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accumulator.hpp"
+#include "core/hypervector.hpp"
+#include "core/kernels/kernels.hpp"
+#include "core/prototype_block.hpp"
+#include "core/rng.hpp"
+
+namespace kernels = hdface::core::kernels;
+using hdface::core::Accumulator;
+using hdface::core::Hypervector;
+using hdface::core::OpCounter;
+using hdface::core::OpKind;
+using hdface::core::PrototypeBlock;
+using hdface::core::Rng;
+
+namespace {
+
+std::vector<std::uint64_t> random_words(std::size_t n, Rng& rng) {
+  std::vector<std::uint64_t> out(n);
+  for (auto& w : out) w = rng.next();
+  return out;
+}
+
+// Word counts that misalign every backend's vector width (AVX-512 is 8
+// words, AVX2 is 4, NEON is 2), plus zero and a bulk size.
+const std::size_t kWordCounts[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 160};
+
+// Dimensions exercising every tail-remainder class mod 64 that matters,
+// including dims smaller than one word and dims ≢ 0 (mod 64).
+const std::size_t kDims[] = {1, 3, 63, 64, 65, 100, 127, 128, 129, 191, 2048, 2049};
+
+std::vector<const kernels::KernelTable*> usable_backends() {
+  std::vector<const kernels::KernelTable*> out;
+  for (const kernels::KernelTable* t : kernels::compiled_tables()) {
+    if (kernels::backend_supported(t->backend)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Kernels, ScalarTableIsAlwaysCompiledAndFirst) {
+  const auto tables = kernels::compiled_tables();
+  ASSERT_FALSE(tables.empty());
+  EXPECT_EQ(tables.front()->backend, kernels::Backend::kScalar);
+  EXPECT_TRUE(kernels::backend_supported(kernels::Backend::kScalar));
+}
+
+TEST(Kernels, ParseBackendRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(kernels::parse_backend("scalar"), kernels::Backend::kScalar);
+  EXPECT_EQ(kernels::parse_backend("avx2"), kernels::Backend::kAvx2);
+  EXPECT_EQ(kernels::parse_backend("avx512"), kernels::Backend::kAvx512);
+  EXPECT_EQ(kernels::parse_backend("neon"), kernels::Backend::kNeon);
+  EXPECT_EQ(kernels::parse_backend("auto"), std::nullopt);
+  EXPECT_EQ(kernels::parse_backend(""), std::nullopt);
+  EXPECT_THROW((void)kernels::parse_backend("sse9"), std::invalid_argument);
+}
+
+TEST(Kernels, ForceBackendValidatesAndRestores) {
+  kernels::ScopedBackend scoped(kernels::Backend::kScalar);
+  EXPECT_EQ(kernels::forced_backend(), kernels::Backend::kScalar);
+  EXPECT_EQ(kernels::active().backend, kernels::Backend::kScalar);
+  if (!kernels::backend_supported(kernels::Backend::kNeon)) {
+    EXPECT_THROW(kernels::force_backend(kernels::Backend::kNeon),
+                 std::invalid_argument);
+    // A failed force must not clobber the previous choice.
+    EXPECT_EQ(kernels::forced_backend(), kernels::Backend::kScalar);
+  }
+}
+
+TEST(Kernels, BulkLogicMatchesScalarOnAllBackends) {
+  const kernels::KernelTable& ref = kernels::scalar_table();
+  Rng rng(0xBEEF01);
+  for (const kernels::KernelTable* t : usable_backends()) {
+    for (const std::size_t n : kWordCounts) {
+      const auto a = random_words(n, rng);
+      const auto b = random_words(n, rng);
+      std::vector<std::uint64_t> want(n), got(n);
+      ref.xor_words(a.data(), b.data(), want.data(), n);
+      t->xor_words(a.data(), b.data(), got.data(), n);
+      EXPECT_EQ(want, got) << kernels::backend_name(t->backend) << " xor n=" << n;
+      ref.and_words(a.data(), b.data(), want.data(), n);
+      t->and_words(a.data(), b.data(), got.data(), n);
+      EXPECT_EQ(want, got) << kernels::backend_name(t->backend) << " and n=" << n;
+      ref.or_words(a.data(), b.data(), want.data(), n);
+      t->or_words(a.data(), b.data(), got.data(), n);
+      EXPECT_EQ(want, got) << kernels::backend_name(t->backend) << " or n=" << n;
+      ref.not_words(a.data(), want.data(), n);
+      t->not_words(a.data(), got.data(), n);
+      EXPECT_EQ(want, got) << kernels::backend_name(t->backend) << " not n=" << n;
+      // In-place (dst aliases a) must work: ^= uses it.
+      auto inplace = a;
+      t->xor_words(inplace.data(), b.data(), inplace.data(), n);
+      ref.xor_words(a.data(), b.data(), want.data(), n);
+      EXPECT_EQ(want, inplace)
+          << kernels::backend_name(t->backend) << " xor-in-place n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, PopcountAndHammingMatchScalarOnAllBackends) {
+  const kernels::KernelTable& ref = kernels::scalar_table();
+  Rng rng(0xBEEF02);
+  for (const kernels::KernelTable* t : usable_backends()) {
+    for (const std::size_t n : kWordCounts) {
+      const auto a = random_words(n, rng);
+      const auto b = random_words(n, rng);
+      EXPECT_EQ(ref.popcount_words(a.data(), n), t->popcount_words(a.data(), n))
+          << kernels::backend_name(t->backend) << " popcount n=" << n;
+      EXPECT_EQ(ref.hamming_words(a.data(), b.data(), n),
+                t->hamming_words(a.data(), b.data(), n))
+          << kernels::backend_name(t->backend) << " hamming n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, HammingBlockMatchesScalarOnAllBackends) {
+  const kernels::KernelTable& ref = kernels::scalar_table();
+  Rng rng(0xBEEF03);
+  for (const kernels::KernelTable* t : usable_backends()) {
+    for (const std::size_t words : {1u, 3u, 32u}) {
+      for (const std::size_t count : {1u, 2u, 3u, 5u, 8u, 13u}) {
+        const std::size_t stride = (count + 7) / 8 * 8;
+        const auto query = random_words(words, rng);
+        auto block = random_words(words * stride, rng);
+        for (std::size_t w = 0; w < words; ++w) {  // zero the padding lanes
+          for (std::size_t c = count; c < stride; ++c) block[w * stride + c] = 0;
+        }
+        std::vector<std::uint64_t> want(count), got(count);
+        ref.hamming_block(query.data(), block.data(), words, count, stride,
+                          want.data());
+        t->hamming_block(query.data(), block.data(), words, count, stride,
+                         got.data());
+        EXPECT_EQ(want, got) << kernels::backend_name(t->backend) << " words="
+                             << words << " count=" << count;
+      }
+    }
+  }
+}
+
+TEST(Kernels, AddXorWeightedIsBitIdenticalAcrossBackends) {
+  const kernels::KernelTable& ref = kernels::scalar_table();
+  Rng rng(0xBEEF04);
+  for (const kernels::KernelTable* t : usable_backends()) {
+    for (const std::size_t dim : kDims) {
+      const std::size_t nw = (dim + 63) / 64;
+      const auto a = random_words(nw, rng);
+      const auto b = random_words(nw, rng);
+      // Accumulate several weighted rounds so rounding-order differences
+      // (if a backend had any) would compound and surface.
+      std::vector<double> want(dim, 0.0), got(dim, 0.0);
+      for (const double w : {1.0, 0.37, -2.25, 1e-3}) {
+        ref.add_xor_weighted(a.data(), b.data(), dim, w, want.data());
+        t->add_xor_weighted(a.data(), b.data(), dim, w, got.data());
+      }
+      for (std::size_t i = 0; i < dim; ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << kernels::backend_name(t->backend) << " dim=" << dim << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, ThresholdWordsMatchesScalarIncludingZeroCount) {
+  const kernels::KernelTable& ref = kernels::scalar_table();
+  Rng rng(0xBEEF05);
+  for (const kernels::KernelTable* t : usable_backends()) {
+    for (const std::size_t dim : kDims) {
+      const std::size_t nw = (dim + 63) / 64;
+      std::vector<double> counts(dim);
+      for (auto& c : counts) {
+        const std::uint64_t r = rng.below(5);
+        c = r == 0 ? 0.0 : (r == 1 ? -1.5 : (r == 2 ? 2.0 : (r == 3 ? -0.25 : 0.75)));
+      }
+      std::vector<std::uint64_t> want(nw, 0), got(nw, 0);
+      const std::size_t zw = ref.threshold_words(counts.data(), dim, want.data());
+      const std::size_t zg = t->threshold_words(counts.data(), dim, got.data());
+      EXPECT_EQ(zw, zg) << kernels::backend_name(t->backend) << " dim=" << dim;
+      EXPECT_EQ(want, got) << kernels::backend_name(t->backend) << " dim=" << dim;
+    }
+  }
+}
+
+TEST(Kernels, HypervectorOpsIdenticalUnderEveryBackend) {
+  // Drive the public wrappers (popcount, operators, hamming, threshold) with
+  // each backend forced in turn; results must match the scalar-forced run.
+  for (const std::size_t dim : {65u, 100u, 2048u}) {
+    std::vector<Hypervector> per_backend_xor, per_backend_thr;
+    std::vector<std::size_t> per_backend_pop, per_backend_ham;
+    for (const kernels::KernelTable* t : usable_backends()) {
+      kernels::ScopedBackend scoped(t->backend);
+      Rng rng(0xBEEF06);
+      const auto a = Hypervector::random(dim, rng);
+      const auto b = Hypervector::random(dim, rng);
+      per_backend_pop.push_back(a.popcount());
+      per_backend_ham.push_back(hamming(a, b));
+      per_backend_xor.push_back((a ^ b) | (~a & b));
+      Accumulator acc(dim);
+      acc.add_xor(a, b, 0.7);
+      acc.add_xor(b, a, -1.3);
+      Rng tie(0x7E7E);
+      per_backend_thr.push_back(acc.threshold(tie));
+    }
+    for (std::size_t i = 1; i < per_backend_pop.size(); ++i) {
+      EXPECT_EQ(per_backend_pop[0], per_backend_pop[i]) << "dim=" << dim;
+      EXPECT_EQ(per_backend_ham[0], per_backend_ham[i]) << "dim=" << dim;
+      EXPECT_EQ(per_backend_xor[0], per_backend_xor[i]) << "dim=" << dim;
+      EXPECT_EQ(per_backend_thr[0], per_backend_thr[i]) << "dim=" << dim;
+    }
+  }
+}
+
+TEST(Kernels, ThresholdTieBreakRngStreamIsBackendInvariant) {
+  // All-zero counts: every dimension draws the tie RNG; streams must align.
+  const std::size_t dim = 130;  // ≢ 0 (mod 64)
+  std::vector<Hypervector> results;
+  for (const kernels::KernelTable* t : usable_backends()) {
+    kernels::ScopedBackend scoped(t->backend);
+    Accumulator acc(dim);
+    Rng tie(0x11E5);
+    results.push_back(acc.threshold(tie));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]);
+  }
+}
+
+TEST(PrototypeBlock, MatchesPerPrototypeHammingAndChargesIdentically) {
+  Rng rng(0xB10C);
+  for (const std::size_t dim : {63u, 128u, 300u}) {
+    for (const std::size_t count : {1u, 2u, 7u, 9u}) {
+      std::vector<Hypervector> protos;
+      for (std::size_t c = 0; c < count; ++c) {
+        protos.push_back(Hypervector::random(dim, rng));
+      }
+      const auto query = Hypervector::random(dim, rng);
+      const PrototypeBlock block{std::span<const Hypervector>(protos)};
+      EXPECT_EQ(block.count(), count);
+      EXPECT_EQ(block.dim(), dim);
+      EXPECT_EQ(block.stride() % 8, 0u);
+      for (std::size_t c = 0; c < count; ++c) {
+        EXPECT_EQ(block.get(c), protos[c]) << "c=" << c;
+      }
+      OpCounter aos_counter, soa_counter;
+      const auto aos = hamming_many(
+          query, std::span<const Hypervector>(protos), &aos_counter);
+      const auto soa = block.hamming_many(query, &soa_counter);
+      EXPECT_EQ(aos, soa) << "dim=" << dim << " count=" << count;
+      // SoA padding lanes must not change what gets charged.
+      EXPECT_EQ(aos_counter.get(OpKind::kWordLogic),
+                soa_counter.get(OpKind::kWordLogic));
+      EXPECT_EQ(aos_counter.get(OpKind::kPopcount),
+                soa_counter.get(OpKind::kPopcount));
+    }
+  }
+}
+
+TEST(PrototypeBlock, BackendInvariantResults) {
+  Rng rng(0xB10C2);
+  std::vector<Hypervector> protos;
+  for (std::size_t c = 0; c < 5; ++c) {
+    protos.push_back(Hypervector::random(1000, rng));
+  }
+  const auto query = Hypervector::random(1000, rng);
+  const PrototypeBlock block{std::span<const Hypervector>(protos)};
+  std::vector<std::vector<std::size_t>> results;
+  for (const kernels::KernelTable* t : usable_backends()) {
+    kernels::ScopedBackend scoped(t->backend);
+    results.push_back(block.hamming_many(query));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]);
+  }
+}
+
+TEST(PrototypeBlock, CopyAndMoveKeepAlignmentAndPayload) {
+  Rng rng(0xB10C3);
+  std::vector<Hypervector> protos;
+  for (std::size_t c = 0; c < 3; ++c) {
+    protos.push_back(Hypervector::random(200, rng));
+  }
+  const auto query = Hypervector::random(200, rng);
+  PrototypeBlock block{std::span<const Hypervector>(protos)};
+  const auto want = block.hamming_many(query);
+
+  PrototypeBlock copy = block;
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(copy.data()) % 64, 0u);  // hdlint: allow(reinterpret-cast) — alignment assertion only
+  EXPECT_EQ(copy.hamming_many(query), want);
+
+  PrototypeBlock moved = std::move(block);
+  EXPECT_EQ(moved.hamming_many(query), want);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(moved.data()) % 64, 0u);  // hdlint: allow(reinterpret-cast) — alignment assertion only
+
+  PrototypeBlock assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned.hamming_many(query), want);
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.hamming_many(query), want);
+}
+
+TEST(PrototypeBlock, EmptyAndMismatchBehaviour) {
+  const PrototypeBlock empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
+  Rng rng(0xB10C4);
+  const auto q = Hypervector::random(64, rng);
+  EXPECT_TRUE(empty.hamming_many(q).empty());
+
+  std::vector<Hypervector> mixed = {Hypervector(64), Hypervector(65)};
+  EXPECT_THROW((PrototypeBlock{std::span<const Hypervector>(mixed)}),
+               std::invalid_argument);
+
+  std::vector<Hypervector> protos = {Hypervector(64)};
+  const PrototypeBlock block{std::span<const Hypervector>(protos)};
+  const auto wrong_dim = Hypervector(65);
+  EXPECT_THROW((void)block.hamming_many(wrong_dim), std::invalid_argument);
+  std::vector<std::size_t> bad_out(2);
+  EXPECT_THROW(block.hamming_many(q, bad_out), std::invalid_argument);
+}

@@ -189,7 +189,12 @@ TEST(HdcClassifier, DeterministicTraining) {
 TEST(HdcClassifier, PredictBinaryRequiresPrototypes) {
   core::Rng rng(3);
   EXPECT_THROW(
-      HdcClassifier::predict_binary({}, core::Hypervector::random(64, rng)),
+      HdcClassifier::predict_binary(std::vector<core::Hypervector>{},
+                                    core::Hypervector::random(64, rng)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      HdcClassifier::predict_binary(core::PrototypeBlock{},
+                                    core::Hypervector::random(64, rng)),
       std::invalid_argument);
 }
 

@@ -61,15 +61,29 @@ TEST(HdFacePipeline, PredictReturnsValidLabels) {
   }
 }
 
-TEST(HdFacePipeline, EncodeDatasetMatchesEncodeImageInHdHogMode) {
+TEST(HdFacePipeline, EncodeDatasetIsAPureFunctionOfSeedAndIndex) {
   const auto data = small_faces(6, 7);
   HdFaceConfig cfg = small_config(HdFaceMode::kHdHog);
   HdFacePipeline p1(cfg, 16, 16, 2);
   HdFacePipeline p2(cfg, 16, 16, 2);
   const auto batch = p1.encode_dataset(data);
-  // Same config/seed in a fresh pipeline reproduces the same features.
-  for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_EQ(batch[i], p2.encode_image(data.images[i]));
+  // Same config/seed in a fresh pipeline reproduces the batch bit-for-bit.
+  const auto again = p2.encode_dataset(data);
+  ASSERT_EQ(batch.size(), again.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i], again[i]);
+  }
+  // Feature [i] is keyed by (config seed, i) alone: a prefix dataset
+  // reproduces the shared indices exactly, so the batch cannot depend on
+  // chunk layout, thread count, or what was encoded before index i.
+  dataset::Dataset prefix = data;
+  prefix.images.resize(3);
+  prefix.labels.resize(3);
+  HdFacePipeline p3(cfg, 16, 16, 2);
+  const auto head = p3.encode_dataset(prefix);
+  ASSERT_EQ(head.size(), 3u);
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    EXPECT_EQ(batch[i], head[i]);
   }
 }
 
