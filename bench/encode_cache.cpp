@@ -31,6 +31,9 @@
 
 #include "api/detector.hpp"
 #include "common.hpp"
+#include "core/kernels/kernels.hpp"
+#include "pipeline/multiscale.hpp"
+#include "pipeline/parallel_detect.hpp"
 #include "dataset/background_generator.hpp"
 #include "hog/cell_plane.hpp"
 #include "image/transform.hpp"

@@ -13,6 +13,7 @@
 #include "api/detector.hpp"
 #include "common.hpp"
 #include "dataset/background_generator.hpp"
+#include "image/pnm.hpp"
 #include "image/transform.hpp"
 
 namespace {

@@ -27,6 +27,7 @@
 #include "common.hpp"
 #include "dataset/background_generator.hpp"
 #include "image/transform.hpp"
+#include "pipeline/sliding_window.hpp"
 
 namespace {
 

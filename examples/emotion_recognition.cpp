@@ -10,7 +10,9 @@
 
 #include "api/detector.hpp"
 #include "dataset/emotion_generator.hpp"
+#include "hog/hd_hog.hpp"
 #include "learn/metrics.hpp"
+#include "pipeline/hdface_pipeline.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {

@@ -16,6 +16,8 @@
 #include "api/detector.hpp"
 #include "dataset/background_generator.hpp"
 #include "dataset/face_generator.hpp"
+#include "hog/hd_hog.hpp"
+#include "image/pnm.hpp"
 #include "image/transform.hpp"
 #include "util/args.hpp"
 

@@ -12,8 +12,11 @@
 #include "api/detector.hpp"
 #include "dataset/background_generator.hpp"
 #include "dataset/face_generator.hpp"
+#include "hog/hd_hog.hpp"
+#include "image/pnm.hpp"
 #include "image/transform.hpp"
 #include "learn/serialize.hpp"
+#include "pipeline/hdface_pipeline.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {

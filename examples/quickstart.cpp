@@ -12,6 +12,7 @@
 #include "api/detector.hpp"
 #include "core/stochastic.hpp"
 #include "dataset/face_generator.hpp"
+#include "pipeline/hdface_pipeline.hpp"
 
 int main() {
   using namespace hdface;

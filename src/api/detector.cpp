@@ -1,8 +1,29 @@
 #include "api/detector.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "core/kernels/kernels.hpp"
+#include "core/op_counter.hpp"
+#include "dataset/dataset.hpp"
+#include "image/pnm.hpp"
+#include "pipeline/fault_injection.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+#include "pipeline/multiscale.hpp"
+#include "pipeline/parallel_detect.hpp"
+#include "pipeline/sliding_window.hpp"
 
 namespace hdface::api {
+
+namespace {
+
+// Options validation shared by every detect entry point: the Request path
+// returns the Error, the legacy wrappers throw it.
+void validate_or_throw(const DetectOptions& options) {
+  if (auto err = validate(options)) throw InvalidOptionsError(std::move(*err));
+}
+
+}  // namespace
 
 Detector::Detector(std::shared_ptr<pipeline::HdFacePipeline> pipeline,
                    std::size_t window)
@@ -25,17 +46,24 @@ pipeline::ParallelDetectConfig Detector::engine_config(
     const DetectOptions& options) const {
   pipeline::ParallelDetectConfig engine;
   engine.threads = options.threads;
-  engine.feature_counter = options.feature_counter;
+  // Telemetry wins wholesale over the deprecated alias fields (see
+  // api/types.hpp). Both point into caller-owned sinks that outlive the call.
+  if (options.telemetry) {
+    engine.feature_counter = options.telemetry->feature_ops;
+    engine.cache_stats = options.telemetry->encode_cache;
+  } else {
+    engine.feature_counter = options.feature_counter;
+    engine.cache_stats = options.encode_cache_stats;
+  }
   // Points into the caller's options, which outlive the scan call.
   engine.fault_plan = options.fault_plan ? &*options.fault_plan : nullptr;
   engine.encode_mode = options.encode_mode;
-  engine.cache_stats = options.encode_cache_stats;
   return engine;
 }
 
 pipeline::DetectionMap Detector::detect_map(const image::Image& scene,
                                             const DetectOptions& options) {
-  if (options.stride == 0) throw std::invalid_argument("DetectOptions: stride 0");
+  validate_or_throw(options);
   const core::kernels::ScopedBackend backend(options.kernel_backend);
   if (options.fault_plan) {
     // Inject the plan's stored-memory faults for the duration of the scan;
@@ -54,9 +82,8 @@ pipeline::DetectionMap Detector::detect_map(const image::Image& scene,
                                            engine_config(options));
 }
 
-std::vector<pipeline::Detection> Detector::detect(const image::Image& scene,
-                                                  const DetectOptions& options) {
-  if (options.stride == 0) throw std::invalid_argument("DetectOptions: stride 0");
+std::vector<pipeline::Detection> Detector::detect_validated(
+    const image::Image& scene, const DetectOptions& options) {
   const core::kernels::ScopedBackend backend(options.kernel_backend);
   const bool single_scale =
       options.scales.size() == 1 && options.scales.front() == 1.0;
@@ -87,6 +114,32 @@ std::vector<pipeline::Detection> Detector::detect(const image::Image& scene,
   return det.detect(scene, engine_config(options));
 }
 
+std::vector<pipeline::Detection> Detector::detect(const image::Image& scene,
+                                                  const DetectOptions& options) {
+  validate_or_throw(options);
+  return detect_validated(scene, options);
+}
+
+Outcome<Response> Detector::detect(const Request& request) {
+  if (auto err = validate(request.options)) return std::move(*err);
+  if (request.scene.width() < window_ || request.scene.height() < window_) {
+    return Error::invalid_options("Request: scene smaller than the detector window");
+  }
+  Response response;
+  response.id = request.id;
+  response.tenant = request.tenant;
+  try {
+    response.detections = detect_validated(request.scene, request.options);
+  } catch (const std::invalid_argument& e) {
+    // Engine-level rejections (unavailable kernel backend, encode mode
+    // unsupported by this pipeline, degenerate geometry) stay typed.
+    return Error::invalid_options(e.what());
+  } catch (const std::exception& e) {
+    return Error::internal(e.what());
+  }
+  return response;
+}
+
 image::RgbImage Detector::render_overlay(const image::Image& scene,
                                          const pipeline::DetectionMap& map,
                                          int positive_class) const {
@@ -101,15 +154,90 @@ image::RgbImage Detector::render(
   return pipeline::render_detections(scene, detections);
 }
 
+// --- DetectorBuilder --------------------------------------------------------
+
+namespace {
+
+pipeline::HdFaceConfig default_builder_config() {
+  pipeline::HdFaceConfig c;
+  c.hog.cell_size = 4;
+  return c;
+}
+
+}  // namespace
+
+DetectorBuilder::DetectorBuilder()
+    : config_(std::make_unique<pipeline::HdFaceConfig>(default_builder_config())) {}
+
+DetectorBuilder::~DetectorBuilder() = default;
+
+DetectorBuilder::DetectorBuilder(const DetectorBuilder& other)
+    : window_(other.window_),
+      classes_(other.classes_),
+      config_(std::make_unique<pipeline::HdFaceConfig>(*other.config_)) {}
+
+DetectorBuilder& DetectorBuilder::operator=(const DetectorBuilder& other) {
+  if (this != &other) {
+    window_ = other.window_;
+    classes_ = other.classes_;
+    *config_ = *other.config_;
+  }
+  return *this;
+}
+
+DetectorBuilder::DetectorBuilder(DetectorBuilder&&) noexcept = default;
+DetectorBuilder& DetectorBuilder::operator=(DetectorBuilder&&) noexcept = default;
+
+DetectorBuilder& DetectorBuilder::window(std::size_t w) {
+  window_ = w;
+  return *this;
+}
+DetectorBuilder& DetectorBuilder::classes(std::size_t c) {
+  classes_ = c;
+  return *this;
+}
+DetectorBuilder& DetectorBuilder::dim(std::size_t d) {
+  config_->dim = d;
+  return *this;
+}
+DetectorBuilder& DetectorBuilder::mode(pipeline::HdFaceMode m) {
+  config_->mode = m;
+  return *this;
+}
+DetectorBuilder& DetectorBuilder::hd_hog_mode(hog::HdHogMode m) {
+  config_->hd_hog_mode = m;
+  return *this;
+}
+DetectorBuilder& DetectorBuilder::cell_size(std::size_t c) {
+  config_->hog.cell_size = c;
+  return *this;
+}
+DetectorBuilder& DetectorBuilder::bins(std::size_t b) {
+  config_->hog.bins = b;
+  return *this;
+}
+DetectorBuilder& DetectorBuilder::epochs(std::size_t e) {
+  config_->epochs = e;
+  return *this;
+}
+DetectorBuilder& DetectorBuilder::seed(std::uint64_t s) {
+  config_->seed = s;
+  return *this;
+}
+DetectorBuilder& DetectorBuilder::config(const pipeline::HdFaceConfig& c) {
+  *config_ = c;
+  return *this;
+}
+
 Detector DetectorBuilder::build() const {
   if (classes_ < 2) throw std::invalid_argument("DetectorBuilder: classes < 2");
-  if (config_.hog.cell_size == 0 || window_ % config_.hog.cell_size != 0) {
+  if (config_->hog.cell_size == 0 || window_ % config_->hog.cell_size != 0) {
     // The HOG layers silently drop partial cells; at the facade a window that
     // is not a whole number of cells is almost certainly a typo.
     throw std::invalid_argument("DetectorBuilder: window not tiled by cell_size");
   }
   auto pipeline = std::make_shared<pipeline::HdFacePipeline>(
-      config_, window_, window_, classes_);
+      *config_, window_, window_, classes_);
   return Detector(std::move(pipeline), window_);
 }
 

@@ -14,85 +14,50 @@
 //   det.fit(train);
 //   auto boxes = det.detect(scene, {.threads = 8, .scales = {1.0, 0.5}});
 //
+// or, in the redesigned request/response form shared with the serving layer
+// (serve/server.hpp):
+//
+//   api::Outcome<api::Response> out = det.detect(api::Request{
+//       .id = 1, .scene = scene, .options = {.threads = 8}});
+//   if (out.ok()) use(out.value().detections);
+//
 // The facade owns the pipeline via shared_ptr, so detectors are cheap to
 // copy/move and every lower-level component (SlidingWindowDetector,
 // MultiScaleDetector, FaceTracker feeds) can share the same trained model.
 // The same builder serves face and emotion workloads — a workload is just a
 // (window, classes, dataset) triple.
 //
-// Lower-level headers (pipeline/*.hpp) remain public for research code; this
-// layer is what examples, benches and deployments should use.
+// This header is deliberately light: it includes only the api value types
+// (api/types.hpp) and forward-declares the pipeline machinery, so facade
+// users compile standalone and a pipeline-internal edit no longer rebuilds
+// every downstream TU (tests/api/header_standalone.cpp pins this). Lower-
+// level headers (pipeline/*.hpp) remain public for research code; include
+// them directly where their types are used.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
-#include <optional>
 #include <vector>
 
-#include "core/kernels/kernels.hpp"
-#include "core/op_counter.hpp"
-#include "dataset/dataset.hpp"
-#include "image/image.hpp"
-#include "image/pnm.hpp"
-#include "noise/fault_model.hpp"
-#include "pipeline/fault_injection.hpp"
-#include "pipeline/hdface_pipeline.hpp"
-#include "pipeline/multiscale.hpp"
-#include "pipeline/parallel_detect.hpp"
-#include "pipeline/sliding_window.hpp"
+#include "api/types.hpp"
+
+namespace hdface::dataset {
+struct Dataset;
+}
+namespace hdface::image {
+struct RgbImage;
+}
+namespace hdface::hog {
+enum class HdHogMode;
+}
+namespace hdface::pipeline {
+class HdFacePipeline;
+struct HdFaceConfig;
+enum class HdFaceMode;
+struct ParallelDetectConfig;
+}
 
 namespace hdface::api {
-
-// Per-call scan options. The defaults reproduce the seed's behavior: native
-// scale, stride 8, no NMS — but batched across all cores.
-struct DetectOptions {
-  // Worker threads for the batched engine. 0 = all hardware cores,
-  // 1 = serial. Results are bit-identical at every setting (see
-  // pipeline/parallel_detect.hpp for the determinism contract).
-  std::size_t threads = 0;
-  // Window step in pixels (at window resolution for multiscale scans).
-  std::size_t stride = 8;
-  // Pyramid scales in (0, 1]; {1.0} = single-scale.
-  std::vector<double> scales = {1.0};
-  // Greedy non-maximum suppression over the resulting boxes. Off by default:
-  // the raw map view (one entry per window) is the paper's Fig 6 artifact.
-  bool nms = false;
-  double nms_iou = 0.3;
-  // Minimum positive-class cosine for a window to become a detection box.
-  double score_threshold = 0.0;
-  // Class treated as "detection" in binary workloads.
-  int positive_class = 1;
-  // Optional feature-op accounting (exact totals at any thread count).
-  core::OpCounter* feature_counter = nullptr;
-  // Encode strategy for the batched engine. kPerWindow (default) reproduces
-  // the engine's historical bit streams exactly; kCellPlane computes the
-  // per-pixel stochastic chain once per scene cell and assembles windows from
-  // the cache — roughly (window/stride)²-cheaper on the encode stage, still
-  // bit-identical at every thread count, but a (deterministically) different
-  // random stream than kPerWindow. Requires an HD-HOG pipeline.
-  pipeline::EncodeMode encode_mode = pipeline::EncodeMode::kPerWindow;
-  // Optional cell-plane cache accounting (cells computed / cached slot reads /
-  // windows assembled; exact at any thread count, untouched in kPerWindow).
-  pipeline::EncodeCacheStats* encode_cache_stats = nullptr;
-  // Fault-injection plan for robustness studies. When set, the scan runs
-  // against a detector whose stored hypervector memories (item memories,
-  // mask pool, binarized prototypes) carry the plan's sampled faults —
-  // injected copy-on-inject via pipeline::FaultSession before the scan and
-  // restore-verified after, so the detector is bit-identical to a
-  // never-faulted one once the call returns. Query-plane faults are applied
-  // in flight per window. Note: when the plan targets prototypes, inference
-  // switches to the binary Hamming path even at rate 0 (clean-baseline cells
-  // of a sweep stay comparable to faulted ones).
-  std::optional<noise::FaultPlan> fault_plan;
-  // SIMD kernel backend for this scan's packed-word hot loops. nullopt
-  // (default) keeps the process-wide choice (HDFACE_KERNEL_BACKEND env
-  // override, else the best backend the CPU supports). Every backend is
-  // bit-identical — results and op charges never change, only speed. Forced
-  // process-wide for the duration of the call (the dispatch table is global),
-  // so don't race scans with different backends; throws
-  // std::invalid_argument when the backend is not available on this
-  // build/CPU.
-  std::optional<core::kernels::Backend> kernel_backend;
-};
 
 class Detector {
  public:
@@ -110,14 +75,23 @@ class Detector {
 
   // --- scene scanning -------------------------------------------------------
 
+  // The redesigned entry point: one request schema for one-shot, batched and
+  // served execution. Never throws on a malformed request — returns a typed
+  // kInvalidOptions Error (or kInternal if execution raises), so serving
+  // workers survive any input. Detections are bit-identical to
+  // detect(request.scene, request.options).
+  Outcome<Response> detect(const Request& request);
+
   // Single-scale batched scan: the full per-window map (paper Fig 6 shape).
   // Uses options.threads/stride; scales/nms do not apply to the map view.
+  // Throws InvalidOptionsError (a std::invalid_argument) on bad options.
   pipeline::DetectionMap detect_map(const image::Image& scene,
                                     const DetectOptions& options = {});
 
   // Boxes after scale merge (and NMS when enabled): single-scale when
   // options.scales == {1.0}, image-pyramid otherwise. Sorted by descending
-  // score.
+  // score. Throws InvalidOptionsError (a std::invalid_argument) on bad
+  // options.
   std::vector<pipeline::Detection> detect(const image::Image& scene,
                                           const DetectOptions& options = {});
 
@@ -138,6 +112,8 @@ class Detector {
 
  private:
   pipeline::ParallelDetectConfig engine_config(const DetectOptions& options) const;
+  std::vector<pipeline::Detection> detect_validated(const image::Image& scene,
+                                                    const DetectOptions& options);
 
   std::shared_ptr<pipeline::HdFacePipeline> pipeline_;
   std::size_t window_;
@@ -145,29 +121,29 @@ class Detector {
 
 // Fluent construction of a Detector. Every knob has the repository-standard
 // default, so `DetectorBuilder().window(32).build()` is a working binary
-// face/no-face detector awaiting fit().
+// face/no-face detector awaiting fit(). The pipeline config lives behind a
+// unique_ptr (deep-copied with the builder) so this header does not pull
+// pipeline/hdface_pipeline.hpp.
 class DetectorBuilder {
  public:
-  DetectorBuilder& window(std::size_t w) { window_ = w; return *this; }
-  DetectorBuilder& classes(std::size_t c) { classes_ = c; return *this; }
-  DetectorBuilder& dim(std::size_t d) { config_.dim = d; return *this; }
-  DetectorBuilder& mode(pipeline::HdFaceMode m) { config_.mode = m; return *this; }
-  DetectorBuilder& hd_hog_mode(hog::HdHogMode m) {
-    config_.hd_hog_mode = m;
-    return *this;
-  }
-  DetectorBuilder& cell_size(std::size_t c) {
-    config_.hog.cell_size = c;
-    return *this;
-  }
-  DetectorBuilder& bins(std::size_t b) { config_.hog.bins = b; return *this; }
-  DetectorBuilder& epochs(std::size_t e) { config_.epochs = e; return *this; }
-  DetectorBuilder& seed(std::uint64_t s) { config_.seed = s; return *this; }
+  DetectorBuilder();
+  ~DetectorBuilder();
+  DetectorBuilder(const DetectorBuilder& other);
+  DetectorBuilder& operator=(const DetectorBuilder& other);
+  DetectorBuilder(DetectorBuilder&&) noexcept;
+  DetectorBuilder& operator=(DetectorBuilder&&) noexcept;
+
+  DetectorBuilder& window(std::size_t w);
+  DetectorBuilder& classes(std::size_t c);
+  DetectorBuilder& dim(std::size_t d);
+  DetectorBuilder& mode(pipeline::HdFaceMode m);
+  DetectorBuilder& hd_hog_mode(hog::HdHogMode m);
+  DetectorBuilder& cell_size(std::size_t c);
+  DetectorBuilder& bins(std::size_t b);
+  DetectorBuilder& epochs(std::size_t e);
+  DetectorBuilder& seed(std::uint64_t s);
   // Full pipeline-config override for knobs without a dedicated setter.
-  DetectorBuilder& config(const pipeline::HdFaceConfig& c) {
-    config_ = c;
-    return *this;
-  }
+  DetectorBuilder& config(const pipeline::HdFaceConfig& c);
 
   // Throws std::invalid_argument on unusable geometry (window 0, classes < 2,
   // window not tiled by cells — the same validation the pipeline applies).
@@ -176,11 +152,7 @@ class DetectorBuilder {
  private:
   std::size_t window_ = 32;
   std::size_t classes_ = 2;
-  pipeline::HdFaceConfig config_ = [] {
-    pipeline::HdFaceConfig c;
-    c.hog.cell_size = 4;
-    return c;
-  }();
+  std::unique_ptr<pipeline::HdFaceConfig> config_;
 };
 
 }  // namespace hdface::api

@@ -1,0 +1,32 @@
+#include "api/types.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace hdface::api {
+
+std::optional<Error> validate(const DetectOptions& options) {
+  if (options.stride == 0) {
+    return Error::invalid_options("DetectOptions: stride must be > 0");
+  }
+  if (options.scales.empty()) {
+    return Error::invalid_options("DetectOptions: scales must not be empty");
+  }
+  for (const double s : options.scales) {
+    if (!std::isfinite(s) || s <= 0.0 || s > 1.0) {
+      return Error::invalid_options("DetectOptions: scale outside (0, 1]: " +
+                                    std::to_string(s));
+    }
+  }
+  if (!std::isfinite(options.nms_iou) || options.nms_iou < 0.0 ||
+      options.nms_iou > 1.0) {
+    return Error::invalid_options("DetectOptions: nms_iou outside [0, 1]: " +
+                                  std::to_string(options.nms_iou));
+  }
+  if (!std::isfinite(options.score_threshold)) {
+    return Error::invalid_options("DetectOptions: score_threshold not finite");
+  }
+  return std::nullopt;
+}
+
+}  // namespace hdface::api

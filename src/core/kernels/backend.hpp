@@ -1,0 +1,24 @@
+#pragma once
+
+// Kernel backend identifiers, split out of kernels.hpp so lightweight
+// facade headers (api/detector.hpp) can name a Backend without pulling the
+// whole kernel table. See kernels.hpp for the dispatch contract.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hdface::core::kernels {
+
+enum class Backend : std::uint8_t { kScalar = 0, kAvx2, kAvx512, kNeon };
+
+constexpr std::string_view backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kAvx512: return "avx512";
+    case Backend::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+}  // namespace hdface::core::kernels

@@ -39,19 +39,9 @@
 #include <span>
 #include <string_view>
 
+#include "core/kernels/backend.hpp"
+
 namespace hdface::core::kernels {
-
-enum class Backend : std::uint8_t { kScalar = 0, kAvx2, kAvx512, kNeon };
-
-constexpr std::string_view backend_name(Backend b) {
-  switch (b) {
-    case Backend::kScalar: return "scalar";
-    case Backend::kAvx2: return "avx2";
-    case Backend::kAvx512: return "avx512";
-    case Backend::kNeon: return "neon";
-  }
-  return "unknown";
-}
 
 // Kernel table: raw packed-word primitives. `n` is always a word count; all
 // pointers may be unaligned to vector width (backends use unaligned loads)

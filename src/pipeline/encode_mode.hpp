@@ -1,0 +1,44 @@
+#pragma once
+
+// Encode-strategy knob and cache accounting for the batched detection
+// engine, split out of parallel_detect.hpp so the public facade
+// (api/detector.hpp) can carry them without pulling the engine (and its
+// pipeline/thread-pool/cell-plane dependency cone).
+
+#include <cstdint>
+
+namespace hdface::pipeline {
+
+// How the scan turns window pixels into feature hypervectors.
+enum class EncodeMode {
+  // Seed behavior: every window re-runs the full per-pixel stochastic chain
+  // on its own reseeded scratch context.
+  kPerWindow,
+  // Scene-level cell-plane cache (hog/cell_plane.hpp): the per-pixel chain
+  // runs once per grid cell of the whole scene, windows assemble from cached
+  // cells. Roughly (window/stride)²-cheaper on the encode stage; results are
+  // a (deterministically) different random stream than kPerWindow, still
+  // bit-identical at every thread count. Requires an HD-HOG pipeline
+  // (kOrigHogEncoder has no hypervector encode to cache — throws
+  // std::invalid_argument).
+  kCellPlane,
+};
+
+// Exact cache accounting for a cell-plane scan, merged from per-chunk shards
+// (ShardedTally) after the scan — totals are identical at every thread count.
+struct EncodeCacheStats {
+  // Cells whose stochastic chain actually ran (the compute side).
+  std::uint64_t cells_computed = 0;
+  // Cached (cell, bin) slot values consumed by window assembly (the hit
+  // side; per_window mode would have recomputed each of these).
+  std::uint64_t slot_reads = 0;
+  std::uint64_t windows_assembled = 0;
+
+  void merge(const EncodeCacheStats& other) {
+    cells_computed += other.cells_computed;
+    slot_reads += other.slot_reads;
+    windows_assembled += other.windows_assembled;
+  }
+};
+
+}  // namespace hdface::pipeline

@@ -11,18 +11,11 @@
 
 #include "image/image.hpp"
 #include "image/pnm.hpp"
+#include "pipeline/detection.hpp"
 #include "pipeline/parallel_detect.hpp"
 #include "pipeline/sliding_window.hpp"
 
 namespace hdface::pipeline {
-
-struct Detection {
-  // Box in scene pixel coordinates.
-  std::size_t x = 0;
-  std::size_t y = 0;
-  std::size_t size = 0;  // square box edge
-  double score = 0.0;    // positive-class cosine
-};
 
 // Intersection-over-union of two square boxes.
 double box_iou(const Detection& a, const Detection& b);

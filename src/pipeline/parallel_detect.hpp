@@ -30,43 +30,12 @@
 #include "hog/cell_plane.hpp"
 #include "image/image.hpp"
 #include "noise/fault_model.hpp"
+#include "pipeline/encode_mode.hpp"
 #include "pipeline/hdface_pipeline.hpp"
 #include "pipeline/sliding_window.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hdface::pipeline {
-
-// How the scan turns window pixels into feature hypervectors.
-enum class EncodeMode {
-  // Seed behavior: every window re-runs the full per-pixel stochastic chain
-  // on its own reseeded scratch context.
-  kPerWindow,
-  // Scene-level cell-plane cache (hog/cell_plane.hpp): the per-pixel chain
-  // runs once per grid cell of the whole scene, windows assemble from cached
-  // cells. Roughly (window/stride)²-cheaper on the encode stage; results are
-  // a (deterministically) different random stream than kPerWindow, still
-  // bit-identical at every thread count. Requires an HD-HOG pipeline
-  // (kOrigHogEncoder has no hypervector encode to cache — throws
-  // std::invalid_argument).
-  kCellPlane,
-};
-
-// Exact cache accounting for a cell-plane scan, merged from per-chunk shards
-// (ShardedTally) after the scan — totals are identical at every thread count.
-struct EncodeCacheStats {
-  // Cells whose stochastic chain actually ran (the compute side).
-  std::uint64_t cells_computed = 0;
-  // Cached (cell, bin) slot values consumed by window assembly (the hit
-  // side; per_window mode would have recomputed each of these).
-  std::uint64_t slot_reads = 0;
-  std::uint64_t windows_assembled = 0;
-
-  void merge(const EncodeCacheStats& other) {
-    cells_computed += other.cells_computed;
-    slot_reads += other.slot_reads;
-    windows_assembled += other.windows_assembled;
-  }
-};
 
 struct ParallelDetectConfig {
   // 0 = use every worker of the pool; 1 = serial (same code path and same

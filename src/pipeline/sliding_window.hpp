@@ -10,6 +10,7 @@
 
 #include "image/image.hpp"
 #include "image/pnm.hpp"
+#include "pipeline/detection.hpp"
 #include "pipeline/hdface_pipeline.hpp"
 
 namespace hdface::util {
@@ -19,34 +20,6 @@ class ThreadPool;
 namespace hdface::pipeline {
 
 struct ParallelDetectConfig;
-
-struct DetectionMap {
-  std::size_t window = 0;
-  std::size_t stride = 0;
-  std::size_t steps_x = 0;
-  std::size_t steps_y = 0;
-  // Row-major per-window predicted class (for face detection: 1 = face).
-  std::vector<int> predictions;
-  // Positive-class cosine score per window.
-  std::vector<double> scores;
-
-  int prediction_at(std::size_t sx, std::size_t sy) const {
-    check_step(sx, sy);
-    return predictions[sy * steps_x + sx];
-  }
-
-  double score_at(std::size_t sx, std::size_t sy) const {
-    check_step(sx, sy);
-    return scores[sy * steps_x + sx];
-  }
-
- private:
-  void check_step(std::size_t sx, std::size_t sy) const {
-    if (sx >= steps_x || sy >= steps_y) {
-      throw std::out_of_range("DetectionMap: step out of range");
-    }
-  }
-};
 
 class SlidingWindowDetector {
  public:

@@ -1,0 +1,237 @@
+// hdlint: allow-file(wall-clock) — the load generator reads the steady clock
+// to pace open-loop arrivals and measure run duration. Time never selects
+// request content: every Request is a pure function of (config.seed, index)
+// via RequestFactory::make, which is what lets the bench replay the exact
+// stream against direct detect calls.
+
+#include "serve/load_gen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "dataset/background_generator.hpp"
+#include "dataset/face_generator.hpp"
+#include "image/transform.hpp"
+#include "util/check.hpp"
+
+namespace hdface::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSceneSalt = 0x5CEC3;
+constexpr std::uint64_t kKindSalt = 0x417D;
+constexpr std::uint64_t kFaultSalt = 0xFA017;
+constexpr std::uint64_t kArrivalSalt = 0xA221;
+
+// A window-or-wider scene with clutter and one planted face — enough signal
+// that detection results are non-trivial, cheap enough to render a pool at
+// factory construction.
+image::Image render_scene(std::size_t side, std::size_t window,
+                          std::uint64_t seed) {
+  image::Image scene(side, side, 0.5f);
+  core::Rng rng(seed);
+  dataset::render_background(scene, dataset::BackgroundKind::kMixed, rng);
+  const std::size_t max_off = side - window;
+  const std::size_t fx = max_off == 0 ? 0 : rng.below(max_off + 1);
+  const std::size_t fy = max_off == 0 ? 0 : rng.below(max_off + 1);
+  image::paste(scene, dataset::render_face_window(window, rng.next()),
+               static_cast<std::ptrdiff_t>(fx), static_cast<std::ptrdiff_t>(fy));
+  return scene;
+}
+
+}  // namespace
+
+RequestFactory::RequestFactory(std::size_t window, const LoadGenConfig& config)
+    : window_(window), config_(config) {
+  HD_CHECK(window_ > 0, "RequestFactory: window 0");
+  const std::size_t pool = std::max<std::size_t>(1, config_.scene_pool);
+  window_scenes_.reserve(pool);
+  wide_scenes_.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    window_scenes_.push_back(
+        render_scene(window_, window_, core::mix64(config_.seed, kSceneSalt + 2 * i)));
+    wide_scenes_.push_back(render_scene(
+        3 * window_, window_, core::mix64(config_.seed, kSceneSalt + 2 * i + 1)));
+  }
+}
+
+MixKind RequestFactory::kind_of(std::uint64_t index) const {
+  core::Rng rng(core::mix64(core::mix64(config_.seed, kKindSalt), index));
+  const double total = config_.mix.single_window + config_.mix.multiscale_scene +
+                       config_.mix.faulted_query;
+  if (total <= 0.0) return MixKind::kSingleWindow;
+  const double u = rng.uniform() * total;
+  if (u < config_.mix.single_window) return MixKind::kSingleWindow;
+  if (u < config_.mix.single_window + config_.mix.multiscale_scene) {
+    return MixKind::kMultiscaleScene;
+  }
+  return MixKind::kFaultedQuery;
+}
+
+api::Request RequestFactory::make(std::uint64_t index) const {
+  api::Request request;
+  request.id = index;
+  request.tenant = static_cast<std::uint32_t>(
+      index % std::max<std::size_t>(1, config_.tenants));
+  request.options.threads = 1;
+  request.options.stride = config_.stride;
+
+  core::Rng rng(core::mix64(core::mix64(config_.seed, kSceneSalt), index));
+  switch (kind_of(index)) {
+    case MixKind::kSingleWindow:
+      request.scene = window_scenes_[rng.below(window_scenes_.size())];
+      // One window: the scene IS the window.
+      request.options.stride = window_;
+      break;
+    case MixKind::kMultiscaleScene:
+      request.scene = wide_scenes_[rng.below(wide_scenes_.size())];
+      request.options.scales = {1.0, 0.5};
+      request.options.nms = true;
+      break;
+    case MixKind::kFaultedQuery: {
+      request.scene = wide_scenes_[rng.below(wide_scenes_.size())];
+      noise::FaultPlan plan;
+      plan.model.kind = noise::FaultKind::kTransientFlip;
+      plan.model.rate = config_.fault_rate;
+      plan.seed = core::mix64(core::mix64(config_.seed, kFaultSalt), index);
+      request.options.fault_plan = plan;
+      break;
+    }
+  }
+  return request;
+}
+
+LoadReport run_closed_loop(DetectionServer& server,
+                           const RequestFactory& factory,
+                           const LoadGenConfig& config) {
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> retries{0};
+
+  const auto client = [&] {
+    for (;;) {
+      // hdlint: allow(sched-dependent-value) — work-stealing index: which
+      // client claims which index varies with scheduling, but each index in
+      // [0, requests) is claimed exactly once and Request content is a pure
+      // function of (seed, index), so the processed set — and every per-request
+      // detection result — is schedule-independent.
+      const std::uint64_t i = next.fetch_add(1);
+      if (i >= config.requests) return;
+      const api::Request request = factory.make(i);
+      for (;;) {
+        auto submission = server.submit(request);
+        if (submission.admitted()) {
+          admitted.fetch_add(1);
+          const auto outcome = submission.response.get();
+          if (outcome.ok()) {
+            completed.fetch_add(1);
+          } else {
+            errors.fetch_add(1);
+          }
+          break;
+        }
+        // Closed-loop convention: a rejected client backs off and retries —
+        // offered load adapts until the server admits.
+        rejected.fetch_add(1);
+        retries.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  };
+
+  const auto start = Clock::now();
+  std::vector<std::thread> clients;
+  const std::size_t n_clients = std::max<std::size_t>(1, config.concurrency);
+  clients.reserve(n_clients);
+  for (std::size_t c = 0; c < n_clients; ++c) clients.emplace_back(client);
+  for (auto& t : clients) t.join();
+  const double duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadReport report;
+  report.offered = config.requests;
+  report.admitted = admitted.load();
+  report.rejected = rejected.load();
+  report.completed = completed.load();
+  report.errors = errors.load();
+  report.retries = retries.load();
+  report.duration_s = duration_s;
+  report.achieved_rps =
+      duration_s > 0.0 ? static_cast<double>(report.completed) / duration_s : 0.0;
+  report.server = server.stats();
+  return report;
+}
+
+LoadReport run_open_loop(DetectionServer& server, const RequestFactory& factory,
+                         const LoadGenConfig& config) {
+  HD_CHECK(config.offered_rps > 0.0, "run_open_loop: offered_rps must be > 0");
+  // Pre-computed Poisson process: arrival offsets are a pure function of
+  // (seed, rate), so two runs at the same config offer the same schedule.
+  std::vector<double> arrival_s(config.requests);
+  core::Rng rng(core::mix64(config.seed, kArrivalSalt));
+  double t = 0.0;
+  for (auto& a : arrival_s) {
+    const double u = rng.uniform();
+    t += -std::log1p(-u) / config.offered_rps;  // Exp(rate) inter-arrival
+    a = t;
+  }
+
+  std::vector<std::future<api::Outcome<api::Response>>> pending;
+  pending.reserve(config.requests);
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration<double>(arrival_s[i]));
+    auto submission = server.submit(factory.make(i));
+    if (submission.admitted()) {
+      admitted += 1;
+      pending.push_back(std::move(submission.response));
+    } else {
+      // Open loop never retries: the rejection rate is the signal.
+      rejected += 1;
+    }
+  }
+
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  for (auto& future : pending) {
+    const auto outcome = future.get();
+    if (outcome.ok()) {
+      completed += 1;
+    } else {
+      errors += 1;
+    }
+  }
+  const double duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadReport report;
+  report.offered = config.requests;
+  report.admitted = admitted;
+  report.rejected = rejected;
+  report.completed = completed;
+  report.errors = errors;
+  report.duration_s = duration_s;
+  report.offered_rps = config.offered_rps;
+  report.achieved_rps =
+      duration_s > 0.0 ? static_cast<double>(completed) / duration_s : 0.0;
+  report.server = server.stats();
+  return report;
+}
+
+}  // namespace hdface::serve

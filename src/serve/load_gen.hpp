@@ -1,0 +1,119 @@
+#pragma once
+
+// Load generation against a DetectionServer: the measurement half of
+// detection-as-a-service.
+//
+// Two classical load models (the Nighthawk distinction):
+//
+//   closed loop — `concurrency` clients each keep exactly one request in
+//     flight; the next submission waits for the previous response. Offered
+//     load adapts to the server, so the sweep over concurrency traces the
+//     throughput ceiling (saturation = achieved rps stops growing).
+//
+//   open loop — request i arrives at a pre-computed, seed-deterministic
+//     exponential arrival time for the configured rate, whether or not the
+//     server keeps up. Rejections are not retried: the kQueueFull rate IS
+//     the saturation signal, and latency-vs-offered-load curves come from
+//     sweeping the rate past the closed-loop ceiling.
+//
+// Both loops draw requests from a RequestFactory whose make(i) is a pure
+// function of (config, window, i): the same factory replays the identical
+// request stream against direct Detector::detect calls, which is how the
+// serving bench proves served results are bit-identical to one-shot calls.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "api/types.hpp"
+#include "serve/server.hpp"
+
+namespace hdface::serve {
+
+// The three request shapes of the serving mix.
+enum class MixKind : std::uint8_t {
+  kSingleWindow = 0,    // window-sized scene: one classification
+  kMultiscaleScene,     // 3x-window scene, two pyramid scales + NMS
+  kFaultedQuery,        // single-scale scene scanned under a fault plan
+};
+
+constexpr std::string_view mix_kind_name(MixKind k) {
+  switch (k) {
+    case MixKind::kSingleWindow: return "single_window";
+    case MixKind::kMultiscaleScene: return "multiscale_scene";
+    case MixKind::kFaultedQuery: return "faulted_query";
+  }
+  return "unknown";
+}
+
+struct MixWeights {
+  double single_window = 0.6;
+  double multiscale_scene = 0.25;
+  double faulted_query = 0.15;
+};
+
+struct LoadGenConfig {
+  std::uint64_t seed = 0x5E12E;
+  // Total requests per run (closed loop: completions; open loop: arrivals).
+  std::size_t requests = 64;
+  // Closed-loop client count.
+  std::size_t concurrency = 4;
+  // Open-loop arrival rate, requests per second.
+  double offered_rps = 100.0;
+  MixWeights mix;
+  // Distinct pre-rendered scenes per mix kind (requests index into the pool
+  // deterministically; rendering stays off the submission path).
+  std::size_t scene_pool = 4;
+  // Requests carry tenant = index % tenants.
+  std::size_t tenants = 1;
+  // Base scan stride for every mix kind.
+  std::size_t stride = 8;
+  // Per-bit transient-flip rate of the faulted-query mix.
+  double fault_rate = 2e-3;
+};
+
+// Deterministic request source. Scenes are rendered once at construction
+// (seed-pure); make(i) assembles a Request whose every field — scene choice,
+// mix kind, tenant, options, fault plan — is a pure function of
+// (config.seed, i).
+class RequestFactory {
+ public:
+  RequestFactory(std::size_t window, const LoadGenConfig& config);
+
+  api::Request make(std::uint64_t index) const;
+  MixKind kind_of(std::uint64_t index) const;
+  const LoadGenConfig& config() const { return config_; }
+
+ private:
+  std::size_t window_;
+  LoadGenConfig config_;
+  std::vector<image::Image> window_scenes_;  // window-sized, one window each
+  std::vector<image::Image> wide_scenes_;    // 3x window, multiscale/faulted
+};
+
+struct LoadReport {
+  // Distinct requests the loop tried to serve.
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  // Admission rejections observed by clients (closed loop: pre-retry count;
+  // open loop: final rejections — these requests were never served).
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;  // ok outcomes
+  std::uint64_t errors = 0;     // error outcomes (kInternal etc.)
+  std::uint64_t retries = 0;    // closed-loop re-submissions after rejection
+  double duration_s = 0.0;
+  double offered_rps = 0.0;   // open loop: configured rate; closed loop: 0
+  double achieved_rps = 0.0;  // completions / duration
+  // Final merged server snapshot (histograms, counters, conservation).
+  ServerStats server;
+};
+
+LoadReport run_closed_loop(DetectionServer& server,
+                           const RequestFactory& factory,
+                           const LoadGenConfig& config);
+
+LoadReport run_open_loop(DetectionServer& server, const RequestFactory& factory,
+                         const LoadGenConfig& config);
+
+}  // namespace hdface::serve

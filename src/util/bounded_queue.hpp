@@ -1,0 +1,104 @@
+#pragma once
+
+// Bounded multi-producer multi-consumer queue — the admission-control
+// primitive of the serving layer (serve/server.hpp).
+//
+// Design points:
+//   * try_push never blocks: a full (or closed) queue rejects immediately.
+//     Admission control wants reject-with-backpressure, not producer
+//     convoys — the caller turns the false into a typed kQueueFull error.
+//   * pop blocks until an item, close(), or both; after close() consumers
+//     drain the remaining items and then see nullopt, so every admitted
+//     item is consumed exactly once (the queue-accounting conservation the
+//     serving tests gate on).
+//   * try_pop never blocks (manual stepping in deterministic admission
+//     tests and single-threaded drains).
+//   * T needs move construction only (jobs carry std::promise).
+//
+// Plain mutex + condition variable: request service times are milliseconds,
+// so queue synchronization is noise; correctness and fairness beat lock-free
+// cleverness here.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace hdface::util {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  // capacity 0 is clamped to 1: a zero-capacity queue would reject every
+  // request, which is never what a config meant.
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  // Non-blocking admission: false when the queue is at capacity or closed
+  // (the value is returned to the caller untouched in spirit — it is simply
+  // not enqueued; move it again on retry).
+  bool try_push(T& value) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocking consumer: nullopt once the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return pop_locked();
+  }
+
+  // Non-blocking consumer: nullopt when currently empty.
+  std::optional<T> try_pop() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return pop_locked();
+  }
+
+  // Stop admitting; wake every blocked consumer. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> pop_locked() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> value(std::move(items_.front()));
+    items_.pop_front();
+    return value;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace hdface::util

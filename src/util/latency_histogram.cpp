@@ -1,0 +1,96 @@
+#include "util/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hdface::util {
+
+namespace {
+
+// Highest exponent shift a 64-bit value can need: bit_width 64 → shift 57
+// at 7 sub-bucket bits.
+constexpr std::size_t kMaxShift = 64 - LatencyHistogram::kSubBucketBits;
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_count() {
+  return static_cast<std::size_t>(kSubBucketCount) +
+         kMaxShift * static_cast<std::size_t>(kSubBucketHalf);
+}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBucketCount) return static_cast<std::size_t>(value);
+  // value has bit_width > kSubBucketBits; keep the top kSubBucketBits bits.
+  const std::size_t shift =
+      static_cast<std::size_t>(std::bit_width(value)) - kSubBucketBits;
+  const std::uint64_t mantissa = value >> shift;  // in [kSubBucketHalf*2/2, ...)
+  return static_cast<std::size_t>(kSubBucketCount) +
+         (shift - 1) * static_cast<std::size_t>(kSubBucketHalf) +
+         static_cast<std::size_t>(mantissa - kSubBucketHalf);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t index) {
+  if (index < kSubBucketCount) return index;  // exact range: upper == value
+  const std::size_t offset = index - static_cast<std::size_t>(kSubBucketCount);
+  const std::size_t shift = offset / static_cast<std::size_t>(kSubBucketHalf) + 1;
+  const std::uint64_t mantissa =
+      kSubBucketHalf + (offset % static_cast<std::size_t>(kSubBucketHalf));
+  return ((mantissa + 1) << shift) - 1;
+}
+
+LatencyHistogram::LatencyHistogram() : counts_(bucket_count(), 0) {}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  counts_[bucket_index(value)] += 1;
+  count_ += 1;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  HD_CHECK(counts_.size() == other.counts_.size(),
+           "LatencyHistogram: merging incompatible layouts");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank: the ceil keeps p50 of {a, b} at a (the conventional lower
+  // median) and p100 at the max. Rank arithmetic is integer, so the result
+  // depends only on bucket counts — merge-order invariant by construction.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  // Rank 1 addresses the smallest sample, which is tracked exactly; the
+  // bucket walk would report its bucket's upper edge instead.
+  if (rank == 1) return min_;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      // The bucket's upper edge can exceed the largest sample it holds;
+      // clamping to the exact observed extremes keeps q=1 equal to max().
+      return std::clamp(bucket_upper(i), min_, max_);
+    }
+  }
+  return max_;  // unreachable: cumulative reaches count_ >= rank
+}
+
+std::vector<LatencyHistogram::Bucket> LatencyHistogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) out.push_back({bucket_upper(i), counts_[i]});
+  }
+  return out;
+}
+
+}  // namespace hdface::util

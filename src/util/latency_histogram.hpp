@@ -1,0 +1,78 @@
+#pragma once
+
+// HDR-style streaming latency histogram (the Nighthawk typed-statistics
+// idiom): log-bucketed counts with a fixed number of significant bits, so
+// recording is O(1), memory is a small fixed table, and two histograms merge
+// by adding bucket counts.
+//
+// Contract (what the serving layer and its tests rely on):
+//   * record() never allocates after construction and never loses a sample
+//     (the top bucket absorbs any value up to 2^64-1 ns ≈ 584 years).
+//   * Values below kSubBucketCount are exact; larger values land in a bucket
+//     whose width is at most value / kSubBucketHalf — a relative quantile
+//     error bound of 1/kSubBucketHalf (< 1.6% at the default 7 sub-bucket
+//     bits).
+//   * merge() is exact: bucket counts, count, sum, min and max add/compose
+//     associatively and commutatively, so quantiles computed from shards
+//     merged in ANY order and ANY partition are bit-identical to the
+//     histogram that saw every sample directly. Per-worker shards + one
+//     merge at stats() time need no locks on the hot path.
+//   * quantile(q) is deterministic: the upper edge of the first bucket whose
+//     cumulative count reaches ceil(q * count), clamped to the observed max.
+//
+// Units are whatever the caller records — the serving layer records
+// nanoseconds.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hdface::util {
+
+class LatencyHistogram {
+ public:
+  // Sub-bucket resolution: values are resolved to this many significant
+  // bits. 7 → 128 linear buckets per octave-half, ≤1/64 relative error.
+  static constexpr std::size_t kSubBucketBits = 7;
+  static constexpr std::uint64_t kSubBucketCount = std::uint64_t{1}
+                                                   << kSubBucketBits;
+  static constexpr std::uint64_t kSubBucketHalf = kSubBucketCount / 2;
+
+  LatencyHistogram();
+
+  void record(std::uint64_t value);
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  // 0 when empty.
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // q in [0, 1]. Returns 0 on an empty histogram. q = 0 returns min().
+  std::uint64_t quantile(double q) const;
+
+  // Nonzero buckets for export: (inclusive upper edge, count), ascending.
+  struct Bucket {
+    std::uint64_t upper = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> nonzero_buckets() const;
+
+  // Bucket math, exposed for tests.
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_upper(std::size_t index);
+  static std::size_t bucket_count();
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace hdface::util

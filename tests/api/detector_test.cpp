@@ -4,10 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include "core/kernels/kernels.hpp"
 #include "dataset/background_generator.hpp"
 #include "dataset/emotion_generator.hpp"
 #include "dataset/face_generator.hpp"
+#include "hog/hd_hog.hpp"
+#include "image/pnm.hpp"
 #include "image/transform.hpp"
+#include "pipeline/hdface_pipeline.hpp"
+#include "pipeline/multiscale.hpp"
 
 namespace hdface::api {
 namespace {
@@ -240,6 +245,102 @@ TEST(Detector, EmotionWorkloadSevenClasses) {
   const int pred = det.predict(train.images.front());
   EXPECT_GE(pred, 0);
   EXPECT_LT(pred, static_cast<int>(dataset::kNumEmotions));
+}
+
+TEST(Detector, RequestPathMatchesLegacyDetect) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 16;
+  data_cfg.num_samples = 60;
+  Detector det = small_face_detector();
+  det.fit(dataset::make_face_dataset(data_cfg));
+
+  image::Image scene(48, 48, 0.5f);
+  core::Rng rng(21);
+  dataset::render_background(scene, dataset::BackgroundKind::kMixed, rng);
+  image::paste(scene, dataset::render_face_window(16, 321), 16, 8);
+
+  Request request;
+  request.id = 7;
+  request.tenant = 3;
+  request.scene = scene;
+  request.options.threads = 1;
+  request.options.stride = 8;
+
+  auto outcome = det.detect(request);
+  ASSERT_TRUE(outcome.ok()) << outcome.error().message;
+  EXPECT_EQ(outcome.value().id, 7u);
+  EXPECT_EQ(outcome.value().tenant, 3u);
+  // The sync wrapper never reads clocks; timing stays zero.
+  EXPECT_EQ(outcome.value().timing.total, 0u);
+
+  const auto legacy = det.detect(scene, request.options);
+  const auto& served = outcome.value().detections;
+  ASSERT_EQ(served.size(), legacy.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].x, legacy[i].x);
+    EXPECT_EQ(served[i].y, legacy[i].y);
+    EXPECT_EQ(served[i].size, legacy[i].size);
+    EXPECT_EQ(served[i].score, legacy[i].score);
+  }
+}
+
+TEST(Detector, RequestPathReturnsTypedErrorsInsteadOfThrowing) {
+  Detector det = small_face_detector();
+
+  Request bad_options;
+  bad_options.scene = image::Image(32, 32, 0.5f);
+  bad_options.options.stride = 0;
+  auto outcome = det.detect(bad_options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, ErrorCode::kInvalidOptions);
+
+  Request tiny_scene;
+  tiny_scene.scene = image::Image(8, 8, 0.5f);  // smaller than the window
+  outcome = det.detect(tiny_scene);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, ErrorCode::kInvalidOptions);
+
+  // The legacy wrappers keep throwing — now the typed exception form.
+  DetectOptions opts;
+  opts.scales = {};
+  EXPECT_THROW((void)det.detect_map(tiny_scene.scene, opts),
+               InvalidOptionsError);
+  EXPECT_THROW((void)det.detect(tiny_scene.scene, opts), std::invalid_argument);
+}
+
+TEST(Detector, TelemetrySinkWinsOverDeprecatedAliases) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 16;
+  data_cfg.num_samples = 40;
+  Detector det = small_face_detector();
+  det.fit(dataset::make_face_dataset(data_cfg));
+
+  core::OpCounter modern;
+  core::OpCounter legacy;
+  DetectOptions opts;
+  opts.threads = 2;
+  opts.feature_counter = &legacy;  // deprecated alias, must be ignored...
+  opts.telemetry = Telemetry{&modern, nullptr};  // ...because telemetry wins
+  det.detect_map(image::Image(32, 32, 0.5f), opts);
+  EXPECT_GT(modern.total(), 0u);
+  EXPECT_EQ(legacy.total(), 0u);
+}
+
+TEST(Detector, TelemetryEncodeCacheSinkSeesCellPlaneTraffic) {
+  dataset::FaceDatasetConfig data_cfg;
+  data_cfg.image_size = 16;
+  data_cfg.num_samples = 40;
+  Detector det = small_face_detector();
+  det.fit(dataset::make_face_dataset(data_cfg));
+
+  pipeline::EncodeCacheStats cache;
+  DetectOptions opts;
+  opts.threads = 1;
+  opts.encode_mode = pipeline::EncodeMode::kCellPlane;
+  opts.telemetry = Telemetry{nullptr, &cache};
+  det.detect_map(image::Image(32, 32, 0.5f), opts);
+  EXPECT_GT(cache.cells_computed, 0u);
+  EXPECT_GT(cache.windows_assembled, 0u);
 }
 
 TEST(Detector, FeatureCounterAccumulatesThroughOptions) {

@@ -1,0 +1,34 @@
+// Pins the facade-slimming satellite: api/detector.hpp must compile as the
+// ONLY project include of a TU. If the facade regains a transitive pipeline
+// include it still compiles — this pin is enforced by detector.hpp keeping
+// its include list to api/types.hpp + standard headers; what this TU proves
+// is the converse: the slim header is self-sufficient (no hidden dependency
+// on includers happening to pull pipeline headers first).
+
+#include "api/detector.hpp"
+
+namespace hdface::api {
+
+// Odr-use the facade surface that is usable through forward declarations
+// alone: builder configuration, request assembly, outcome plumbing.
+Outcome<Response> standalone_roundtrip(Detector& detector,
+                                       const image::Image& scene) {
+  Request request;
+  request.id = 1;
+  request.tenant = 2;
+  request.scene = scene;
+  request.options.threads = 1;
+  if (auto err = validate(request.options)) {
+    return *err;
+  }
+  return detector.detect(request);
+}
+
+DetectorBuilder standalone_builder() {
+  DetectorBuilder builder;
+  builder.window(32).classes(2).dim(2048).epochs(3).seed(7);
+  DetectorBuilder copy = builder;  // pimpl deep-copy
+  return copy;
+}
+
+}  // namespace hdface::api

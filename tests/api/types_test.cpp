@@ -1,0 +1,131 @@
+#include "api/types.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hdface::api {
+namespace {
+
+// --- validate() ------------------------------------------------------------
+
+TEST(Validate, DefaultOptionsAreValid) {
+  EXPECT_EQ(validate(DetectOptions{}), std::nullopt);
+}
+
+TEST(Validate, RejectsZeroStride) {
+  DetectOptions opts;
+  opts.stride = 0;
+  const auto err = validate(opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kInvalidOptions);
+  EXPECT_NE(err->message.find("stride"), std::string::npos);
+}
+
+TEST(Validate, RejectsEmptyScales) {
+  DetectOptions opts;
+  opts.scales = {};
+  const auto err = validate(opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kInvalidOptions);
+}
+
+TEST(Validate, RejectsScalesOutsideUnitInterval) {
+  for (const double bad : {0.0, -0.5, 1.5}) {
+    DetectOptions opts;
+    opts.scales = {1.0, bad};
+    const auto err = validate(opts);
+    ASSERT_TRUE(err.has_value()) << "scale " << bad;
+    EXPECT_EQ(err->code, ErrorCode::kInvalidOptions) << "scale " << bad;
+  }
+  DetectOptions nan_scale;
+  nan_scale.scales = {std::nan("")};
+  EXPECT_TRUE(validate(nan_scale).has_value());
+}
+
+TEST(Validate, RejectsNonFiniteThresholds) {
+  DetectOptions bad_iou;
+  bad_iou.nms_iou = std::nan("");
+  EXPECT_TRUE(validate(bad_iou).has_value());
+  bad_iou.nms_iou = -0.1;
+  EXPECT_TRUE(validate(bad_iou).has_value());
+  bad_iou.nms_iou = 1.5;
+  EXPECT_TRUE(validate(bad_iou).has_value());
+
+  DetectOptions bad_score;
+  bad_score.score_threshold = std::nan("");
+  EXPECT_TRUE(validate(bad_score).has_value());
+}
+
+TEST(Validate, BoundaryScaleOneIsValid) {
+  DetectOptions opts;
+  opts.scales = {1.0, 0.25};
+  opts.nms_iou = 0.0;
+  EXPECT_EQ(validate(opts), std::nullopt);
+  opts.nms_iou = 1.0;
+  EXPECT_EQ(validate(opts), std::nullopt);
+}
+
+// --- Error -----------------------------------------------------------------
+
+TEST(Error, FactoriesCarryTheirCode) {
+  EXPECT_EQ(Error::invalid_options("x").code, ErrorCode::kInvalidOptions);
+  EXPECT_EQ(Error::queue_full("x").code, ErrorCode::kQueueFull);
+  EXPECT_EQ(Error::tenant_over_limit("x").code, ErrorCode::kTenantOverLimit);
+  EXPECT_EQ(Error::shutdown("x").code, ErrorCode::kShutdown);
+  EXPECT_EQ(Error::internal("x").code, ErrorCode::kInternal);
+  EXPECT_FALSE(Error::internal("x").ok());
+  EXPECT_TRUE(Error{}.ok());
+}
+
+TEST(Error, CodeNamesAreStable) {
+  EXPECT_EQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_EQ(error_code_name(ErrorCode::kInvalidOptions), "invalid_options");
+  EXPECT_EQ(error_code_name(ErrorCode::kQueueFull), "queue_full");
+  EXPECT_EQ(error_code_name(ErrorCode::kTenantOverLimit), "tenant_over_limit");
+  EXPECT_EQ(error_code_name(ErrorCode::kShutdown), "shutdown");
+  EXPECT_EQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+TEST(Error, InvalidOptionsErrorIsInvalidArgument) {
+  // Back-compat: legacy catch sites catching std::invalid_argument keep
+  // working across the redesign.
+  const InvalidOptionsError ex(Error::invalid_options("bad stride"));
+  const std::invalid_argument& base = ex;
+  EXPECT_STREQ(base.what(), "bad stride");
+  EXPECT_EQ(ex.error().code, ErrorCode::kInvalidOptions);
+}
+
+// --- Outcome ---------------------------------------------------------------
+
+TEST(Outcome, ValueStateRoundTrips) {
+  Outcome<int> out(42);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(static_cast<bool>(out));
+  EXPECT_EQ(out.value(), 42);
+  out.value() = 43;
+  EXPECT_EQ(std::move(out).take(), 43);
+}
+
+TEST(Outcome, ErrorStateThrowsOnValueAccess) {
+  Outcome<int> out(Error::queue_full("full"));
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ErrorCode::kQueueFull);
+  EXPECT_THROW((void)out.value(), std::logic_error);
+}
+
+TEST(Outcome, RejectsOkCodedError) {
+  // An "error" outcome whose code is kOk is a caller bug, caught eagerly.
+  EXPECT_THROW(Outcome<int>(Error{}), std::logic_error);
+}
+
+TEST(Outcome, ValueOutcomeReportsOkError) {
+  Outcome<std::string> out(std::string("hi"));
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.error().code, ErrorCode::kOk);
+}
+
+}  // namespace
+}  // namespace hdface::api

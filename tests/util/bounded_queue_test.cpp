@@ -1,0 +1,128 @@
+#include "util/bounded_queue.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hdface::util {
+namespace {
+
+TEST(BoundedMpmcQueue, PushPopFifo) {
+  BoundedMpmcQueue<int> q(4);
+  for (int v : {1, 2, 3}) {
+    EXPECT_TRUE(q.try_push(v));
+  }
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BoundedMpmcQueue, RejectsWhenFull) {
+  BoundedMpmcQueue<int> q(2);
+  int v = 1;
+  EXPECT_TRUE(q.try_push(v));
+  v = 2;
+  EXPECT_TRUE(q.try_push(v));
+  v = 3;
+  EXPECT_FALSE(q.try_push(v));
+  EXPECT_EQ(v, 3);  // rejected value stays usable for retry
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(v));  // space freed -> retry succeeds
+}
+
+TEST(BoundedMpmcQueue, ZeroCapacityClampsToOne) {
+  BoundedMpmcQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  int v = 5;
+  EXPECT_TRUE(q.try_push(v));
+  v = 6;
+  EXPECT_FALSE(q.try_push(v));
+}
+
+TEST(BoundedMpmcQueue, CloseDrainsThenSignalsEnd) {
+  BoundedMpmcQueue<int> q(4);
+  for (int v : {10, 20}) {
+    ASSERT_TRUE(q.try_push(v));
+  }
+  q.close();
+  int v = 30;
+  EXPECT_FALSE(q.try_push(v));  // closed: no new admissions
+  // ...but already-admitted items drain in order.
+  EXPECT_EQ(q.pop(), 10);
+  EXPECT_EQ(q.pop(), 20);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_TRUE(q.closed());
+  q.close();  // idempotent
+}
+
+TEST(BoundedMpmcQueue, CloseWakesBlockedConsumer) {
+  BoundedMpmcQueue<int> q(4);
+  std::optional<int> seen = 99;
+  std::thread consumer([&] { seen = q.pop(); });
+  q.close();
+  consumer.join();
+  EXPECT_EQ(seen, std::nullopt);
+}
+
+TEST(BoundedMpmcQueue, MoveOnlyPayload) {
+  BoundedMpmcQueue<std::unique_ptr<int>> q(2);
+  auto p = std::make_unique<int>(7);
+  ASSERT_TRUE(q.try_push(p));
+  auto out = q.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 7);
+}
+
+// Conservation under contention: every produced item is consumed exactly
+// once, across multiple producers and consumers with a bounded buffer.
+TEST(BoundedMpmcQueue, EveryItemConsumedExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedMpmcQueue<int> q(8);
+
+  std::mutex consumed_mutex;
+  std::vector<int> consumed;
+  consumed.reserve(kProducers * kPerProducer);
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.pop()) {
+        const std::lock_guard<std::mutex> lock(consumed_mutex);
+        consumed.push_back(*item);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i;
+        while (!q.try_push(value)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(consumed.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(consumed.begin(), consumed.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ASSERT_EQ(consumed[static_cast<std::size_t>(i)], i);  // no dup, no loss
+  }
+}
+
+}  // namespace
+}  // namespace hdface::util
