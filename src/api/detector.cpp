@@ -7,6 +7,7 @@
 #include "core/op_counter.hpp"
 #include "dataset/dataset.hpp"
 #include "image/pnm.hpp"
+#include "pipeline/cascade.hpp"
 #include "pipeline/fault_injection.hpp"
 #include "pipeline/hdface_pipeline.hpp"
 #include "pipeline/multiscale.hpp"
@@ -21,6 +22,21 @@ namespace {
 // returns the Error, the legacy wrappers throw it.
 void validate_or_throw(const DetectOptions& options) {
   if (auto err = validate(options)) throw InvalidOptionsError(std::move(*err));
+}
+
+// Builds the per-call staged scorer for calibrated cascade requests (exact
+// mode and cascade-free calls return nullopt — the engine then runs the
+// pre-cascade path untouched). The Cascade constructor re-validates the
+// table against the trained classifier (dim/classes/positive_class), so a
+// table calibrated for a different model throws std::invalid_argument —
+// typed kInvalidOptions on the Request path.
+std::optional<pipeline::Cascade> make_cascade(
+    const pipeline::HdFacePipeline& pipeline, const DetectOptions& options) {
+  if (!options.cascade ||
+      options.cascade->mode != pipeline::CascadeMode::kCalibrated) {
+    return std::nullopt;
+  }
+  return pipeline::Cascade(pipeline.classifier(), options.cascade->table);
 }
 
 }  // namespace
@@ -43,7 +59,7 @@ int Detector::predict(const image::Image& window_img) {
 }
 
 pipeline::ParallelDetectConfig Detector::engine_config(
-    const DetectOptions& options) const {
+    const DetectOptions& options, const pipeline::Cascade* cascade) const {
   pipeline::ParallelDetectConfig engine;
   engine.threads = options.threads;
   // Telemetry wins wholesale over the deprecated alias fields (see
@@ -51,6 +67,8 @@ pipeline::ParallelDetectConfig Detector::engine_config(
   if (options.telemetry) {
     engine.feature_counter = options.telemetry->feature_ops;
     engine.cache_stats = options.telemetry->encode_cache;
+    engine.cascade_stats = options.telemetry->cascade;
+    engine.cascade_per_scale = options.telemetry->cascade_per_scale;
   } else {
     engine.feature_counter = options.feature_counter;
     engine.cache_stats = options.encode_cache_stats;
@@ -58,6 +76,7 @@ pipeline::ParallelDetectConfig Detector::engine_config(
   // Points into the caller's options, which outlive the scan call.
   engine.fault_plan = options.fault_plan ? &*options.fault_plan : nullptr;
   engine.encode_mode = options.encode_mode;
+  engine.cascade = cascade;
   return engine;
 }
 
@@ -68,6 +87,7 @@ pipeline::DetectionMap Detector::detect_map(const image::Image& scene,
   if (options.fault_plan) {
     // Inject the plan's stored-memory faults for the duration of the scan;
     // restore() is explicit so verification errors surface to the caller.
+    // (validate() already rejected cascade+fault_plan, so no cascade here.)
     pipeline::FaultSession session(*pipeline_, *options.fault_plan);
     auto map = pipeline::detect_windows_parallel(*pipeline_, scene, window_,
                                                  options.stride,
@@ -76,10 +96,11 @@ pipeline::DetectionMap Detector::detect_map(const image::Image& scene,
     session.restore();
     return map;
   }
-  return pipeline::detect_windows_parallel(*pipeline_, scene, window_,
-                                           options.stride,
-                                           options.positive_class,
-                                           engine_config(options));
+  const std::optional<pipeline::Cascade> cascade =
+      make_cascade(*pipeline_, options);
+  return pipeline::detect_windows_parallel(
+      *pipeline_, scene, window_, options.stride, options.positive_class,
+      engine_config(options, cascade ? &*cascade : nullptr));
 }
 
 std::vector<pipeline::Detection> Detector::detect_validated(
@@ -106,12 +127,16 @@ std::vector<pipeline::Detection> Detector::detect_validated(
   if (options.fault_plan) {
     // One session spans every pyramid level: a persistent storage fault
     // corrupts all scales of a scan, not each independently.
+    // (validate() already rejected cascade+fault_plan, so no cascade here.)
     pipeline::FaultSession session(*pipeline_, *options.fault_plan);
     auto boxes = det.detect(scene, engine_config(options));
     session.restore();
     return boxes;
   }
-  return det.detect(scene, engine_config(options));
+  const std::optional<pipeline::Cascade> cascade =
+      make_cascade(*pipeline_, options);
+  return det.detect(scene,
+                    engine_config(options, cascade ? &*cascade : nullptr));
 }
 
 std::vector<pipeline::Detection> Detector::detect(const image::Image& scene,

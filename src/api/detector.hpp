@@ -51,6 +51,7 @@ namespace hdface::hog {
 enum class HdHogMode;
 }
 namespace hdface::pipeline {
+class Cascade;
 class HdFacePipeline;
 struct HdFaceConfig;
 enum class HdFaceMode;
@@ -111,7 +112,12 @@ class Detector {
   }
 
  private:
-  pipeline::ParallelDetectConfig engine_config(const DetectOptions& options) const;
+  // `cascade` is the per-call staged scorer built from options.cascade (null
+  // for exact mode — the engine then runs the pre-cascade path untouched);
+  // it must outlive the scan the returned config drives.
+  pipeline::ParallelDetectConfig engine_config(
+      const DetectOptions& options,
+      const pipeline::Cascade* cascade = nullptr) const;
   std::vector<pipeline::Detection> detect_validated(const image::Image& scene,
                                                     const DetectOptions& options);
 

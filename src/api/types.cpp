@@ -26,6 +26,61 @@ std::optional<Error> validate(const DetectOptions& options) {
   if (!std::isfinite(options.score_threshold)) {
     return Error::invalid_options("DetectOptions: score_threshold not finite");
   }
+  // Cross-field: a fault campaign on the cell-plane path runs its injected
+  // stored-memory faults through the shared scene cache; without an
+  // encode-cache stats sink the campaign's cache coverage is unauditable and
+  // the engine used to proceed silently. Either sink form (telemetry or the
+  // deprecated alias) satisfies the contract.
+  if (options.fault_plan &&
+      options.encode_mode == pipeline::EncodeMode::kCellPlane) {
+    const pipeline::EncodeCacheStats* sink = options.telemetry
+                                                 ? options.telemetry->encode_cache
+                                                 : options.encode_cache_stats;
+    if (sink == nullptr) {
+      return Error::invalid_options(
+          "DetectOptions: fault_plan with encode_mode=cell_plane requires an "
+          "encode-cache stats sink (telemetry.encode_cache)");
+    }
+  }
+  if (options.cascade &&
+      options.cascade->mode == pipeline::CascadeMode::kCalibrated) {
+    if (options.encode_mode != pipeline::EncodeMode::kCellPlane) {
+      return Error::invalid_options(
+          "DetectOptions: calibrated cascade requires encode_mode=cell_plane");
+    }
+    if (options.fault_plan) {
+      return Error::invalid_options(
+          "DetectOptions: calibrated cascade is incompatible with fault_plan");
+    }
+    const pipeline::CascadeTable& table = options.cascade->table;
+    if (table.positive_class != options.positive_class) {
+      return Error::invalid_options(
+          "DetectOptions: cascade table positive_class " +
+          std::to_string(table.positive_class) +
+          " does not match options.positive_class " +
+          std::to_string(options.positive_class));
+    }
+    if (table.dim == 0 || table.classes < 2) {
+      return Error::invalid_options(
+          "DetectOptions: cascade table has degenerate dim/classes");
+    }
+    if (table.stages.empty()) {
+      return Error::invalid_options(
+          "DetectOptions: cascade table has no stages");
+    }
+    std::size_t prev_words = 0;
+    for (const pipeline::CascadeStage& stage : table.stages) {
+      if (stage.words <= prev_words) {
+        return Error::invalid_options(
+            "DetectOptions: cascade stage words must be strictly ascending");
+      }
+      if (!std::isfinite(stage.reject_below)) {
+        return Error::invalid_options(
+            "DetectOptions: cascade stage threshold not finite");
+      }
+      prev_words = stage.words;
+    }
+  }
   return std::nullopt;
 }
 

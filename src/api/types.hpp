@@ -30,6 +30,7 @@
 #include "core/kernels/backend.hpp"
 #include "image/image.hpp"
 #include "noise/fault_model.hpp"
+#include "pipeline/cascade_types.hpp"
 #include "pipeline/detection.hpp"
 #include "pipeline/encode_mode.hpp"
 
@@ -168,6 +169,13 @@ struct Telemetry {
   core::OpCounter* feature_ops = nullptr;
   // Cell-plane cache accounting (untouched in kPerWindow mode).
   pipeline::EncodeCacheStats* encode_cache = nullptr;
+  // Cascade stage accounting (untouched unless the call runs a calibrated
+  // cascade): per-stage entered/rejected counts plus exact-scored survivors,
+  // merged from per-chunk shards — exact at any thread count.
+  pipeline::CascadeStats* cascade = nullptr;
+  // Per-pyramid-level cascade stage accounting: one entry per kept scale in
+  // pyramid order. Only filled by multiscale cascaded scans.
+  std::vector<pipeline::CascadeStats>* cascade_per_scale = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -221,6 +229,18 @@ struct DetectOptions {
   // of a sweep stay comparable to faulted ones). The serving layer runs
   // fault-plan requests under an exclusive lock (see serve/server.hpp).
   std::optional<noise::FaultPlan> fault_plan;
+  // Early-reject similarity cascade (pipeline/cascade.hpp). kExact (the
+  // default-constructed mode) bypasses the stages entirely — the scan runs
+  // the pre-cascade path untouched and stays bit-identical to it. kCalibrated
+  // scores every window through the table's calibrated prefix stages and
+  // escalates only survivors to the exact full-D path; survivor results are
+  // bit-identical to an exact scan. Calibrated mode requires
+  // encode_mode == kCellPlane (the per-window encode has no cheap prefix), a
+  // table whose positive_class matches this call's, and no fault_plan —
+  // validate() rejects those combinations with typed errors, along with
+  // structurally malformed tables (no stages, non-ascending stage words,
+  // non-finite thresholds).
+  std::optional<pipeline::CascadeConfig> cascade;
   // SIMD kernel backend for this scan's packed-word hot loops. nullopt
   // (default) keeps the process-wide choice (HDFACE_KERNEL_BACKEND env
   // override, else the best backend the CPU supports). Every backend is
@@ -234,9 +254,15 @@ struct DetectOptions {
 };
 
 // Fail-fast options validation: empty scales, scale outside (0,1], stride 0,
-// non-finite nms_iou/score_threshold. Returns nullopt when the options are
-// usable. Shared by the Request path (typed Error), the legacy wrappers
-// (InvalidOptionsError) and serving admission (rejected before queueing).
+// non-finite nms_iou/score_threshold — plus the cross-field contracts the
+// engine would otherwise only trip deep inside a scan: a fault_plan on the
+// cell-plane encode path without an encode-cache stats sink (fault campaigns
+// on a shared plane cache must stay auditable), and a calibrated cascade
+// without kCellPlane, with a fault_plan, with a positive_class mismatched
+// against its table, or with a structurally malformed table. Returns nullopt
+// when the options are usable. Shared by the Request path (typed Error), the
+// legacy wrappers (InvalidOptionsError) and serving admission (rejected
+// before queueing).
 std::optional<Error> validate(const DetectOptions& options);
 
 // ---------------------------------------------------------------------------

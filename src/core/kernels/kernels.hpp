@@ -76,6 +76,19 @@ struct KernelTable {
                         std::size_t words, std::size_t count,
                         std::size_t stride, std::uint64_t* out);
 
+  // Word-range (prefix) variant of hamming_block for the early-reject
+  // cascade: out[c] = Σ_{w ∈ [word_lo, word_hi)} popcount(query[w] ^
+  // block[w * stride + c]). `query` and `block` are the FULL vectors (the
+  // kernel applies the word offset itself), so tiling [0, words) into
+  // consecutive ranges sums to exactly the hamming_block result per lane.
+  // Every backend delegates to its own hamming_block on offset pointers, so
+  // range results are bit-identical to scalar by the same argument as the
+  // full kernel. Requires word_lo ≤ word_hi ≤ words of the block.
+  void (*hamming_block_range)(const std::uint64_t* query,
+                              const std::uint64_t* block, std::size_t word_lo,
+                              std::size_t word_hi, std::size_t count,
+                              std::size_t stride, std::uint64_t* out);
+
   // Weighted-bundling hot loop: counts[i] += (bit i of a^b) ? +weight
   // : -weight for i < dim (the Accumulator::add_xor branchless ±weight
   // select). a and b hold ceil(dim/64) words; tail bits past dim are

@@ -155,4 +155,38 @@ std::vector<std::size_t> PrototypeBlock::hamming_many(const Hypervector& query,
   return out;
 }
 
+void PrototypeBlock::hamming_many_range(const Hypervector& query,
+                                        std::size_t word_lo,
+                                        std::size_t word_hi,
+                                        std::span<std::size_t> out,
+                                        OpCounter* counter) const {
+  if (out.size() != count_) {
+    throw std::invalid_argument("PrototypeBlock: output size mismatch");
+  }
+  if (count_ == 0) return;
+  if (query.dim() != dim_) {
+    throw std::invalid_argument("PrototypeBlock: dimensionality mismatch");
+  }
+  if (word_lo > word_hi || word_hi > words_) {
+    throw std::invalid_argument("PrototypeBlock: word range out of bounds");
+  }
+  std::array<std::uint64_t, 64> stack{};
+  std::vector<std::uint64_t> heap;
+  std::uint64_t* sums = stack.data();
+  if (count_ > stack.size()) {
+    heap.resize(count_);
+    sums = heap.data();
+  }
+  kernels::active().hamming_block_range(query.words().data(), data_, word_lo,
+                                        word_hi, count_, stride_, sums);
+  for (std::size_t c = 0; c < count_; ++c) {
+    out[c] = static_cast<std::size_t>(sums[c]);
+  }
+  if (counter) {
+    const auto ops = static_cast<std::uint64_t>(word_hi - word_lo) * count_;
+    counter->add(OpKind::kWordLogic, ops);
+    counter->add(OpKind::kPopcount, ops);
+  }
+}
+
 }  // namespace hdface::core

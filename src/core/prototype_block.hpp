@@ -69,6 +69,18 @@ class PrototypeBlock {
   std::vector<std::size_t> hamming_many(const Hypervector& query,
                                         OpCounter* counter = nullptr) const;
 
+  // Prefix/range variant for the early-reject cascade (pipeline/cascade.hpp):
+  // out[c] = Hamming distance over only the words [word_lo, word_hi), so the
+  // partial sums over a tiling of [0, words()) add up to exactly
+  // hamming_many's result per lane. Bits of `query` outside the range are
+  // ignored (a partially assembled query is fine as long as the range's words
+  // are final). Charges (word_hi − word_lo) × count kWordLogic + kPopcount —
+  // the exact prefix share of the full charge. Throws std::invalid_argument
+  // on dimensionality/size mismatch or a range outside [0, words()].
+  void hamming_many_range(const Hypervector& query, std::size_t word_lo,
+                          std::size_t word_hi, std::span<std::size_t> out,
+                          OpCounter* counter = nullptr) const;
+
  private:
   void align_and_zero();  // (re)derives data_ from storage_
 

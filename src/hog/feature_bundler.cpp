@@ -1,7 +1,10 @@
 #include "hog/feature_bundler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/kernels/kernels.hpp"
 
 namespace hdface::hog {
 
@@ -67,6 +70,56 @@ core::Hypervector FeatureBundler::bundle_weighted_refs(
   }
   core::Rng tie_rng(tie_seed_);
   return acc.threshold(tie_rng);
+}
+
+void FeatureBundler::bundle_weighted_refs_range(
+    const std::vector<const core::Hypervector*>& slot_values,
+    const std::vector<double>& weights, double min_weight, std::size_t word_lo,
+    std::size_t word_hi, core::Rng& tie_rng,
+    std::vector<double>& counts_scratch, core::Hypervector& out,
+    core::OpCounter* counter) const {
+  if (slot_values.size() != keys_.size() || weights.size() != keys_.size()) {
+    throw std::invalid_argument("FeatureBundler: slot count mismatch");
+  }
+  const std::size_t d = dim();
+  const std::size_t words = keys_.front().num_words();
+  if (out.dim() != d) {
+    throw std::invalid_argument("FeatureBundler: output dimensionality mismatch");
+  }
+  if (word_lo >= word_hi || word_hi > words) {
+    throw std::invalid_argument("FeatureBundler: word range out of bounds");
+  }
+  const std::size_t dim_lo = word_lo * 64;
+  const std::size_t dim_hi = std::min(d, word_hi * 64);
+  const std::size_t range_dims = dim_hi - dim_lo;
+  counts_scratch.assign(range_dims, 0.0);
+  const auto& kt = core::kernels::active();
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (std::abs(weights[i]) < min_weight) continue;
+    // Same per-dimension adds in the same order as add_xor over the full
+    // vectors — each count sees one rounded ±weight add per kept slot, so the
+    // range's counts (and therefore its thresholded bits) match the full
+    // bundle's exactly.
+    kt.add_xor_weighted(slot_values[i]->words().data() + word_lo,
+                        keys_[i].words().data() + word_lo, range_dims,
+                        weights[i], counts_scratch.data());
+    if (counter) {
+      counter->add(core::OpKind::kWordLogic, word_hi - word_lo);
+      counter->add(core::OpKind::kIntAdd, range_dims);
+    }
+  }
+  const std::size_t zeros = kt.threshold_words(
+      counts_scratch.data(), range_dims, out.mutable_words().data() + word_lo);
+  if (zeros != 0) {
+    // Scalar tie-break with the caller's Rng: ascending dimension order over
+    // exact zeros, exactly the draws Accumulator::threshold would burn for
+    // these dimensions inside a full-vector bundle.
+    for (std::size_t i = 0; i < range_dims; ++i) {
+      if (counts_scratch[i] == 0.0 && (tie_rng.next() & 1ULL)) {
+        out.set(dim_lo + i, true);
+      }
+    }
+  }
 }
 
 }  // namespace hdface::hog

@@ -59,6 +59,33 @@ class FeatureBundler {
       const std::vector<double>& weights, double min_weight = 0.02,
       core::OpCounter* counter = nullptr) const;
 
+  // Feature dimensionality (every key shares it).
+  std::size_t dim() const { return keys_.front().dim(); }
+
+  // Seed of the per-window-restarted tie-break RNG. Staged range bundling
+  // (below) threads one caller-owned Rng across ranges; restarting it from
+  // this seed per window reproduces bundle_weighted_refs' draws exactly.
+  std::uint64_t tie_seed() const { return tie_seed_; }
+
+  // Staged (word-range) variant of bundle_weighted_refs for the early-reject
+  // cascade: accumulates and thresholds ONLY the dimensions of words
+  // [word_lo, word_hi), writing them into `out` and leaving every other word
+  // of `out` untouched. Majority bundling is per-dimension independent and
+  // the tie-break draws run in ascending dimension order over exact zeros, so
+  // tiling [0, num_words) with ascending calls sharing one `tie_rng` freshly
+  // seeded from tie_seed() yields an `out` bit-identical to
+  // bundle_weighted_refs — that is what lets a cascade finish a rejected
+  // window's feature prefix-only yet keep survivors exact. `counts_scratch`
+  // is caller-owned scratch (resized here; reuse it across windows). Charges
+  // the exact range share of the full bundle's op totals. Throws
+  // std::invalid_argument on slot/geometry mismatch or an invalid range.
+  void bundle_weighted_refs_range(
+      const std::vector<const core::Hypervector*>& slot_values,
+      const std::vector<double>& weights, double min_weight,
+      std::size_t word_lo, std::size_t word_hi, core::Rng& tie_rng,
+      std::vector<double>& counts_scratch, core::Hypervector& out,
+      core::OpCounter* counter = nullptr) const;
+
  private:
   std::size_t bins_;
   std::vector<core::Hypervector> keys_;

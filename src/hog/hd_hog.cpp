@@ -224,14 +224,10 @@ HdHogExtractor::SlotRecord HdHogExtractor::slot_record_from_plane(
   return normalize_slots(std::move(values));
 }
 
-core::Hypervector HdHogExtractor::extract_from_plane(
+void HdHogExtractor::gather_plane_slots(
     const CellPlane& plane, std::size_t origin_x, std::size_t origin_y,
-    core::OpCounter* counter) const {
-  // Same validation and values as slot_record_from_plane + bundle_weighted,
-  // but allocation-free: slot hypervectors stay inside histogram_memory_ and
-  // key binding runs through Accumulator::add_xor. Per-window cost is what
-  // makes the cell-plane cache pay off, so this path must stay at "cheap
-  // tail" scale. Output is bit-identical to the record-based form.
+    std::vector<const core::Hypervector*>& hvs,
+    std::vector<double>& values) const {
   if (plane.bins != config_.hog.bins ||
       plane.cell_size != config_.hog.cell_size) {
     throw std::invalid_argument(
@@ -259,15 +255,53 @@ core::Hypervector HdHogExtractor::extract_from_plane(
       }
     }
   }
-  std::vector<const core::Hypervector*> hvs(n_slots);
-  std::vector<double> values(n_slots);
+  hvs.resize(n_slots);
+  values.resize(n_slots);
   for (std::size_t i = 0; i < n_slots; ++i) {
     const double normalized = std::max(0.0, raw[i]) / vmax;
     values[i] = normalized;
     hvs[i] = &histogram_memory_.at_value(normalized);
   }
+}
+
+core::Hypervector HdHogExtractor::extract_from_plane(
+    const CellPlane& plane, std::size_t origin_x, std::size_t origin_y,
+    core::OpCounter* counter) const {
+  // Same validation and values as slot_record_from_plane + bundle_weighted,
+  // but allocation-free: slot hypervectors stay inside histogram_memory_ and
+  // key binding runs through Accumulator::add_xor. Per-window cost is what
+  // makes the cell-plane cache pay off, so this path must stay at "cheap
+  // tail" scale. Output is bit-identical to the record-based form.
+  std::vector<const core::Hypervector*> hvs;
+  std::vector<double> values;
+  gather_plane_slots(plane, origin_x, origin_y, hvs, values);
   return bundler_.bundle_weighted_refs(hvs, values, config_.histogram_floor,
                                        counter);
+}
+
+void HdHogExtractor::StagedWindow::reset(const CellPlane& plane,
+                                         std::size_t origin_x,
+                                         std::size_t origin_y) {
+  extractor_.gather_plane_slots(plane, origin_x, origin_y, hvs_, values_);
+  // Restarting the tie stream here is what keeps staged assembly
+  // bit-identical to the one-shot bundle: ascending ranges sharing this Rng
+  // consume the zero-dimension draws in exactly the full bundle's order.
+  tie_rng_ = core::Rng(extractor_.bundler_.tie_seed());
+  assembled_words_ = 0;
+}
+
+const core::Hypervector& HdHogExtractor::StagedWindow::assemble_to(
+    std::size_t word_hi, core::OpCounter* counter) {
+  if (word_hi == assembled_words_) return feature_;
+  if (word_hi < assembled_words_ || word_hi > total_words()) {
+    throw std::invalid_argument(
+        "StagedWindow: assemble_to ranges must ascend within the feature");
+  }
+  extractor_.bundler_.bundle_weighted_refs_range(
+      hvs_, values_, extractor_.config_.histogram_floor, assembled_words_,
+      word_hi, tie_rng_, counts_, feature_, counter);
+  assembled_words_ = word_hi;
+  return feature_;
 }
 
 core::Hypervector HdHogExtractor::extract(const image::Image& img) {

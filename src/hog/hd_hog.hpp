@@ -122,6 +122,53 @@ class HdHogExtractor {
                                        std::size_t origin_y,
                                        core::OpCounter* counter) const;
 
+  // Incremental window assembly for the early-reject cascade
+  // (pipeline/cascade.hpp): materializes the window's feature hypervector one
+  // word range at a time, so a window rejected after a low-D prefix never
+  // pays for the rest of the bundle. The contract that makes this exact:
+  // majority bundling is per-dimension independent and the tie-break RNG
+  // restarts per window, so assembling [0, w₁), [w₁, w₂), … in ascending
+  // order reproduces extract_from_plane's feature bit-for-bit at every
+  // prefix — a survivor escalated to full width scores EXACTLY what the
+  // non-cascaded path would score. Scratch buffers live in the object;
+  // reuse one StagedWindow per scan chunk.
+  class StagedWindow {
+   public:
+    explicit StagedWindow(const HdHogExtractor& extractor)
+        : extractor_(extractor),
+          tie_rng_(0),
+          feature_(extractor.bundler_.dim()) {}
+
+    // Gather + vmax-normalize + level lookup for the window at
+    // (origin_x, origin_y) of `plane` (the cheap slot pass; no RNG), then
+    // restart the tie-break stream. No words are assembled yet. Validation
+    // as extract_from_plane.
+    void reset(const CellPlane& plane, std::size_t origin_x,
+               std::size_t origin_y);
+
+    // Extends the materialized feature to exactly `word_hi` words (no-op when
+    // already there) and returns it. Only words [0, assembled_words()) of the
+    // returned hypervector are meaningful; pass total_words() for the full
+    // exact feature. Calls must ascend; throws std::invalid_argument on a
+    // shrinking range or word_hi > total_words().
+    const core::Hypervector& assemble_to(std::size_t word_hi,
+                                         core::OpCounter* counter = nullptr);
+
+    std::size_t assembled_words() const { return assembled_words_; }
+    std::size_t total_words() const { return feature_.num_words(); }
+    std::size_t dim() const { return feature_.dim(); }
+    const core::Hypervector& feature() const { return feature_; }
+
+   private:
+    const HdHogExtractor& extractor_;
+    std::vector<const core::Hypervector*> hvs_;
+    std::vector<double> values_;
+    std::vector<double> counts_;  // bundle scratch, reused across ranges
+    core::Rng tie_rng_;
+    core::Hypervector feature_;
+    std::size_t assembled_words_ = 0;
+  };
+
   // Single bundled feature hypervector (the HDC learner's input).
   core::Hypervector extract(const image::Image& img);
 
@@ -167,6 +214,14 @@ class HdHogExtractor {
   // Shared per-window tail: vmax normalization + histogram level lookup over
   // raw slot values (row-major cells then bins). Consumes no RNG.
   SlotRecord normalize_slots(std::vector<double> values) const;
+
+  // Borrowed-slot gather shared by extract_from_plane and StagedWindow:
+  // validates the plane/origin and fills hvs/values (resized to slots())
+  // with the window's normalized slot pointers and weights. Consumes no RNG.
+  void gather_plane_slots(const CellPlane& plane, std::size_t origin_x,
+                          std::size_t origin_y,
+                          std::vector<const core::Hypervector*>& hvs,
+                          std::vector<double>& values) const;
 
   core::StochasticContext& ctx_;
   HdHogConfig config_;

@@ -180,9 +180,17 @@ std::vector<Detection> MultiScaleDetector::detect(
   for (std::size_t level = 0; level < pyramid.levels.size(); ++level) {
     ParallelDetectConfig level_engine = engine;
     level_engine.scale_index = level;
+    // Collect each level's cascade stage counts into a local so callers see
+    // both the per-scale breakdown and the merged scan total.
+    CascadeStats level_stats;
+    if (engine.cascade != nullptr) level_engine.cascade_stats = &level_stats;
     maps.push_back(detect_windows_parallel(*pipeline_, pyramid.levels[level],
                                            window_, config_.stride, 1,
                                            level_engine));
+    if (engine.cascade != nullptr) {
+      if (engine.cascade_per_scale) engine.cascade_per_scale->push_back(level_stats);
+      if (engine.cascade_stats) engine.cascade_stats->merge(level_stats);
+    }
   }
   return merge_scales(pyramid, maps);
 }

@@ -8,6 +8,7 @@
 
 #include "core/rng.hpp"
 #include "image/transform.hpp"
+#include "pipeline/cascade.hpp"
 
 namespace hdface::pipeline {
 
@@ -113,13 +114,57 @@ void assemble_range(const HdFacePipeline& pipeline,
   }
 }
 
+// Cascaded cell-plane scan for windows [lo, hi): staged prefix scoring with
+// early rejection (see pipeline/cascade.hpp). Shares the plane with the
+// exact path; survivors produce bit-identical (prediction, score). Stage
+// counters accumulate into the chunk-local `stats`.
+void cascade_range(const HdFacePipeline& pipeline,
+                   const hog::HdHogExtractor& extractor,
+                   const hog::CellPlane& plane, const DetectionMap& geometry,
+                   std::size_t stride, const Cascade& cascade,
+                   core::OpCounter* counter, CascadeStats& stats,
+                   std::size_t lo, std::size_t hi,
+                   std::vector<int>& predictions, std::vector<double>& scores) {
+  hog::HdHogExtractor::StagedWindow win(extractor);
+  Cascade::Scratch scratch;
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const std::size_t sx = idx % geometry.steps_x;
+    const std::size_t sy = idx / geometry.steps_x;
+    win.reset(plane, sx * stride, sy * stride);
+    const Cascade::Result r =
+        cascade.classify(pipeline.classifier(), win, scratch, stats, counter);
+    predictions[idx] = r.prediction;
+    scores[idx] = r.score;
+  }
+}
+
+// Shared cascade-config validation: the same throws whether the caller goes
+// through detect_windows_parallel (fast-fail, before the plane build) or
+// detect_windows_on_plane.
+void validate_cascade_config(const ParallelDetectConfig& config,
+                             int positive_class) {
+  if (config.cascade == nullptr) return;
+  if (config.fault_plan != nullptr) {
+    throw std::invalid_argument(
+        "detect_windows_parallel: cascade scans are incompatible with "
+        "fault_plan (in-flight query faults need the full feature)");
+  }
+  if (config.cascade->table().positive_class != positive_class) {
+    throw std::invalid_argument(
+        "detect_windows_parallel: cascade table positive_class mismatches "
+        "the scan");
+  }
+}
+
 DetectionMap detect_windows_cell_plane(HdFacePipeline& pipeline,
                                        const image::Image& scene,
                                        std::size_t window, std::size_t stride,
                                        int positive_class,
                                        const ParallelDetectConfig& config) {
-  DetectionMap map = make_map_geometry(scene, window, stride);
-  const std::size_t total = map.steps_x * map.steps_y;
+  // Fast-fail on scan-config errors before paying for the plane build
+  // (detect_windows_on_plane re-validates; both are cheap).
+  (void)make_map_geometry(scene, window, stride);
+  validate_cascade_config(config, positive_class);
 
   const hog::HdHogExtractor* extractor = pipeline.hd_extractor();
   // build_scene_cell_plane re-validates, but the error should name the scan.
@@ -132,34 +177,105 @@ DetectionMap detect_windows_cell_plane(HdFacePipeline& pipeline,
   const std::size_t grid_step = std::gcd(stride, cell);
   const hog::CellPlane plane =
       build_scene_cell_plane(pipeline, scene, grid_step, config);
+  return detect_windows_on_plane(pipeline, scene, plane, window, stride,
+                                 positive_class, config);
+}
+
+}  // namespace
+
+DetectionMap detect_windows_on_plane(HdFacePipeline& pipeline,
+                                     const image::Image& scene,
+                                     const hog::CellPlane& plane,
+                                     std::size_t window, std::size_t stride,
+                                     int positive_class,
+                                     const ParallelDetectConfig& config) {
+  DetectionMap map = make_map_geometry(scene, window, stride);
+  const std::size_t total = map.steps_x * map.steps_y;
+  validate_cascade_config(config, positive_class);
+
+  const hog::HdHogExtractor* extractor = pipeline.hd_extractor();
+  if (extractor == nullptr) {
+    throw std::invalid_argument(
+        "detect_windows_on_plane: pipeline has no HD-HOG extractor");
+  }
+  const std::size_t cell = extractor->config().hog.cell_size;
+  const std::size_t bins = extractor->config().hog.bins;
+  if (plane.cell_size != cell || plane.bins != bins) {
+    throw std::invalid_argument(
+        "detect_windows_on_plane: plane cell/bin shape mismatches the "
+        "pipeline's extractor");
+  }
+  // Every scan window must land on the plane's grid with its far corner
+  // inside. Origins are the multiples of stride, so stride % grid_step == 0
+  // puts every origin on the grid; the far-corner extent is monotone in the
+  // origin, so checking the last window covers the rest.
+  const std::size_t cells_per_side = window / cell;
+  if (plane.grid_step == 0 || stride % plane.grid_step != 0 ||
+      !plane.window_on_grid(0, 0, cells_per_side, cells_per_side) ||
+      !plane.window_on_grid((map.steps_x - 1) * stride,
+                            (map.steps_y - 1) * stride, cells_per_side,
+                            cells_per_side)) {
+    throw std::invalid_argument(
+        "detect_windows_on_plane: plane does not cover the scan grid (build "
+        "it with grid_step = gcd(stride, cell_size) over the same scene)");
+  }
+
+  // The one mutation, before any dispatch: freeze the shared mask pool.
+  pipeline.prepare_concurrent();
   const HdFacePipeline& frozen = pipeline;
   const std::size_t slots_per_window = extractor->slots();
 
   PoolChoice exec = resolve_pool(config);
   if (exec.serial()) {
     core::OpCounter local;
-    assemble_range(frozen, *extractor, plane, map, stride, positive_class,
-                   config.fault_plan, config.feature_counter ? &local : nullptr,
-                   0, total, map.predictions, map.scores);
+    CascadeStats cascade_local;
+    if (config.cascade != nullptr) {
+      cascade_range(frozen, *extractor, plane, map, stride, *config.cascade,
+                    config.feature_counter ? &local : nullptr, cascade_local,
+                    0, total, map.predictions, map.scores);
+    } else {
+      assemble_range(frozen, *extractor, plane, map, stride, positive_class,
+                     config.fault_plan,
+                     config.feature_counter ? &local : nullptr, 0, total,
+                     map.predictions, map.scores);
+    }
     if (config.feature_counter) config.feature_counter->merge(local);
+    if (config.cascade != nullptr && config.cascade_stats) {
+      config.cascade_stats->merge(cascade_local);
+    }
   } else {
     core::ShardedOpCounter shards(exec.pool->size() * 4 + 1);
+    // Stage counters shard exactly like op counters: each chunk claims one
+    // padded slot, totals merge with integer adds after the scan, so the
+    // combined stats are exact and identical at every thread count.
+    std::vector<CascadeStats> stat_shards(
+        config.cascade != nullptr ? shards.num_shards() : 0);
     std::atomic<std::size_t> next_shard{0};
     util::parallel_for_chunked(
         *exec.pool, 0, total, config.min_chunk,
         [&](std::size_t lo, std::size_t hi) {
           core::OpCounter* shard = nullptr;
-          if (config.feature_counter) {
+          std::size_t slot = 0;
+          if (config.feature_counter || config.cascade != nullptr) {
             // hdlint: allow(sched-dependent-value) — shard totals merge with
             // integer adds, so combined() is exact at every thread count.
-            shard = &shards.shard(next_shard.fetch_add(1) %
-                                  shards.num_shards());
+            slot = next_shard.fetch_add(1) % shards.num_shards();
+            if (config.feature_counter) shard = &shards.shard(slot);
           }
-          assemble_range(frozen, *extractor, plane, map, stride,
-                         positive_class, config.fault_plan, shard, lo, hi,
-                         map.predictions, map.scores);
+          if (config.cascade != nullptr) {
+            cascade_range(frozen, *extractor, plane, map, stride,
+                          *config.cascade, shard, stat_shards[slot], lo, hi,
+                          map.predictions, map.scores);
+          } else {
+            assemble_range(frozen, *extractor, plane, map, stride,
+                           positive_class, config.fault_plan, shard, lo, hi,
+                           map.predictions, map.scores);
+          }
         });
     if (config.feature_counter) config.feature_counter->merge(shards.combined());
+    if (config.cascade != nullptr && config.cascade_stats) {
+      for (const CascadeStats& s : stat_shards) config.cascade_stats->merge(s);
+    }
   }
   if (config.cache_stats) {
     // Assembly-side accounting is a pure function of the grid geometry (every
@@ -171,8 +287,6 @@ DetectionMap detect_windows_cell_plane(HdFacePipeline& pipeline,
   }
   return map;
 }
-
-}  // namespace
 
 hog::CellPlane build_scene_cell_plane(HdFacePipeline& pipeline,
                                       const image::Image& scene,

@@ -25,17 +25,21 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/op_counter.hpp"
 #include "hog/cell_plane.hpp"
 #include "image/image.hpp"
 #include "noise/fault_model.hpp"
+#include "pipeline/cascade_types.hpp"
 #include "pipeline/encode_mode.hpp"
 #include "pipeline/hdface_pipeline.hpp"
 #include "pipeline/sliding_window.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hdface::pipeline {
+
+class Cascade;
 
 struct ParallelDetectConfig {
   // 0 = use every worker of the pool; 1 = serial (same code path and same
@@ -65,6 +69,22 @@ struct ParallelDetectConfig {
   // Optional cell-plane cache accounting (exact totals at any thread count;
   // untouched in kPerWindow mode).
   EncodeCacheStats* cache_stats = nullptr;
+  // Early-reject cascade (pipeline/cascade.hpp): when set, the cell-plane
+  // scan scores every window through the cascade's calibrated prefix stages,
+  // escalating only survivors to the exact full-D path. Survivor results are
+  // bit-identical to a cascade-free scan; rejected windows report the prefix
+  // verdict. Requires kCellPlane (the per-window encode has no cheap prefix)
+  // and is incompatible with fault_plan (in-flight query faults need the
+  // fully assembled feature) — both throw std::invalid_argument. The exact
+  // cascade mode is represented by LEAVING this null: the scan then runs
+  // today's path untouched. Must outlive the call.
+  const Cascade* cascade = nullptr;
+  // Optional cascade stage accounting, merged from per-chunk shards after
+  // the scan (exact at any thread count; untouched when `cascade` is null).
+  CascadeStats* cascade_stats = nullptr;
+  // Per-pyramid-level stage accounting: MultiScaleDetector appends one entry
+  // per kept scale, in pyramid order. Ignored by single-scale scans.
+  std::vector<CascadeStats>* cascade_per_scale = nullptr;
 };
 
 // Build the scene-level cell-plane cache the kCellPlane scan uses: the raw
@@ -80,6 +100,25 @@ hog::CellPlane build_scene_cell_plane(HdFacePipeline& pipeline,
                                       const image::Image& scene,
                                       std::size_t grid_step,
                                       const ParallelDetectConfig& config = {});
+
+// Scan-stage entry for a PREBUILT cell plane: classify every window of the
+// scan grid against `plane` without re-encoding the scene. This is exactly
+// the post-plane half of the kCellPlane scan — a scan on a freshly built
+// plane is bit-identical to detect_windows_parallel in kCellPlane mode, and
+// config.cascade selects cascaded vs exact scoring just like there. Reuse a
+// plane across scans of the SAME scene/scale (threshold sweeps, cascade-vs-
+// exact comparisons, re-detection): the plane build is the scan's dominant
+// fixed cost, and this entry is how callers amortize it. `scene` supplies
+// only the scan-grid geometry (its pixels are not re-read). Throws
+// std::invalid_argument on zero geometry, a scene smaller than the window,
+// a plane whose cell/bin shape mismatches the pipeline's extractor, or a
+// plane too coarse/small to cover every window of the grid.
+DetectionMap detect_windows_on_plane(HdFacePipeline& pipeline,
+                                     const image::Image& scene,
+                                     const hog::CellPlane& plane,
+                                     std::size_t window, std::size_t stride,
+                                     int positive_class,
+                                     const ParallelDetectConfig& config = {});
 
 // Scan `scene` with `window`-sized windows at `stride`, classifying each with
 // the trained pipeline. Calls pipeline.prepare_concurrent() internally (the

@@ -43,6 +43,9 @@ class SlidingWindowDetector {
   // Batched scan on the parallel engine (see parallel_detect.hpp): windows
   // are seeded per-index, so results are bit-identical at every thread
   // count — but a (deterministically) different stream than detect(scene).
+  // The engine config carries the full scan feature set, including the
+  // early-reject cascade (config.cascade + cascade_stats); exact mode is a
+  // null config.cascade and runs the pre-cascade path untouched.
   DetectionMap detect(const image::Image& scene,
                       const ParallelDetectConfig& config);
 

@@ -68,6 +68,139 @@ TEST(Validate, BoundaryScaleOneIsValid) {
   EXPECT_EQ(validate(opts), std::nullopt);
 }
 
+// --- validate(): cross-field checks ----------------------------------------
+
+pipeline::EncodeCacheStats g_cache_sink;
+pipeline::CascadeStats g_cascade_sink;
+
+// A structurally valid calibrated-cascade option set; individual tests break
+// one field at a time.
+DetectOptions calibrated_cascade_options() {
+  DetectOptions opts;
+  opts.encode_mode = pipeline::EncodeMode::kCellPlane;
+  pipeline::CascadeConfig cascade;
+  cascade.mode = pipeline::CascadeMode::kCalibrated;
+  cascade.table.dim = 2048;
+  cascade.table.classes = 2;
+  cascade.table.positive_class = 1;
+  cascade.table.window = 32;
+  cascade.table.stride = 4;
+  cascade.table.stages = {{2, -0.10}, {8, -0.05}};
+  opts.cascade = cascade;
+  return opts;
+}
+
+TEST(Validate, RejectsCellPlaneFaultPlanWithoutCacheStatsSink) {
+  // The missing cross-field check: a fault campaign on the cell-plane path
+  // used to be admitted silently with no encode-cache stats sink, leaving the
+  // faulted shared-plane cache unauditable.
+  DetectOptions opts;
+  opts.fault_plan = noise::FaultPlan{};
+  opts.encode_mode = pipeline::EncodeMode::kCellPlane;
+  const auto err = validate(opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kInvalidOptions);
+  EXPECT_NE(err->message.find("encode-cache stats sink"), std::string::npos);
+}
+
+TEST(Validate, CellPlaneFaultPlanAcceptedWithEitherSinkForm) {
+  DetectOptions opts;
+  opts.fault_plan = noise::FaultPlan{};
+  opts.encode_mode = pipeline::EncodeMode::kCellPlane;
+  Telemetry telemetry;
+  telemetry.encode_cache = &g_cache_sink;
+  opts.telemetry = telemetry;
+  EXPECT_EQ(validate(opts), std::nullopt);
+
+  DetectOptions legacy;
+  legacy.fault_plan = noise::FaultPlan{};
+  legacy.encode_mode = pipeline::EncodeMode::kCellPlane;
+  legacy.encode_cache_stats = &g_cache_sink;  // deprecated alias form
+  EXPECT_EQ(validate(legacy), std::nullopt);
+}
+
+TEST(Validate, TelemetryWithoutCacheSinkDoesNotSatisfyFaultPlanCheck) {
+  // Telemetry wins wholesale over the alias fields, so a telemetry struct
+  // with a null encode_cache must not inherit the alias sink.
+  DetectOptions opts;
+  opts.fault_plan = noise::FaultPlan{};
+  opts.encode_mode = pipeline::EncodeMode::kCellPlane;
+  opts.encode_cache_stats = &g_cache_sink;
+  opts.telemetry = Telemetry{};  // encode_cache == nullptr wins
+  EXPECT_TRUE(validate(opts).has_value());
+}
+
+TEST(Validate, PerWindowFaultPlanNeedsNoSink) {
+  DetectOptions opts;
+  opts.fault_plan = noise::FaultPlan{};
+  EXPECT_EQ(validate(opts), std::nullopt);
+}
+
+TEST(Validate, AcceptsCalibratedCascade) {
+  EXPECT_EQ(validate(calibrated_cascade_options()), std::nullopt);
+}
+
+TEST(Validate, ExactCascadeModeSkipsCascadeChecks) {
+  // Exact mode runs the pre-cascade path untouched, so the table (and encode
+  // mode) are irrelevant — a default-constructed config must validate.
+  DetectOptions opts;
+  opts.cascade = pipeline::CascadeConfig{};
+  EXPECT_EQ(validate(opts), std::nullopt);
+}
+
+TEST(Validate, RejectsCalibratedCascadeWithoutCellPlane) {
+  auto opts = calibrated_cascade_options();
+  opts.encode_mode = pipeline::EncodeMode::kPerWindow;
+  const auto err = validate(opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kInvalidOptions);
+  EXPECT_NE(err->message.find("cell_plane"), std::string::npos);
+}
+
+TEST(Validate, RejectsCalibratedCascadeWithFaultPlan) {
+  auto opts = calibrated_cascade_options();
+  opts.fault_plan = noise::FaultPlan{};
+  Telemetry telemetry;
+  telemetry.encode_cache = &g_cache_sink;  // satisfy the cache-sink check
+  telemetry.cascade = &g_cascade_sink;
+  opts.telemetry = telemetry;
+  const auto err = validate(opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kInvalidOptions);
+  EXPECT_NE(err->message.find("fault_plan"), std::string::npos);
+}
+
+TEST(Validate, RejectsCascadePositiveClassMismatch) {
+  auto opts = calibrated_cascade_options();
+  opts.positive_class = 0;
+  const auto err = validate(opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kInvalidOptions);
+  EXPECT_NE(err->message.find("positive_class"), std::string::npos);
+}
+
+TEST(Validate, RejectsMalformedCascadeTables) {
+  auto no_stages = calibrated_cascade_options();
+  no_stages.cascade->table.stages.clear();
+  EXPECT_TRUE(validate(no_stages).has_value());
+
+  auto not_ascending = calibrated_cascade_options();
+  not_ascending.cascade->table.stages = {{8, -0.10}, {8, -0.05}};
+  EXPECT_TRUE(validate(not_ascending).has_value());
+
+  auto zero_words = calibrated_cascade_options();
+  zero_words.cascade->table.stages = {{0, -0.10}};
+  EXPECT_TRUE(validate(zero_words).has_value());
+
+  auto nan_threshold = calibrated_cascade_options();
+  nan_threshold.cascade->table.stages = {{2, std::nan("")}};
+  EXPECT_TRUE(validate(nan_threshold).has_value());
+
+  auto degenerate = calibrated_cascade_options();
+  degenerate.cascade->table.classes = 1;
+  EXPECT_TRUE(validate(degenerate).has_value());
+}
+
 // --- Error -----------------------------------------------------------------
 
 TEST(Error, FactoriesCarryTheirCode) {
