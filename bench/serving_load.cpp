@@ -1,7 +1,7 @@
 // Detection-as-a-service under load: latency-vs-offered-load curves.
 //
-// hdlint: allow-file(wall-clock) — a load bench is *about* wall-clock time;
-// timings are reported output only. Detection results stay seed-pure: the
+// Timing lives entirely inside serve/load_gen.cpp (which carries the
+// wall-clock justification); detection results stay seed-pure: the
 // verification phase proves every served response bit-identical to a direct
 // Detector::detect call on the same deterministic request stream.
 //
@@ -29,7 +29,6 @@
 #include <cinttypes>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +38,7 @@
 #include "hog/hd_hog.hpp"
 #include "serve/load_gen.hpp"
 #include "serve/server.hpp"
+#include "util/mutex.hpp"
 
 namespace {
 
@@ -98,7 +98,7 @@ VerifyResult run_verification(const api::Detector& detector,
   serve::DetectionServer server(detector, server_cfg);
 
   std::map<std::uint64_t, api::Response> served;
-  std::mutex served_mutex;
+  util::Mutex served_mutex;
   std::uint64_t serve_errors = 0;
 
   // Closed-loop submission from `workers` client threads: ids are statically
@@ -114,11 +114,13 @@ VerifyResult run_verification(const api::Detector& detector,
         for (;;) {
           auto submission = server.submit(request);
           if (!submission.admitted()) {
+            // hdlint: allow(sleep-as-sync) — rejection backoff pacing only;
+            // the loop re-submits and correctness never rides on the nap.
             std::this_thread::sleep_for(std::chrono::microseconds(200));
             continue;
           }
           auto outcome = submission.response.get();
-          std::lock_guard<std::mutex> lock(served_mutex);
+          const util::MutexLock lock(served_mutex);
           if (outcome.ok()) {
             served.emplace(i, std::move(outcome).take());
           } else {

@@ -172,6 +172,10 @@ bool backend_compiled(Backend b) {
 // Startup choice: env override when set, else the best CPU-supported backend
 // (later enum values are wider ISAs; NEON never coexists with AVX).
 const KernelTable* choose_auto_table() {
+  // getenv is only hazardous concurrent with setenv/putenv, which nothing
+  // in this codebase calls; the result is latched once behind the caller's
+  // function-local static.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("HDFACE_KERNEL_BACKEND")) {
     if (*env != '\0') {
       const std::optional<Backend> parsed = parse_backend(env);

@@ -65,6 +65,15 @@ struct OpCounter {
 // synchronization (no shared cache lines, no atomics on the hot path); the
 // merged totals are exact because addition is order-independent. This is the
 // counter the parallel detection engine hands to its workers.
+//
+// Sharded counters are deliberately *outside* the capability-annotation
+// layer (util/thread_annotations.hpp): there is no lock to name. Safety
+// rests on an ownership discipline instead — shard(i) is exclusively the
+// claiming worker's for the duration of the dispatch, and combined()/total()
+// run only after the parallel region joins. hdlint's
+// ref-capture-thread-lambda rule keeps the claim sites explicit (each
+// worker lambda names the sharded counter it captures), and the tsan preset
+// exercises the discipline under load.
 class ShardedOpCounter {
  public:
   explicit ShardedOpCounter(std::size_t shards) : shards_(shards ? shards : 1) {}

@@ -141,7 +141,8 @@ FaultCampaignCell FaultCampaign::evaluate_cell(
   std::atomic<std::size_t> next_shard{0};
   util::parallel_for_chunked(
       pool, 0, total, config_.min_chunk,
-      [&](std::size_t lo, std::size_t hi) {
+      [&pipe, &plan, &test, eval_base, &hits,
+       &next_shard](std::size_t lo, std::size_t hi) {
         core::StochasticContext scratch =
             pipe.fork_context(core::mix64(eval_base, lo));
         // Which shard a chunk claims depends on scheduling, but the shard

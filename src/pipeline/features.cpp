@@ -23,7 +23,9 @@ std::vector<std::vector<float>> extract_hog_features(
   core::ShardedOpCounter shards(pool.size() * 4 + 1);
   std::atomic<std::size_t> next_shard{0};
   util::parallel_for_chunked(
-      pool, 0, total, 1, [&](std::size_t lo, std::size_t hi) {
+      pool, 0, total, 1,
+      [&extractor, &data, &out, counter, &shards,
+       &next_shard](std::size_t lo, std::size_t hi) {
         core::OpCounter* chunk_counter = nullptr;
         if (counter) {
           // hdlint: allow(sched-dependent-value) — shard totals merge with

@@ -118,7 +118,9 @@ std::vector<core::Hypervector> HdFacePipeline::encode_dataset(
   core::ShardedOpCounter shards(pool.size() * 4 + 1);
   std::atomic<std::size_t> next_shard{0};
   util::parallel_for_chunked(
-      pool, 0, total, 1, [&](std::size_t lo, std::size_t hi) {
+      pool, 0, total, 1,
+      [this, &frozen, seed_base, &shards, &next_shard,
+       &encode_range](std::size_t lo, std::size_t hi) {
         core::StochasticContext scratch =
             frozen.fork_context(core::mix64(seed_base, lo));
         if (feature_counter_) {

@@ -253,7 +253,8 @@ DetectionMap detect_windows_on_plane(HdFacePipeline& pipeline,
     std::atomic<std::size_t> next_shard{0};
     util::parallel_for_chunked(
         *exec.pool, 0, total, config.min_chunk,
-        [&](std::size_t lo, std::size_t hi) {
+        [&config, &shards, &stat_shards, &next_shard, &frozen, &extractor,
+         &plane, &map, stride, positive_class](std::size_t lo, std::size_t hi) {
           core::OpCounter* shard = nullptr;
           std::size_t slot = 0;
           if (config.feature_counter || config.cascade != nullptr) {
@@ -335,7 +336,8 @@ hog::CellPlane build_scene_cell_plane(HdFacePipeline& pipeline,
     std::atomic<std::size_t> next_shard{0};
     util::parallel_for_chunked(
         *exec.pool, 0, total, config.min_chunk,
-        [&](std::size_t lo, std::size_t hi) {
+        [&frozen, seed, &config, &shards, &next_shard,
+         &fill_range](std::size_t lo, std::size_t hi) {
           core::StochasticContext scratch =
               frozen.fork_context(core::mix64(seed, lo));
           if (config.feature_counter) {
@@ -389,7 +391,8 @@ DetectionMap detect_windows_parallel(HdFacePipeline& pipeline,
   std::atomic<std::size_t> next_shard{0};
   util::parallel_for_chunked(
       *exec.pool, 0, total, config.min_chunk,
-      [&](std::size_t lo, std::size_t hi) {
+      [&frozen, &scene, &map, window, stride, positive_class, seed_base,
+       &config, &shards, &next_shard](std::size_t lo, std::size_t hi) {
         core::StochasticContext scratch =
             frozen.fork_context(core::mix64(seed_base, lo));
         core::OpCounter* shard = nullptr;

@@ -146,6 +146,10 @@ LoadReport run_closed_loop(DetectionServer& server,
         // offered load adapts until the server admits.
         rejected.fetch_add(1);
         retries.fetch_add(1);
+        // hdlint: allow(sleep-as-sync) — backpressure pacing, not a
+        // synchronization substitute: correctness never depends on the nap
+        // (the retry loop re-checks admission), it only throttles offered
+        // load while the queue is full.
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
     }
@@ -195,6 +199,9 @@ LoadReport run_open_loop(DetectionServer& server, const RequestFactory& factory,
 
   const auto start = Clock::now();
   for (std::size_t i = 0; i < config.requests; ++i) {
+    // hdlint: allow(sleep-as-sync) — open-loop arrival pacing: the sleep
+    // *is* the workload (seeded-Poisson offered rate), not a stand-in for
+    // synchronization; detection results never depend on the schedule.
     std::this_thread::sleep_until(
         start + std::chrono::duration<double>(arrival_s[i]));
     auto submission = server.submit(factory.make(i));

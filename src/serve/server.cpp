@@ -53,48 +53,52 @@ DetectionServer::DetectionServer(api::Detector detector, ServerConfig config)
 
 DetectionServer::~DetectionServer() { shutdown(); }
 
-DetectionServer::Submission DetectionServer::submit(api::Request request) {
-  Submission submission;
-  submission.queue_capacity = queue_.capacity();
-
-  const std::lock_guard<std::mutex> lock(admission_mutex_);
-  counters_.submitted += 1;
-  submission.queue_depth = queue_.size();
-
+std::optional<api::Error> DetectionServer::check_admission_locked(
+    const api::Request& request) {
   if (shutdown_) {
     counters_.rejected_shutdown += 1;
-    submission.rejected = api::Error::shutdown("server is shutting down");
-    return submission;
+    return api::Error::shutdown("server is shutting down");
   }
   if (auto err = api::validate(request.options)) {
     counters_.rejected_invalid += 1;
-    submission.rejected = std::move(*err);
-    return submission;
+    return std::move(*err);
   }
   if (request.options.kernel_backend.has_value()) {
     counters_.rejected_invalid += 1;
-    submission.rejected = api::Error::invalid_options(
+    return api::Error::invalid_options(
         "Request: kernel_backend is a process-global force and cannot be set "
         "on served requests");
-    return submission;
   }
   if (request.scene.width() < detector_.window() ||
       request.scene.height() < detector_.window()) {
     counters_.rejected_invalid += 1;
-    submission.rejected = api::Error::invalid_options(
+    return api::Error::invalid_options(
         "Request: scene smaller than the detector window");
-    return submission;
   }
   if (config_.per_tenant_inflight != 0) {
     const auto it = tenant_inflight_.find(request.tenant);
     if (it != tenant_inflight_.end() &&
         it->second >= config_.per_tenant_inflight) {
       counters_.rejected_tenant += 1;
-      submission.rejected = api::Error::tenant_over_limit(
+      return api::Error::tenant_over_limit(
           "Request: tenant " + std::to_string(request.tenant) + " already has " +
           std::to_string(it->second) + " requests in flight");
-      return submission;
     }
+  }
+  return std::nullopt;
+}
+
+DetectionServer::Submission DetectionServer::submit(api::Request request) {
+  Submission submission;
+  submission.queue_capacity = queue_.capacity();
+
+  const util::MutexLock lock(admission_mutex_);
+  counters_.submitted += 1;
+  submission.queue_depth = queue_.size();
+
+  if (auto rejected = check_admission_locked(request)) {
+    submission.rejected = std::move(rejected);
+    return submission;
   }
 
   Job job;
@@ -139,10 +143,10 @@ void DetectionServer::execute_job(Job job, Shard& shard) {
     if (request.options.fault_plan.has_value()) {
       // FaultSession patches shared pipeline storage (item memories, mask
       // pool, prototypes) for the scan's duration — exclusive.
-      const std::unique_lock<std::shared_mutex> model_lock(model_mutex_);
+      const util::WriterMutexLock model_lock(model_mutex_);
       return detector_.detect(request);
     }
-    const std::shared_lock<std::shared_mutex> model_lock(model_mutex_);
+    const util::ReaderMutexLock model_lock(model_mutex_);
     return detector_.detect(request);
   }();
 
@@ -154,31 +158,35 @@ void DetectionServer::execute_job(Job job, Shard& shard) {
     outcome.value().timing = {wait_ns, exec_ns, total_ns};
   }
   {
-    const std::lock_guard<std::mutex> shard_lock(shard.mutex);
+    const util::MutexLock shard_lock(shard.mutex);
     shard.queue_wait.record(wait_ns);
     shard.execute.record(exec_ns);
     shard.e2e.record(total_ns);
   }
   {
-    const std::lock_guard<std::mutex> lock(admission_mutex_);
-    if (outcome.ok()) {
-      counters_.completed += 1;
-    } else {
-      counters_.failed += 1;
-    }
-    HD_CHECK(in_flight_ > 0, "DetectionServer: completion without admission");
-    in_flight_ -= 1;
-    const auto it = tenant_inflight_.find(request.tenant);
-    HD_CHECK(it != tenant_inflight_.end() && it->second > 0,
-             "DetectionServer: tenant accounting underflow");
-    if (--it->second == 0) tenant_inflight_.erase(it);
+    const util::MutexLock lock(admission_mutex_);
+    finish_job_locked(request.tenant, outcome.ok());
   }
   job.promise.set_value(std::move(outcome));
 }
 
+void DetectionServer::finish_job_locked(std::uint32_t tenant, bool ok) {
+  if (ok) {
+    counters_.completed += 1;
+  } else {
+    counters_.failed += 1;
+  }
+  HD_CHECK(in_flight_ > 0, "DetectionServer: completion without admission");
+  in_flight_ -= 1;
+  const auto it = tenant_inflight_.find(tenant);
+  HD_CHECK(it != tenant_inflight_.end() && it->second > 0,
+           "DetectionServer: tenant accounting underflow");
+  if (--it->second == 0) tenant_inflight_.erase(it);
+}
+
 void DetectionServer::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(admission_mutex_);
+    const util::MutexLock lock(admission_mutex_);
     shutdown_ = true;
   }
   queue_.close();
@@ -195,7 +203,7 @@ void DetectionServer::shutdown() {
 ServerStats DetectionServer::stats() const {
   ServerStats stats;
   {
-    const std::lock_guard<std::mutex> lock(admission_mutex_);
+    const util::MutexLock lock(admission_mutex_);
     stats.counters = counters_;
     stats.in_flight = in_flight_;
   }
@@ -203,7 +211,7 @@ ServerStats DetectionServer::stats() const {
   stats.queue_capacity = queue_.capacity();
   stats.workers = workers_.size();
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const util::MutexLock shard_lock(shard->mutex);
     stats.queue_wait.merge(shard->queue_wait);
     stats.execute.merge(shard->execute);
     stats.e2e.merge(shard->e2e);

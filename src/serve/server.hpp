@@ -48,15 +48,15 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "api/detector.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/latency_histogram.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hdface::serve {
 
@@ -145,20 +145,20 @@ class DetectionServer {
   // Admission control; never blocks on detection work. Requests that set
   // options.kernel_backend are rejected kInvalidOptions: the backend force
   // is process-global and would race concurrent workers.
-  Submission submit(api::Request request);
+  Submission submit(api::Request request) HD_EXCLUDES(admission_mutex_);
 
   // Manual mode (start_workers == false): execute one queued request on the
   // calling thread. Returns false when the queue is empty. Also used by
   // shutdown() to drain a worker-less server.
-  bool step();
+  bool step() HD_EXCLUDES(admission_mutex_, model_mutex_);
 
   // Stop admitting (kShutdown), drain every queued request, join workers.
   // Idempotent; after it returns, stats().in_flight == 0.
-  void shutdown();
+  void shutdown() HD_EXCLUDES(admission_mutex_, model_mutex_);
 
   std::size_t queue_depth() const { return queue_.size(); }
   const api::Detector& detector() const { return detector_; }
-  ServerStats stats() const;
+  ServerStats stats() const HD_EXCLUDES(admission_mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -172,14 +172,29 @@ class DetectionServer {
   // Per-worker statistics shard. Shard 0 doubles as the step() shard; the
   // mutex only contends with stats() snapshots, never with other workers.
   struct Shard {
-    mutable std::mutex mutex;
-    util::LatencyHistogram queue_wait;
-    util::LatencyHistogram execute;
-    util::LatencyHistogram e2e;
+    mutable util::Mutex mutex;
+    util::LatencyHistogram queue_wait HD_GUARDED_BY(mutex);
+    util::LatencyHistogram execute HD_GUARDED_BY(mutex);
+    util::LatencyHistogram e2e HD_GUARDED_BY(mutex);
   };
 
-  void worker_loop(std::size_t shard_index);
-  void execute_job(Job job, Shard& shard);
+  void worker_loop(std::size_t shard_index)
+      HD_EXCLUDES(admission_mutex_, model_mutex_);
+  void execute_job(Job job, Shard& shard)
+      HD_EXCLUDES(admission_mutex_, model_mutex_, shard.mutex);
+
+  // Admission checks, in rejection-priority order. Returns the typed
+  // rejection (and bumps its counter) or nullopt to admit. Split out of
+  // submit() so the REQUIRES annotation states the contract the analysis
+  // then enforces on every caller: admission decisions read shutdown_ /
+  // tenant_inflight_ and must hold the admission lock.
+  std::optional<api::Error> check_admission_locked(const api::Request& request)
+      HD_REQUIRES(admission_mutex_);
+
+  // Completion bookkeeping for one finished job (conservation invariant:
+  // every admitted request decrements in_flight_ exactly once).
+  void finish_job_locked(std::uint32_t tenant, bool ok)
+      HD_REQUIRES(admission_mutex_);
 
   api::Detector detector_;
   ServerConfig config_;
@@ -189,15 +204,20 @@ class DetectionServer {
 
   // Admission state: counters + in-flight tracking, one lock. Completion
   // also runs through it, so Counters snapshots are always conserved.
-  mutable std::mutex admission_mutex_;
-  Counters counters_;
-  std::map<std::uint32_t, std::size_t> tenant_inflight_;
-  std::size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  mutable util::Mutex admission_mutex_;
+  Counters counters_ HD_GUARDED_BY(admission_mutex_);
+  std::map<std::uint32_t, std::size_t> tenant_inflight_
+      HD_GUARDED_BY(admission_mutex_);
+  std::size_t in_flight_ HD_GUARDED_BY(admission_mutex_) = 0;
+  bool shutdown_ HD_GUARDED_BY(admission_mutex_) = false;
 
   // Clean scans share the model; fault-plan scans (which patch shared
-  // pipeline storage via FaultSession) take it exclusively.
-  std::shared_mutex model_mutex_;
+  // pipeline storage via FaultSession) take it exclusively. The capability
+  // guards the *pipeline storage behind detector_* (item memories, mask
+  // pool, prototypes) — state the analysis cannot name directly, so the
+  // acquire sites in execute_job() carry the contract instead of a
+  // HD_GUARDED_BY on a member.
+  util::SharedMutex model_mutex_;
 };
 
 }  // namespace hdface::serve

@@ -17,14 +17,17 @@
 //
 // Plain mutex + condition variable: request service times are milliseconds,
 // so queue synchronization is noise; correctness and fairness beat lock-free
-// cleverness here.
+// cleverness here. The mutex is an annotated util::Mutex capability, so the
+// lock discipline below — every touch of items_/closed_ under mutex_,
+// notifies outside it — is compiler-checked under -Wthread-safety.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hdface::util {
 
@@ -42,9 +45,9 @@ class BoundedMpmcQueue {
   // Non-blocking admission: false when the queue is at capacity or closed
   // (the value is returned to the caller untouched in spirit — it is simply
   // not enqueued; move it again on retry).
-  bool try_push(T& value) {
+  bool try_push(T& value) HD_EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
@@ -53,52 +56,52 @@ class BoundedMpmcQueue {
   }
 
   // Blocking consumer: nullopt once the queue is closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() HD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.wait(mutex_);
     return pop_locked();
   }
 
   // Non-blocking consumer: nullopt when currently empty.
-  std::optional<T> try_pop() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<T> try_pop() HD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return pop_locked();
   }
 
   // Stop admitting; wake every blocked consumer. Idempotent.
-  void close() {
+  void close() HD_EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
   }
 
-  bool closed() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const HD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const HD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
  private:
-  std::optional<T> pop_locked() {
+  std::optional<T> pop_locked() HD_REQUIRES(mutex_) {
     if (items_.empty()) return std::nullopt;
     std::optional<T> value(std::move(items_.front()));
     items_.pop_front();
     return value;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  std::deque<T> items_ HD_GUARDED_BY(mutex_);
+  const std::size_t capacity_;  // immutable after construction: unguarded
+  bool closed_ HD_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hdface::util

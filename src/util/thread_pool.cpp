@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,7 +27,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   auto fut = wrapped.get_future();
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     tasks_.push(std::move(wrapped));
   }
   cv_.notify_one();
@@ -35,16 +35,16 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  const MutexLock lock(mutex_);
+  while (!tasks_.empty() || active_ != 0) idle_cv_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -52,7 +52,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       --active_;
       if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
     }

@@ -5,15 +5,20 @@
 // HDFace pipelines are embarrassingly parallel across images; the pool lets
 // dataset generation, feature extraction and evaluation scale with cores while
 // degrading gracefully to serial execution on single-core machines.
+//
+// The queue state (tasks_, active_, stop_) is guarded by an annotated
+// util::Mutex capability; -Wthread-safety proves every access happens under
+// the lock and the condition-variable waits hold it.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hdface::util {
 
@@ -29,21 +34,21 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   // Enqueue a task; the returned future reports completion / exceptions.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) HD_EXCLUDES(mutex_);
 
   // Block until every task submitted so far has completed.
-  void wait_idle();
+  void wait_idle() HD_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() HD_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::queue<std::packaged_task<void()>> tasks_ HD_GUARDED_BY(mutex_);
+  std::size_t active_ HD_GUARDED_BY(mutex_) = 0;
+  bool stop_ HD_GUARDED_BY(mutex_) = false;
 };
 
 // Run body(i) for i in [begin, end). Serial when the pool has one worker or

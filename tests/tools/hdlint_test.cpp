@@ -143,6 +143,137 @@ TEST(Hdlint, UnknownSuppressionIsItselfReported) {
                     "unknown-suppression"));
 }
 
+TEST(Hdlint, ThreadDetachFires) {
+  EXPECT_TRUE(fires("void f() { worker.detach(); }\n", "thread-detach"));
+  EXPECT_TRUE(fires("void f() { t->detach(); }\n", "thread-detach"));
+  // A declaration (no member access) and an unrelated identifier stay quiet.
+  EXPECT_FALSE(fires("void detach();\n", "thread-detach"));
+  EXPECT_FALSE(fires("bool detached = d.detached();\n", "thread-detach"));
+}
+
+TEST(Hdlint, RawMutexTypeFiresOutsideWrapper) {
+  EXPECT_TRUE(fires("std::mutex m;\n", "raw-mutex-type"));
+  EXPECT_TRUE(fires("std::shared_mutex rw;\n", "raw-mutex-type"));
+  EXPECT_TRUE(fires("std::condition_variable cv;\n", "raw-mutex-type"));
+  EXPECT_TRUE(
+      fires("const std::lock_guard<std::mutex> l(m);\n", "raw-mutex-type"));
+  EXPECT_TRUE(fires("std::unique_lock lk(m);\n", "raw-mutex-type"));
+  // The annotated wrapper itself may name the primitives.
+  EXPECT_FALSE(
+      fires("std::mutex mu_;\n", "raw-mutex-type", "src/util/mutex.hpp"));
+  EXPECT_FALSE(fires("std::mutex mu_;\n", "raw-mutex-type",
+                     "/abs/tree/src/util/mutex.hpp"));
+  // Our own capability types and unqualified mentions (e.g. #include
+  // <mutex>, a field named mutex) are not findings.
+  EXPECT_FALSE(fires("util::Mutex m;\n", "raw-mutex-type"));
+  EXPECT_FALSE(fires("#include <mutex>\n", "raw-mutex-type"));
+  EXPECT_FALSE(fires("other::mutex m;\n", "raw-mutex-type"));
+}
+
+TEST(Hdlint, ManualLockUnlockFiresOutsideWrapper) {
+  EXPECT_TRUE(fires("void f() { m.lock(); }\n", "manual-lock-unlock"));
+  EXPECT_TRUE(fires("void f() { m.unlock(); }\n", "manual-lock-unlock"));
+  EXPECT_TRUE(fires("void f() { mu->try_lock(); }\n", "manual-lock-unlock"));
+  EXPECT_TRUE(fires("void f() { rw.lock_shared(); }\n", "manual-lock-unlock"));
+  // The wrapper implements the RAII guards, so it calls these directly.
+  EXPECT_FALSE(fires("void f() { mu_.lock(); }\n", "manual-lock-unlock",
+                     "src/util/mutex.hpp"));
+  // Declaring lock()/unlock() (the wrapper API shape) is not a call, and a
+  // local variable named lock is not a member access.
+  EXPECT_FALSE(fires("void lock();\n", "manual-lock-unlock"));
+  EXPECT_FALSE(fires("const util::MutexLock lock(mutex_);\n",
+                     "manual-lock-unlock"));
+}
+
+TEST(Hdlint, SleepAsSyncFires) {
+  EXPECT_TRUE(fires("std::this_thread::sleep_for(ms);\n", "sleep-as-sync"));
+  EXPECT_TRUE(fires("this_thread::sleep_until(t);\n", "sleep-as-sync"));
+  EXPECT_TRUE(fires("void f() { usleep(100); }\n", "sleep-as-sync"));
+  EXPECT_TRUE(fires("void f() { sleep(1); }\n", "sleep-as-sync"));
+  // A foreign scheduler's sleep_for and our own declarations stay quiet.
+  EXPECT_FALSE(fires("FakeClock::sleep_for(ms);\n", "sleep-as-sync"));
+  EXPECT_FALSE(fires("void sleep(int seconds);\n", "sleep-as-sync"));
+  EXPECT_FALSE(fires("timer.sleep_for(ms);\n", "sleep-as-sync"));
+}
+
+TEST(Hdlint, RefCaptureThreadLambdaFires) {
+  EXPECT_TRUE(fires("pool.submit([&] { work(); });\n",
+                    "ref-capture-thread-lambda"));
+  EXPECT_TRUE(fires("util::parallel_for(pool, 0, n, [&](std::size_t i) {\n"
+                    "  body(i);\n"
+                    "});\n",
+                    "ref-capture-thread-lambda"));
+  EXPECT_TRUE(fires("util::parallel_for_chunked(\n"
+                    "    pool, 0, n, 1,\n"
+                    "    [&, seed](std::size_t lo, std::size_t hi) {});\n",
+                    "ref-capture-thread-lambda"));
+  EXPECT_TRUE(fires("std::thread worker([&] { run(); });\n",
+                    "ref-capture-thread-lambda"));
+  EXPECT_TRUE(fires("auto f = std::async([&] { return g(); });\n",
+                    "ref-capture-thread-lambda"));
+  // Explicit captures — the fix the rule demands — are quiet, as is a [&]
+  // lambda that never crosses a thread boundary.
+  EXPECT_FALSE(fires("pool.submit([lo, hi, &body] { body(lo, hi); });\n",
+                     "ref-capture-thread-lambda"));
+  EXPECT_FALSE(fires("const auto t = best_of(reps, [&] { work(); });\n",
+                     "ref-capture-thread-lambda"));
+  EXPECT_FALSE(fires("std::thread worker(entry, std::ref(state));\n",
+                     "ref-capture-thread-lambda"));
+}
+
+TEST(Hdlint, NewRuleSuppressionsWork) {
+  EXPECT_FALSE(fires("// hdlint: allow(sleep-as-sync) — pacing only\n"
+                     "std::this_thread::sleep_for(ms);\n",
+                     "sleep-as-sync"));
+  EXPECT_FALSE(fires("// hdlint: allow-file(raw-mutex-type)\n"
+                     "std::mutex a;\nstd::mutex b;\n",
+                     "raw-mutex-type"));
+  EXPECT_FALSE(fires("m.lock();  // hdlint: allow(manual-lock-unlock)\n",
+                     "manual-lock-unlock"));
+}
+
+TEST(Hdlint, StaleSuppressionsAreReported) {
+  // A suppression that silences a real finding is used, not stale.
+  const auto used = lint_source_report(
+      "src/a.cpp", "auto c = clock();  // hdlint: allow(wall-clock)\n",
+      Options{});
+  EXPECT_TRUE(used.findings.empty());
+  EXPECT_TRUE(used.stale.empty());
+
+  // One that silences nothing is stale — line-scoped and file-wide alike.
+  const auto stale = lint_source_report(
+      "src/b.cpp",
+      "// hdlint: allow-file(wall-clock)\n"
+      "int x = f();  // hdlint: allow(rand-family)\n",
+      Options{});
+  EXPECT_TRUE(stale.findings.empty());
+  ASSERT_EQ(stale.stale.size(), 2u);
+  EXPECT_EQ(stale.stale[0].line, 1u);
+  EXPECT_EQ(stale.stale[0].rule, "wall-clock");
+  EXPECT_TRUE(stale.stale[0].file_wide);
+  EXPECT_EQ(stale.stale[1].line, 2u);
+  EXPECT_EQ(stale.stale[1].rule, "rand-family");
+  EXPECT_FALSE(stale.stale[1].file_wide);
+
+  // A line-scoped suppression shadowed by a file-wide one is redundant, and
+  // redundancy surfaces as staleness.
+  const auto shadowed = lint_source_report(
+      "src/c.cpp",
+      "// hdlint: allow-file(wall-clock)\n"
+      "auto c = clock();  // hdlint: allow(wall-clock)\n",
+      Options{});
+  EXPECT_TRUE(shadowed.findings.empty());
+  ASSERT_EQ(shadowed.stale.size(), 1u);
+  EXPECT_EQ(shadowed.stale[0].line, 2u);
+  EXPECT_FALSE(shadowed.stale[0].file_wide);
+
+  // Unknown rule names go to unknown-suppression, never to stale.
+  const auto unknown = lint_source_report(
+      "src/d.cpp", "// hdlint: allow(no-such-rule)\nint x = 0;\n", Options{});
+  EXPECT_FALSE(unknown.findings.empty());
+  EXPECT_TRUE(unknown.stale.empty());
+}
+
 TEST(Hdlint, FindingsCarryFileAndLine) {
   const auto findings =
       lint_source("src/a.cpp", "int ok;\nauto t = time(nullptr);\n", Options{});
@@ -163,7 +294,9 @@ TEST(Hdlint, EveryRuleHasADescription) {
     EXPECT_FALSE(name.empty());
     EXPECT_FALSE(desc.empty());
   }
-  EXPECT_GE(rules().size(), 8u);
+  // 9 determinism/memory rules + 5 concurrency rules; stale suppressions
+  // are reported out-of-band (Report::stale), not as a rule.
+  EXPECT_EQ(rules().size(), 14u);
 }
 
 }  // namespace

@@ -159,10 +159,22 @@ std::vector<bool> mark_namespace_scope(const std::vector<std::string>& code) {
 
 // --- suppressions -----------------------------------------------------------
 
+// One parsed allow()/allow-file() rule name, remembered individually so the
+// stale check can tell exactly which comment (and which rule inside a
+// multi-rule comment) never earned its keep.
+struct SuppressionEntry {
+  std::size_t comment_line = 0;  // 1-based, where the comment sits
+  std::size_t target_line = 0;   // 0-based line it shields (line-scoped only)
+  std::string rule;
+  bool file_wide = false;
+  bool used = false;
+};
+
 struct Suppressions {
   std::set<std::string> file_wide;
   std::vector<std::set<std::string>> by_line;  // effective per line
   std::vector<std::pair<std::size_t, std::string>> unknown;  // line, name
+  std::vector<SuppressionEntry> entries;
 };
 
 bool code_line_blank(const std::string& code) {
@@ -211,6 +223,12 @@ Suppressions collect_suppressions(const Source& src) {
 
     std::size_t p = line.find("hdlint: allow-file(");
     while (p != std::string::npos) {
+      for (const auto& n : parse_rule_list(line, p + 18)) {
+        if (known.count(n) != 0) {
+          sup.entries.push_back(
+              SuppressionEntry{li + 1, 0, n, /*file_wide=*/true});
+        }
+      }
       add(parse_rule_list(line, p + 18), sup.file_wide);
       p = line.find("hdlint: allow-file(", p + 1);
     }
@@ -230,6 +248,10 @@ Suppressions collect_suppressions(const Source& src) {
       }
       if (target < sup.by_line.size()) {
         sup.by_line[target].insert(names.begin(), names.end());
+        for (const auto& n : names) {
+          sup.entries.push_back(
+              SuppressionEntry{li + 1, target, n, /*file_wide=*/false});
+        }
       }
       p = line.find("hdlint: allow(", p + 1);
     }
@@ -289,6 +311,45 @@ bool foreign_qualified(const std::string& line, std::size_t pos) {
     while (q > 0 && is_ident(line[q - 1])) --q;
     const std::string qualifier = line.substr(q, pos - 2 - q);
     return !qualifier.empty() && qualifier != "std";
+  }
+  return false;
+}
+
+// True when the identifier at `pos` is written as `std::name` (exactly).
+bool std_qualified(const std::string& line, std::size_t pos) {
+  if (pos < 5 || line[pos - 2] != ':' || line[pos - 1] != ':') return false;
+  std::size_t q = pos - 2;
+  while (q > 0 && is_ident(line[q - 1])) --q;
+  return line.substr(q, pos - 2 - q) == "std";
+}
+
+// True when the identifier at `pos` is a member access: `obj.name` or
+// `obj->name`.
+bool member_qualified(const std::string& line, std::size_t pos) {
+  if (pos >= 1 && line[pos - 1] == '.') return true;
+  return pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>';
+}
+
+// Scans the bracketed span starting at (line, open) — possibly spanning
+// several lines — for a `[&]` / `[&,` default-by-reference lambda capture.
+// Stops at the matching close bracket; an unbalanced span scans to EOF,
+// which is conservative but deterministic.
+bool span_has_ref_capture(const std::vector<std::string>& code, std::size_t line,
+                          std::size_t open, char open_c, char close_c) {
+  int depth = 0;
+  for (std::size_t li = line; li < code.size(); ++li) {
+    const std::string& s = code[li];
+    for (std::size_t i = li == line ? open : 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == open_c) ++depth;
+      if (c == close_c && --depth == 0) return false;
+      if (c == '[' && i + 1 < s.size() && s[i + 1] == '&') {
+        const std::size_t after = skip_spaces(s, i + 2);
+        if (after < s.size() && (s[after] == ']' || s[after] == ',')) {
+          return true;
+        }
+      }
+    }
   }
   return false;
 }
@@ -371,6 +432,30 @@ const std::vector<std::pair<std::string, std::string>>& rules() {
        "using the value as data (seed, index, output) breaks "
        "bit-reproducibility unless the consumer is permutation-invariant — "
        "prove it and suppress, or restructure"},
+      {"thread-detach",
+       "detached thread: it outlives scope, races shutdown, and its work "
+       "can land after the results were read — join every thread (the "
+       "worker-pool destructor does) or hand the work to util::ThreadPool"},
+      {"raw-mutex-type",
+       "raw std:: synchronization primitive outside src/util/mutex.hpp: use "
+       "util::Mutex / util::SharedMutex / util::CondVar so Clang "
+       "thread-safety analysis sees the capability and GUARDED_BY "
+       "annotations can name it"},
+      {"manual-lock-unlock",
+       "manual .lock()/.unlock() outside the annotated wrapper: an early "
+       "return or exception between the calls leaks the lock — use the RAII "
+       "guards (util::MutexLock / WriterMutexLock / ReaderMutexLock), which "
+       "the thread-safety analysis also understands"},
+      {"sleep-as-sync",
+       "sleep on a code path: sleeping until another thread 'should be' "
+       "done is a race that happens to pass — synchronize with condition "
+       "variables, futures, or joins; pacing/backoff naps need a "
+       "justification"},
+      {"ref-capture-thread-lambda",
+       "[&] default capture in a lambda handed to a thread entry point "
+       "(thread/submit/parallel_for/async): captures-everything hides "
+       "shared state from review and dangles if the frame unwinds first — "
+       "list the captures explicitly"},
       {"unknown-suppression",
        "suppression names a rule hdlint does not know; a typo here could "
        "hide real findings"},
@@ -378,13 +463,13 @@ const std::vector<std::pair<std::string, std::string>>& rules() {
   return kRules;
 }
 
-std::vector<Finding> lint_source(std::string_view path, std::string_view text,
-                                 const Options& options) {
+Report lint_source_report(std::string_view path, std::string_view text,
+                          const Options& options) {
   Source src;
   src.raw = split_lines(text);
   src.code = blank_noncode(src.raw);
   src.at_namespace_scope = mark_namespace_scope(src.code);
-  const Suppressions sup = collect_suppressions(src);
+  Suppressions sup = collect_suppressions(src);
 
   const auto message = [](const std::string& rule) -> const std::string& {
     for (const auto& [name, desc] : rules()) {
@@ -395,8 +480,24 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
 
   std::vector<Finding> findings;
   const auto report = [&](std::size_t li, const std::string& rule) {
-    if (sup.file_wide.count(rule) != 0) return;
-    if (sup.by_line[li].count(rule) != 0) return;
+    // A file-wide suppression earns its keep on any hit; a line-scoped one
+    // only on a hit at its own target line — and a line-scoped suppression
+    // shadowed by a file-wide one stays unused, so redundancy surfaces as
+    // staleness.
+    if (sup.file_wide.count(rule) != 0) {
+      for (auto& e : sup.entries) {
+        if (e.file_wide && e.rule == rule) e.used = true;
+      }
+      return;
+    }
+    if (sup.by_line[li].count(rule) != 0) {
+      for (auto& e : sup.entries) {
+        if (!e.file_wide && e.target_line == li && e.rule == rule) {
+          e.used = true;
+        }
+      }
+      return;
+    }
     findings.push_back(
         Finding{std::string(path), li + 1, rule, message(rule)});
   };
@@ -418,14 +519,18 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
       "unordered_map", "unordered_set", "unordered_multimap",
       "unordered_multiset"};
 
-  const bool cast_allowed = std::any_of(
-      options.cast_allowlist.begin(), options.cast_allowlist.end(),
-      [&](const std::string& suffix) {
-        std::string p(path);
-        std::replace(p.begin(), p.end(), '\\', '/');
-        return p.size() >= suffix.size() &&
-               p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0;
-      });
+  const auto path_allowed = [&](const std::vector<std::string>& allowlist) {
+    return std::any_of(allowlist.begin(), allowlist.end(),
+                       [&](const std::string& suffix) {
+                         std::string p(path);
+                         std::replace(p.begin(), p.end(), '\\', '/');
+                         return p.size() >= suffix.size() &&
+                                p.compare(p.size() - suffix.size(),
+                                          suffix.size(), suffix) == 0;
+                       });
+  };
+  const bool cast_allowed = path_allowed(options.cast_allowlist);
+  const bool mutex_allowed = path_allowed(options.mutex_allowlist);
 
   for (std::size_t li = 0; li < src.code.size(); ++li) {
     const std::string& line = src.code[li];
@@ -532,6 +637,99 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
       }
     }
 
+    for (const std::size_t p : ident_occurrences(line, "detach")) {
+      if (!member_qualified(line, p)) continue;
+      if (!is_call(line, p, 6)) continue;
+      report(li, "thread-detach");
+    }
+
+    if (!mutex_allowed) {
+      // Any std::-qualified mention counts — declarations are exactly what
+      // the rule exists to catch (`#include <mutex>` alone stays legal).
+      static const std::vector<std::string> kRawSync = {
+          "mutex",          "shared_mutex",
+          "recursive_mutex", "timed_mutex",
+          "recursive_timed_mutex", "shared_timed_mutex",
+          "condition_variable", "condition_variable_any",
+          "lock_guard",     "unique_lock",
+          "shared_lock",    "scoped_lock"};
+      for (const auto& name : kRawSync) {
+        for (const std::size_t p : ident_occurrences(line, name)) {
+          if (!std_qualified(line, p)) continue;
+          report(li, "raw-mutex-type");
+        }
+      }
+
+      static const std::vector<std::string> kManualLock = {
+          "lock",        "unlock",        "try_lock",
+          "lock_shared", "unlock_shared", "try_lock_shared"};
+      for (const auto& name : kManualLock) {
+        for (const std::size_t p : ident_occurrences(line, name)) {
+          if (!member_qualified(line, p)) continue;
+          if (!is_call(line, p, name.size())) continue;
+          report(li, "manual-lock-unlock");
+        }
+      }
+    }
+
+    for (const auto& name :
+         {std::string("sleep_for"), std::string("sleep_until")}) {
+      for (const std::size_t p : ident_occurrences(line, name)) {
+        if (member_qualified(line, p)) continue;
+        if (p >= 2 && line[p - 2] == ':' && line[p - 1] == ':') {
+          // std::this_thread::sleep_for is the real thing; SomeScheduler::
+          // sleep_for is not ours to judge.
+          std::size_t q = p - 2;
+          while (q > 0 && is_ident(line[q - 1])) --q;
+          const std::string qualifier = line.substr(q, p - 2 - q);
+          if (!qualifier.empty() && qualifier != "this_thread" &&
+              qualifier != "std") {
+            continue;
+          }
+        }
+        if (!is_call(line, p, name.size())) continue;
+        report(li, "sleep-as-sync");
+      }
+    }
+    for (const auto& name : {std::string("sleep"), std::string("usleep"),
+                             std::string("nanosleep")}) {
+      for (const std::size_t p : ident_occurrences(line, name)) {
+        if (foreign_qualified(line, p)) continue;
+        if (!is_call(line, p, name.size())) continue;
+        if (is_declaration(src.code, li, p)) continue;
+        report(li, "sleep-as-sync");
+      }
+    }
+
+    // Lambdas handed to thread entry points: scan the argument span (which
+    // may run over several lines) for a default-by-reference capture.
+    static const std::vector<std::string> kThreadEntry = {
+        "submit", "parallel_for", "parallel_for_chunked", "async"};
+    for (const auto& name : kThreadEntry) {
+      for (const std::size_t p : ident_occurrences(line, name)) {
+        if (!is_call(line, p, name.size())) continue;
+        const std::size_t open = skip_spaces(line, p + name.size());
+        if (span_has_ref_capture(src.code, li, open, '(', ')')) {
+          report(li, "ref-capture-thread-lambda");
+        }
+      }
+    }
+    for (const std::size_t p : ident_occurrences(line, "thread")) {
+      // `thread worker(…)` / `thread(…)` / `thread worker{…}` constructions
+      // (std::this_thread never matches: the `_` glues it into one token).
+      std::size_t i = skip_spaces(line, p + 6);
+      if (i < line.size() && is_ident(line[i])) {
+        while (i < line.size() && is_ident(line[i])) ++i;
+        i = skip_spaces(line, i);
+      }
+      if (i >= line.size()) continue;
+      const char c = line[i];
+      if (c != '(' && c != '{') continue;
+      if (span_has_ref_capture(src.code, li, i, c, c == '(' ? ')' : '}')) {
+        report(li, "ref-capture-thread-lambda");
+      }
+    }
+
     if (src.at_namespace_scope[li]) {
       // Heuristic single-line detector for mutable namespace-scope variables:
       // a declaration-looking statement with no parentheses (those are
@@ -580,20 +778,43 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
               return std::tie(a.file, a.line, a.rule) <
                      std::tie(b.file, b.line, b.rule);
             });
-  return findings;
+
+  Report report_out;
+  report_out.findings = std::move(findings);
+  for (const auto& e : sup.entries) {
+    if (e.used) continue;
+    report_out.stale.push_back(
+        StaleSuppression{std::string(path), e.comment_line, e.rule,
+                         e.file_wide});
+  }
+  std::sort(report_out.stale.begin(), report_out.stale.end(),
+            [](const StaleSuppression& a, const StaleSuppression& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return report_out;
 }
 
-std::vector<Finding> lint_file(const std::string& path,
-                               const Options& options) {
+std::vector<Finding> lint_source(std::string_view path, std::string_view text,
+                                 const Options& options) {
+  return lint_source_report(path, text, options).findings;
+}
+
+Report lint_file_report(const std::string& path, const Options& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("hdlint: cannot read " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return lint_source(path, buf.str(), options);
+  return lint_source_report(path, buf.str(), options);
 }
 
-std::vector<Finding> lint_tree(const std::vector<std::string>& roots,
+std::vector<Finding> lint_file(const std::string& path,
                                const Options& options) {
+  return lint_file_report(path, options).findings;
+}
+
+Report lint_tree_report(const std::vector<std::string>& roots,
+                        const Options& options) {
   namespace fs = std::filesystem;
   static const std::set<std::string> kExtensions = {".cpp", ".hpp", ".h",
                                                     ".cc",  ".hh",  ".cxx"};
@@ -615,13 +836,22 @@ std::vector<Finding> lint_tree(const std::vector<std::string>& roots,
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Finding> findings;
+  Report report;
   for (const auto& file : files) {
-    auto f = lint_file(file, options);
-    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
-                    std::make_move_iterator(f.end()));
+    auto r = lint_file_report(file, options);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(r.findings.begin()),
+                           std::make_move_iterator(r.findings.end()));
+    report.stale.insert(report.stale.end(),
+                        std::make_move_iterator(r.stale.begin()),
+                        std::make_move_iterator(r.stale.end()));
   }
-  return findings;
+  return report;
+}
+
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots,
+                               const Options& options) {
+  return lint_tree_report(roots, options).findings;
 }
 
 }  // namespace hdface::lint

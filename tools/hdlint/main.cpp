@@ -1,10 +1,13 @@
 // hdlint CLI — scans C++ sources for determinism and memory-safety hazards.
 //
-//   hdlint [--root DIR] [--list-rules] PATH...
+//   hdlint [--root DIR] [--check-stale] [--list-rules] PATH...
 //
 // PATHs are files or directories, resolved against --root when given.
 // Prints file:line: [rule] message for each finding and exits 1 if any were
 // found (2 on usage or I/O errors), so it can gate CI and run under ctest.
+// With --check-stale, suppression comments that silence nothing are reported
+// and fail the run too — a justification must not outlive the code it
+// justified.
 
 #include <cstdio>
 #include <exception>
@@ -16,13 +19,18 @@
 int main(int argc, char** argv) {
   std::string root;
   std::vector<std::string> paths;
+  bool check_stale = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       for (const auto& [name, desc] : hdface::lint::rules()) {
-        std::printf("%-22s %s\n", name.c_str(), desc.c_str());
+        std::printf("%-26s %s\n", name.c_str(), desc.c_str());
       }
       return 0;
+    }
+    if (arg == "--check-stale") {
+      check_stale = true;
+      continue;
     }
     if (arg == "--root") {
       if (i + 1 >= argc) {
@@ -34,24 +42,38 @@ int main(int argc, char** argv) {
     }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
-                   "usage: hdlint [--root DIR] [--list-rules] PATH...\n");
+                   "usage: hdlint [--root DIR] [--check-stale] [--list-rules] "
+                   "PATH...\n");
       return 2;
     }
     paths.push_back(root.empty() ? arg : root + "/" + arg);
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: hdlint [--root DIR] [--list-rules] PATH...\n");
+    std::fprintf(stderr,
+                 "usage: hdlint [--root DIR] [--check-stale] [--list-rules] "
+                 "PATH...\n");
     return 2;
   }
 
   try {
-    const auto findings = hdface::lint::lint_tree(paths);
-    for (const auto& f : findings) {
+    const auto report = hdface::lint::lint_tree_report(paths);
+    for (const auto& f : report.findings) {
       std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                   f.message.c_str());
     }
-    std::printf("hdlint: %zu finding(s)\n", findings.size());
-    return findings.empty() ? 0 : 1;
+    std::size_t stale_shown = 0;
+    if (check_stale) {
+      for (const auto& s : report.stale) {
+        std::printf("%s:%zu: [stale-suppression] %s(%s) silences nothing — "
+                    "delete the comment or re-justify it\n",
+                    s.file.c_str(), s.line,
+                    s.file_wide ? "allow-file" : "allow", s.rule.c_str());
+      }
+      stale_shown = report.stale.size();
+    }
+    std::printf("hdlint: %zu finding(s), %zu stale suppression(s)\n",
+                report.findings.size(), stale_shown);
+    return report.findings.empty() && stale_shown == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hdlint: %s\n", e.what());
     return 2;
