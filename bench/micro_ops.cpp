@@ -29,6 +29,8 @@
 #include "core/kernels/kernels.hpp"
 #include "core/prototype_block.hpp"
 #include "core/stochastic.hpp"
+#include "hog/cell_plane.hpp"
+#include "hog/gradient.hpp"
 #include "hog/hd_hog.hpp"
 #include "image/image.hpp"
 #include "learn/hdc_model.hpp"
@@ -295,6 +297,86 @@ struct ReportRow {
   double ns;
 };
 
+// --- per-stage cell-chain rows ------------------------------------------------
+
+// Cost decomposition of the faithful per-cell encode chain (the plane-encode
+// floor bench/plane_encode attacks): the per-pixel hyperspace gradient, the
+// magnitude/orientation-bin compare chain, and the per-window level-bind /
+// accumulate tail that runs on cached cells — plus the whole-cell cost on
+// both batched implementations (reference per-pixel chain vs the fused word
+// kernels, bit-identical by contract).
+struct CellChainReport {
+  double gradient_ns = 0.0;               // per pixel
+  double angle_bin_ns = 0.0;              // per pixel (magnitude + bin)
+  double level_bind_accumulate_ns = 0.0;  // per window, from a cached plane
+  double cell_reference_ns = 0.0;         // per cell, reference chain
+  double cell_fused_ns = 0.0;             // per cell, fused batched kernel
+  double fused_speedup = 0.0;
+};
+
+CellChainReport time_cell_chain(std::size_t dim) {
+  core::StochasticContext ctx(dim, 0xC311);
+  ctx.warm_pool();
+  hog::HdHogConfig cfg;
+  cfg.hog.cell_size = 4;
+  cfg.hog.bins = 8;
+  hog::HdHogExtractor hd(ctx, cfg, 16, 16);
+  image::Image img(64, 64);
+  core::Rng rng(0xBEEF);
+  for (float& p : img.pixels()) p = static_cast<float>(rng.uniform());
+
+  CellChainReport r;
+  core::StochasticContext fork = ctx.fork(0x9E11);
+  r.gradient_ns = ns_per_op([&] {
+    benchmark::DoNotOptimize(hd.pixel_gradient(img, 8, 8, fork));
+  });
+  const auto grad = hd.pixel_gradient(img, 8, 8, fork);
+  r.angle_bin_ns = ns_per_op([&] {
+    benchmark::DoNotOptimize(hd.pixel_magnitude(grad, fork));
+    benchmark::DoNotOptimize(hd.pixel_bin(grad, fork));
+  });
+
+  // Whole-cell raw-value pass, reference vs fused, same reseed stream so both
+  // time the identical workload (and the fused path stays on its contract:
+  // faithful mode, pooled context, no counter).
+  const hog::LevelIndexPlane levels =
+      hog::build_level_index_plane(img, hd.item_memory());
+  std::vector<double> out(cfg.hog.bins);
+  r.cell_reference_ns = ns_per_op([&] {
+    core::StochasticContext cell_ctx = ctx.fork(0xCE11);
+    hd.cell_raw_values(img, &levels, 8, 8, cell_ctx, out.data(),
+                       /*force_reference=*/true);
+    benchmark::DoNotOptimize(out.data());
+  });
+  r.cell_fused_ns = ns_per_op([&] {
+    core::StochasticContext cell_ctx = ctx.fork(0xCE11);
+    hd.cell_raw_values(img, &levels, 8, 8, cell_ctx, out.data());
+    benchmark::DoNotOptimize(out.data());
+  });
+  if (r.cell_fused_ns > 0.0) {
+    r.fused_speedup = r.cell_reference_ns / r.cell_fused_ns;
+  }
+
+  // Per-window tail on a cached plane: vmax normalization, histogram level
+  // lookup, key bind + weighted accumulate. Consumes no RNG.
+  hog::CellPlane plane = hog::make_cell_plane_geometry(
+      img.width(), img.height(), cfg.hog.cell_size, cfg.hog.bins,
+      cfg.hog.cell_size, 0);
+  for (std::size_t gy = 0; gy < plane.grid_y; ++gy) {
+    for (std::size_t gx = 0; gx < plane.grid_x; ++gx) {
+      core::StochasticContext cell_ctx =
+          ctx.fork(hog::cell_plane_seed(0xC311, 0, gx, gy));
+      hd.cell_raw_values(img, &levels, gx * plane.grid_step,
+                         gy * plane.grid_step, cell_ctx,
+                         plane.mutable_cell(gx, gy));
+    }
+  }
+  r.level_bind_accumulate_ns = ns_per_op([&] {
+    benchmark::DoNotOptimize(hd.extract_from_plane(plane, 8, 8, nullptr));
+  });
+  return r;
+}
+
 void write_report(const std::string& path) {
   using core::kernels::Backend;
   const auto backends = usable_backends();
@@ -335,10 +417,21 @@ void write_report(const std::string& path) {
         << r.backend << "\", \"dim\": " << r.dim << ", \"ns_per_op\": " << r.ns
         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"hamming_many_speedup_best_vs_scalar\": " << headline
+  const CellChainReport chain = time_cell_chain(4096);
+  out << "  ],\n  \"cell_chain\": {\n"
+      << "    \"dim\": 4096,\n"
+      << "    \"gradient_ns_per_pixel\": " << chain.gradient_ns << ",\n"
+      << "    \"angle_bin_ns_per_pixel\": " << chain.angle_bin_ns << ",\n"
+      << "    \"level_bind_accumulate_ns_per_window\": "
+      << chain.level_bind_accumulate_ns << ",\n"
+      << "    \"cell_reference_ns\": " << chain.cell_reference_ns << ",\n"
+      << "    \"cell_fused_ns\": " << chain.cell_fused_ns << ",\n"
+      << "    \"fused_speedup\": " << chain.fused_speedup << "\n"
+      << "  },\n  \"hamming_many_speedup_best_vs_scalar\": " << headline
       << "\n}\n";
   std::cout << "kernel report: " << path
-            << "  hamming_many_speedup_best_vs_scalar=" << headline << "\n";
+            << "  hamming_many_speedup_best_vs_scalar=" << headline
+            << "  cell_fused_speedup=" << chain.fused_speedup << "\n";
 }
 
 }  // namespace

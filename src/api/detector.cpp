@@ -76,6 +76,7 @@ pipeline::ParallelDetectConfig Detector::engine_config(
   // Points into the caller's options, which outlive the scan call.
   engine.fault_plan = options.fault_plan ? &*options.fault_plan : nullptr;
   engine.encode_mode = options.encode_mode;
+  engine.plane_mode = options.plane_mode;
   engine.cascade = cascade;
   return engine;
 }

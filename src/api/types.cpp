@@ -42,6 +42,12 @@ std::optional<Error> validate(const DetectOptions& options) {
           "encode-cache stats sink (telemetry.encode_cache)");
     }
   }
+  if (options.plane_mode == pipeline::PlaneMode::kLazy &&
+      options.encode_mode != pipeline::EncodeMode::kCellPlane) {
+    return Error::invalid_options(
+        "DetectOptions: plane_mode=lazy requires encode_mode=cell_plane (the "
+        "per-window encode has no plane to materialize)");
+  }
   if (options.cascade &&
       options.cascade->mode == pipeline::CascadeMode::kCalibrated) {
     if (options.encode_mode != pipeline::EncodeMode::kCellPlane) {
@@ -79,6 +85,23 @@ std::optional<Error> validate(const DetectOptions& options) {
             "DetectOptions: cascade stage threshold not finite");
       }
       prev_words = stage.words;
+    }
+    if (table.prescreen_words > 0) {
+      if (!std::isfinite(table.prescreen_reject_below)) {
+        return Error::invalid_options(
+            "DetectOptions: cascade prescreen threshold not finite");
+      }
+      if (!std::isfinite(table.prescreen_vmax) || table.prescreen_vmax <= 0.0) {
+        return Error::invalid_options(
+            "DetectOptions: cascade prescreen normalization scale must be "
+            "positive and finite");
+      }
+      if (!std::isfinite(table.prescreen_spread_below) ||
+          table.prescreen_spread_below < 0.0) {
+        return Error::invalid_options(
+            "DetectOptions: cascade prescreen spread floor must be finite "
+            "and >= 0");
+      }
     }
   }
   return std::nullopt;

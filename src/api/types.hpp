@@ -212,6 +212,14 @@ struct DetectOptions {
   // bit-identical at every thread count, but a (deterministically) different
   // random stream than kPerWindow. Requires an HD-HOG pipeline.
   pipeline::EncodeMode encode_mode = pipeline::EncodeMode::kPerWindow;
+  // Cell-plane population strategy for kCellPlane scans (ignored by
+  // kPerWindow). kEager (default) builds the whole scene plane before
+  // scanning; kLazy materializes each cell on its first window read — the
+  // DetectionMap is bit-identical (every cell reseeds from the same pure
+  // per-cell key), and with a prescreen-carrying calibrated cascade most
+  // cells of a sparse scene are never encoded at all. validate() rejects
+  // kLazy without kCellPlane.
+  pipeline::PlaneMode plane_mode = pipeline::PlaneMode::kEager;
   // Deprecated alias (one release): use telemetry.encode_cache. Ignored when
   // `telemetry` is set.
   pipeline::EncodeCacheStats* encode_cache_stats = nullptr;

@@ -109,6 +109,29 @@ void add_xor_weighted_scalar(const std::uint64_t* a, const std::uint64_t* b,
   }
 }
 
+void select_words_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                         const std::uint64_t* m, std::uint64_t cond_flip,
+                         std::uint64_t out_flip, std::uint64_t* dst,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = (b[i] ^ (((a[i] ^ b[i]) ^ cond_flip) & m[i])) ^ out_flip;
+  }
+}
+
+std::uint64_t popcount_select_xor_scalar(const std::uint64_t* a,
+                                         const std::uint64_t* b,
+                                         const std::uint64_t* m,
+                                         const std::uint64_t* x,
+                                         std::uint64_t cond_flip,
+                                         std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t sel = b[i] ^ (((a[i] ^ b[i]) ^ cond_flip) & m[i]);
+    total += static_cast<std::uint64_t>(std::popcount(sel ^ x[i]));
+  }
+  return total;
+}
+
 std::size_t threshold_words_scalar(const double* counts, std::size_t dim,
                                    std::uint64_t* out_words) {
   std::size_t zeros = 0;
@@ -203,7 +226,8 @@ const KernelTable& scalar_table() {
       &not_words_scalar,          &popcount_words_scalar,
       &hamming_words_scalar,      &hamming_block_scalar,
       &hamming_block_range_scalar, &add_xor_weighted_scalar,
-      &threshold_words_scalar};
+      &threshold_words_scalar,    &select_words_scalar,
+      &popcount_select_xor_scalar};
   return table;
 }
 

@@ -102,6 +102,32 @@ struct KernelTable {
   // scalar tie-break pass with its RNG in ascending-dimension order.
   std::size_t (*threshold_words)(const double* counts, std::size_t dim,
                                  std::uint64_t* out_words);
+
+  // Fused mask-select (the stochastic weighted-average inner form):
+  //   dst[i] = (b[i] ^ (((a[i] ^ b[i]) ^ cond_flip) & m[i])) ^ out_flip
+  // With cond_flip = out_flip = 0 this is exactly
+  // StochasticContext::weighted_average's per-word update (select a where
+  // the mask is set, b elsewhere); cond_flip/out_flip = ~0 fold the
+  // operand/result complements of add_halved(a, ~b) into the same single
+  // pass so the batched cell encoder never materializes a NOT. dst may
+  // alias a and/or b (elementwise read-before-write), never m.
+  void (*select_words)(const std::uint64_t* a, const std::uint64_t* b,
+                       const std::uint64_t* m, std::uint64_t cond_flip,
+                       std::uint64_t out_flip, std::uint64_t* dst,
+                       std::size_t n);
+
+  // Fused mask-select + XOR-popcount reduction (select_words immediately
+  // decoded against x, typically the stochastic basis):
+  //   Σ_i popcount((b[i] ^ (((a[i] ^ b[i]) ^ cond_flip) & m[i])) ^ x[i])
+  // One pass replaces the weighted_average + decode / compare chains of the
+  // per-pixel encoder; an out_flip of ~0 is folded by the caller via
+  // H = 64·n − result (exact when no tail bits are in play, i.e. dim % 64
+  // == 0 — the batched-encoder fast-path gate).
+  std::uint64_t (*popcount_select_xor)(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       const std::uint64_t* m,
+                                       const std::uint64_t* x,
+                                       std::uint64_t cond_flip, std::size_t n);
 };
 
 // The reference backend (always compiled).

@@ -211,6 +211,52 @@ std::size_t threshold_words_avx2(const double* counts, std::size_t dim,
   return zeros;
 }
 
+void select_words_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                       const std::uint64_t* m, std::uint64_t cond_flip,
+                       std::uint64_t out_flip, std::uint64_t* dst,
+                       std::size_t n) {
+  const __m256i cf = _mm256_set1_epi64x(static_cast<long long>(cond_flip));
+  const __m256i of = _mm256_set1_epi64x(static_cast<long long>(out_flip));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i av = load256(a + i);
+    const __m256i bv = load256(b + i);
+    const __m256i mv = load256(m + i);
+    const __m256i cond =
+        _mm256_and_si256(_mm256_xor_si256(_mm256_xor_si256(av, bv), cf), mv);
+    store256(dst + i, _mm256_xor_si256(_mm256_xor_si256(bv, cond), of));
+  }
+  for (; i < n; ++i) {
+    dst[i] = (b[i] ^ (((a[i] ^ b[i]) ^ cond_flip) & m[i])) ^ out_flip;
+  }
+}
+
+std::uint64_t popcount_select_xor_avx2(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       const std::uint64_t* m,
+                                       const std::uint64_t* x,
+                                       std::uint64_t cond_flip, std::size_t n) {
+  const __m256i cf = _mm256_set1_epi64x(static_cast<long long>(cond_flip));
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i av = load256(a + i);
+    const __m256i bv = load256(b + i);
+    const __m256i mv = load256(m + i);
+    const __m256i cond =
+        _mm256_and_si256(_mm256_xor_si256(_mm256_xor_si256(av, bv), cf), mv);
+    const __m256i sel = _mm256_xor_si256(bv, cond);
+    acc = _mm256_add_epi64(
+        acc, popcount_lanes(_mm256_xor_si256(sel, load256(x + i))));
+  }
+  std::uint64_t total = hsum_epi64(acc);
+  for (; i < n; ++i) {
+    const std::uint64_t sel = b[i] ^ (((a[i] ^ b[i]) ^ cond_flip) & m[i]);
+    total += static_cast<std::uint64_t>(std::popcount(sel ^ x[i]));
+  }
+  return total;
+}
+
 // Prefix/range variant: a hamming_block over the words [word_lo, word_hi),
 // run by this backend's own block kernel on offset pointers — bit-identity
 // to scalar follows from the full kernel's.
@@ -231,7 +277,8 @@ const KernelTable& avx2_table() {
       &not_words_avx2,           &popcount_words_avx2,
       &hamming_words_avx2,       &hamming_block_avx2,
       &hamming_block_range_avx2, &add_xor_weighted_avx2,
-      &threshold_words_avx2};
+      &threshold_words_avx2,     &select_words_avx2,
+      &popcount_select_xor_avx2};
   return table;
 }
 

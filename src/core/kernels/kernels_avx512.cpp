@@ -217,6 +217,60 @@ std::size_t threshold_words_avx512(const double* counts, std::size_t dim,
   return zeros;
 }
 
+void select_words_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                         const std::uint64_t* m, std::uint64_t cond_flip,
+                         std::uint64_t out_flip, std::uint64_t* dst,
+                         std::size_t n) {
+  const __m512i cf = _mm512_set1_epi64(static_cast<long long>(cond_flip));
+  const __m512i of = _mm512_set1_epi64(static_cast<long long>(out_flip));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i av = load512(a + i);
+    const __m512i bv = load512(b + i);
+    const __m512i mv = load512(m + i);
+    const __m512i cond =
+        _mm512_and_si512(_mm512_xor_si512(_mm512_xor_si512(av, bv), cf), mv);
+    store512(dst + i, _mm512_xor_si512(_mm512_xor_si512(bv, cond), of));
+  }
+  if (i < n) {
+    const __mmask8 k = tail_mask(n - i);
+    const __m512i av = load512_tail(a + i, k);
+    const __m512i bv = load512_tail(b + i, k);
+    const __m512i mv = load512_tail(m + i, k);
+    const __m512i cond =
+        _mm512_and_si512(_mm512_xor_si512(_mm512_xor_si512(av, bv), cf), mv);
+    _mm512_mask_storeu_epi64(
+        dst + i, k, _mm512_xor_si512(_mm512_xor_si512(bv, cond), of));
+  }
+}
+
+std::uint64_t popcount_select_xor_avx512(const std::uint64_t* a,
+                                         const std::uint64_t* b,
+                                         const std::uint64_t* m,
+                                         const std::uint64_t* x,
+                                         std::uint64_t cond_flip,
+                                         std::size_t n) {
+  const __m512i cf = _mm512_set1_epi64(static_cast<long long>(cond_flip));
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i av = load512(a + i);
+    const __m512i bv = load512(b + i);
+    const __m512i mv = load512(m + i);
+    const __m512i cond =
+        _mm512_and_si512(_mm512_xor_si512(_mm512_xor_si512(av, bv), cf), mv);
+    const __m512i sel = _mm512_xor_si512(bv, cond);
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_xor_si512(sel, load512(x + i))));
+  }
+  std::uint64_t total = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    const std::uint64_t sel = b[i] ^ (((a[i] ^ b[i]) ^ cond_flip) & m[i]);
+    total += static_cast<std::uint64_t>(std::popcount(sel ^ x[i]));
+  }
+  return total;
+}
+
 // Prefix/range variant: a hamming_block over the words [word_lo, word_hi),
 // run by this backend's own block kernel on offset pointers — bit-identity
 // to scalar follows from the full kernel's.
@@ -237,7 +291,8 @@ const KernelTable& avx512_table() {
       &not_words_avx512,           &popcount_words_avx512,
       &hamming_words_avx512,       &hamming_block_avx512,
       &hamming_block_range_avx512, &add_xor_weighted_avx512,
-      &threshold_words_avx512};
+      &threshold_words_avx512,     &select_words_avx512,
+      &popcount_select_xor_avx512};
   return table;
 }
 

@@ -158,6 +158,49 @@ std::size_t threshold_words_neon(const double* counts, std::size_t dim,
   return zeros;
 }
 
+void select_words_neon(const std::uint64_t* a, const std::uint64_t* b,
+                       const std::uint64_t* m, std::uint64_t cond_flip,
+                       std::uint64_t out_flip, std::uint64_t* dst,
+                       std::size_t n) {
+  const uint64x2_t cf = vdupq_n_u64(cond_flip);
+  const uint64x2_t of = vdupq_n_u64(out_flip);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t av = vld1q_u64(a + i);
+    const uint64x2_t bv = vld1q_u64(b + i);
+    const uint64x2_t mv = vld1q_u64(m + i);
+    const uint64x2_t cond = vandq_u64(veorq_u64(veorq_u64(av, bv), cf), mv);
+    vst1q_u64(dst + i, veorq_u64(veorq_u64(bv, cond), of));
+  }
+  for (; i < n; ++i) {
+    dst[i] = (b[i] ^ (((a[i] ^ b[i]) ^ cond_flip) & m[i])) ^ out_flip;
+  }
+}
+
+std::uint64_t popcount_select_xor_neon(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       const std::uint64_t* m,
+                                       const std::uint64_t* x,
+                                       std::uint64_t cond_flip, std::size_t n) {
+  const uint64x2_t cf = vdupq_n_u64(cond_flip);
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t av = vld1q_u64(a + i);
+    const uint64x2_t bv = vld1q_u64(b + i);
+    const uint64x2_t mv = vld1q_u64(m + i);
+    const uint64x2_t cond = vandq_u64(veorq_u64(veorq_u64(av, bv), cf), mv);
+    const uint64x2_t sel = veorq_u64(bv, cond);
+    acc = vaddq_u64(acc, popcount_lanes(veorq_u64(sel, vld1q_u64(x + i))));
+  }
+  std::uint64_t total = vaddvq_u64(acc);
+  for (; i < n; ++i) {
+    const std::uint64_t sel = b[i] ^ (((a[i] ^ b[i]) ^ cond_flip) & m[i]);
+    total += static_cast<std::uint64_t>(std::popcount(sel ^ x[i]));
+  }
+  return total;
+}
+
 // Prefix/range variant: a hamming_block over the words [word_lo, word_hi),
 // run by this backend's own block kernel on offset pointers — bit-identity
 // to scalar follows from the full kernel's.
@@ -178,7 +221,8 @@ const KernelTable& neon_table() {
       &not_words_neon,           &popcount_words_neon,
       &hamming_words_neon,       &hamming_block_neon,
       &hamming_block_range_neon, &add_xor_weighted_neon,
-      &threshold_words_neon};
+      &threshold_words_neon,     &select_words_neon,
+      &popcount_select_xor_neon};
   return table;
 }
 

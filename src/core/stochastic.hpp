@@ -122,6 +122,29 @@ class StochasticContext {
   // mask_bits of precision). Exposed for tests and the item memory.
   Hypervector bernoulli_mask(double p);
 
+  // Borrowed view of a pooled Bernoulli mask: the pool entry's words plus
+  // the word-rotation offset bernoulli_mask(p) would have applied. Mask word
+  // i is words[(i + offset) % n] — callers (the batched cell encoder) apply
+  // the rotation as two contiguous kernel segments instead of materializing
+  // the rotated copy. pooled_mask_view(p) advances the RNG chain and charges
+  // the counter exactly like bernoulli_mask(p) in pool mode, so the two are
+  // interchangeable draw-for-draw. Only valid while the pool outlives the
+  // view; requires pooled_fast_path() (throws std::logic_error otherwise).
+  struct PooledMaskView {
+    const std::uint64_t* words = nullptr;
+    std::size_t offset = 0;
+  };
+  PooledMaskView pooled_mask_view(double p);
+
+  // True when pooled_mask_view can stand in for bernoulli_mask: pool mode
+  // enabled and warmed (so the draw is a pure pool lookup, never a lazy
+  // fill) and dim a whole number of words (so rotation never touches tail
+  // bits and complement identities like popcount(~w) = 64 − popcount(w)
+  // hold word-exactly).
+  bool pooled_fast_path() const {
+    return config_.mask_pool > 0 && pool_warmed_ && config_.dim % 64 == 0;
+  }
+
   // Optional op accounting.
   void set_counter(OpCounter* counter) { counter_ = counter; }
   OpCounter* counter() const { return counter_; }

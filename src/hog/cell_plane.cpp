@@ -1,20 +1,44 @@
 #include "hog/cell_plane.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace hdface::hog {
 
+namespace {
+
+// origin + (cells − 1) · cell_size with std::size_t overflow rejected: a
+// wrapped far-corner coordinate could pass the `< grid` bound and alias a
+// window onto unrelated cells, so overflow means "off the plane", not UB.
+bool far_corner(std::size_t origin, std::size_t cells, std::size_t cell_size,
+                std::size_t& out) {
+  const std::size_t span = cells - 1;  // callers reject cells == 0 first
+  std::size_t scaled = 0;
+  if (span != 0 && cell_size != 0) {
+    if (span > SIZE_MAX / cell_size) return false;
+    scaled = span * cell_size;
+  }
+  if (origin > SIZE_MAX - scaled) return false;
+  out = origin + scaled;
+  return true;
+}
+
+}  // namespace
+
 bool CellPlane::window_on_grid(std::size_t origin_x, std::size_t origin_y,
                                std::size_t cells_x, std::size_t cells_y) const {
   if (grid_step == 0) return false;
+  if (cells_x == 0 || cells_y == 0) return false;
   if (origin_x % grid_step != 0 || origin_y % grid_step != 0) return false;
   // Cells inside the window sit at origin + i·cell_size; cell_size is a
   // multiple of grid_step by construction, so only the far corner can fall
-  // off the plane.
-  const std::size_t last_x = origin_x + (cells_x - 1) * cell_size;
-  const std::size_t last_y = origin_y + (cells_y - 1) * cell_size;
-  return cells_x > 0 && cells_y > 0 && last_x / grid_step < grid_x &&
-         last_y / grid_step < grid_y;
+  // off the plane. The far corner is computed with overflow checked — a
+  // wrapping origin/extent combination is off the plane by definition.
+  std::size_t last_x = 0;
+  std::size_t last_y = 0;
+  if (!far_corner(origin_x, cells_x, cell_size, last_x)) return false;
+  if (!far_corner(origin_y, cells_y, cell_size, last_y)) return false;
+  return last_x / grid_step < grid_x && last_y / grid_step < grid_y;
 }
 
 CellPlane make_cell_plane_geometry(std::size_t scene_width,

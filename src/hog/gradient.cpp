@@ -1,6 +1,7 @@
 #include "hog/gradient.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace hdface::hog {
 
@@ -30,6 +31,24 @@ GradientField compute_gradients(const image::Image& img, core::OpCounter* counte
     counter->add(core::OpKind::kFloatSqrt, n);
   }
   return g;
+}
+
+LevelIndexPlane build_level_index_plane(const image::Image& img,
+                                        const core::LevelItemMemory& memory) {
+  if (memory.levels() > 65535) {
+    throw std::invalid_argument(
+        "build_level_index_plane: more than 65535 levels");
+  }
+  LevelIndexPlane plane;
+  plane.width = img.width();
+  plane.height = img.height();
+  plane.idx.resize(img.size());
+  const auto pixels = img.pixels();
+  for (std::size_t i = 0; i < plane.idx.size(); ++i) {
+    plane.idx[i] = static_cast<std::uint16_t>(
+        memory.index_of(static_cast<double>(pixels[i])));
+  }
+  return plane;
 }
 
 }  // namespace hdface::hog

@@ -1,9 +1,13 @@
 #pragma once
 
-// Classical (float-space) gradient field with operation accounting.
+// Classical (float-space) gradient field with operation accounting, plus the
+// scene-scale level-index planar pass shared by the batched per-cell HD
+// encoder.
 
+#include <cstdint>
 #include <vector>
 
+#include "core/item_memory.hpp"
 #include "core/op_counter.hpp"
 #include "image/image.hpp"
 
@@ -26,5 +30,35 @@ struct GradientField {
 // Central-difference gradients with clamped borders.
 GradientField compute_gradients(const image::Image& img,
                                 core::OpCounter* counter = nullptr);
+
+// Scene-scale planar pass for the HD encoder: the level-item-memory index of
+// every pixel, computed once per scale in one contiguous loop. The per-cell
+// stochastic chain reads each pixel up to four times per cell *and* adjacent
+// cells re-read their shared border pixels; hoisting the float→level
+// quantization into this plane makes every later access a table lookup
+// (`memory.level(plane.at_clamped(x, y))` — the identical Hypervector
+// `memory.at_value(value)` would return, so results are bit-identical).
+struct LevelIndexPlane {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint16_t> idx;
+
+  // Clamped-border read, mirroring image::Image::at_clamped.
+  std::uint16_t at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const {
+    const auto w = static_cast<std::ptrdiff_t>(width);
+    const auto h = static_cast<std::ptrdiff_t>(height);
+    if (x < 0) x = 0;
+    if (x >= w) x = w - 1;
+    if (y < 0) y = 0;
+    if (y >= h) y = h - 1;
+    return idx[static_cast<std::size_t>(y) * width +
+               static_cast<std::size_t>(x)];
+  }
+};
+
+// Builds the plane (one index_of per pixel). Throws std::invalid_argument
+// when the memory holds more than 65535 levels (uint16 plane storage).
+LevelIndexPlane build_level_index_plane(const image::Image& img,
+                                        const core::LevelItemMemory& memory);
 
 }  // namespace hdface::hog

@@ -1,9 +1,62 @@
 #include "hog/hd_hog.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "core/kernels/kernels.hpp"
+
 namespace hdface::hog {
+
+namespace {
+
+using MaskView = core::StochasticContext::PooledMaskView;
+
+// Pooled masks are stored unrotated; mask word i is m.words[(i + off) % n].
+// These helpers apply a kernel across the two contiguous segments of that
+// rotation — [0, n−off) reads m.words+off, [n−off, n) wraps to m.words —
+// so the rotated mask is never materialized. off == 0 degenerates to one
+// full-length call.
+
+// dst[i] = a[i] ^ mask[i]; dst may alias a.
+inline void xor_rot(const core::kernels::KernelTable& kt,
+                    const std::uint64_t* a, const MaskView& m,
+                    std::uint64_t* dst, std::size_t n) {
+  const std::size_t head = n - m.offset;
+  kt.xor_words(a, m.words + m.offset, dst, head);
+  if (m.offset != 0) kt.xor_words(a + head, m.words, dst + head, m.offset);
+}
+
+// dst = select_words(a, b, mask, cond_flip, out_flip); dst may alias a/b.
+inline void select_rot(const core::kernels::KernelTable& kt,
+                       const std::uint64_t* a, const std::uint64_t* b,
+                       const MaskView& m, std::uint64_t cond_flip,
+                       std::uint64_t out_flip, std::uint64_t* dst,
+                       std::size_t n) {
+  const std::size_t head = n - m.offset;
+  kt.select_words(a, b, m.words + m.offset, cond_flip, out_flip, dst, head);
+  if (m.offset != 0) {
+    kt.select_words(a + head, b + head, m.words, cond_flip, out_flip,
+                    dst + head, m.offset);
+  }
+}
+
+// Σ popcount(select_words(a, b, mask, cond_flip, 0)[i] ^ x[i]).
+inline std::uint64_t popsel_rot(const core::kernels::KernelTable& kt,
+                                const std::uint64_t* a, const std::uint64_t* b,
+                                const MaskView& m, const std::uint64_t* x,
+                                std::uint64_t cond_flip, std::size_t n) {
+  const std::size_t head = n - m.offset;
+  std::uint64_t total =
+      kt.popcount_select_xor(a, b, m.words + m.offset, x, cond_flip, head);
+  if (m.offset != 0) {
+    total += kt.popcount_select_xor(a + head, b + head, m.words, x + head,
+                                    cond_flip, m.offset);
+  }
+  return total;
+}
+
+}  // namespace
 
 HdHogExtractor::HdHogExtractor(core::StochasticContext& ctx,
                                const HdHogConfig& config, std::size_t image_width,
@@ -27,6 +80,10 @@ HdHogExtractor::HdHogExtractor(core::StochasticContext& ctx,
       boundary_consts_.push_back(ctx_.construct(1.0 / t));
       boundary_uses_cot_.push_back(true);
     }
+  }
+  boundary_consts_xor_basis_.reserve(boundary_consts_.size());
+  for (const auto& c : boundary_consts_) {
+    boundary_consts_xor_basis_.push_back(c ^ ctx_.basis());
   }
 }
 
@@ -62,9 +119,14 @@ core::Hypervector HdHogExtractor::pixel_magnitude(
     const double gy = ctx.decode(grad.gy);
     return ctx.construct(std::sqrt((gx * gx + gy * gy) / 2.0));
   }
-  // (G_x ⊗ G_x) ⊕ (G_y ⊗ G_y), then the binary-search square root.
-  const core::Hypervector m2 =
-      ctx.add_halved(ctx.square(grad.gx), ctx.square(grad.gy));
+  // (G_x ⊗ G_x) ⊕ (G_y ⊗ G_y), then the binary-search square root. The two
+  // squares are sequenced explicitly (gy first — the order the original
+  // nested-call form compiled to) so the RNG draw order is pinned by the
+  // source rather than by argument evaluation order; the batched cell
+  // encoder replays this exact stream.
+  const core::Hypervector sq_gy = ctx.square(grad.gy);
+  const core::Hypervector sq_gx = ctx.square(grad.gx);
+  const core::Hypervector m2 = ctx.add_halved(sq_gx, sq_gy);
   return ctx.sqrt(m2);
 }
 
@@ -120,6 +182,33 @@ void HdHogExtractor::cell_raw_values(const image::Image& img, std::size_t x0,
                                      std::size_t y0,
                                      core::StochasticContext& ctx,
                                      double* out) const {
+  cell_raw_values(img, nullptr, x0, y0, ctx, out);
+}
+
+void HdHogExtractor::cell_raw_values(const image::Image& img,
+                                     const LevelIndexPlane* levels,
+                                     std::size_t x0, std::size_t y0,
+                                     core::StochasticContext& ctx, double* out,
+                                     bool force_reference) const {
+  if (levels != nullptr &&
+      (levels->width != img.width() || levels->height != img.height())) {
+    throw std::invalid_argument(
+        "HdHogExtractor: level-index plane geometry mismatches the image");
+  }
+  // The fused path never charges an op counter (the modeled costs are defined
+  // by the reference chain), so accounting runs keep the reference ops.
+  if (!force_reference && config_.mode == HdHogMode::kFaithful &&
+      ctx.counter() == nullptr && ctx.pooled_fast_path()) {
+    cell_raw_values_fused(img, levels, x0, y0, ctx, out);
+    return;
+  }
+  cell_raw_values_reference(img, x0, y0, ctx, out);
+}
+
+void HdHogExtractor::cell_raw_values_reference(const image::Image& img,
+                                               std::size_t x0, std::size_t y0,
+                                               core::StochasticContext& ctx,
+                                               double* out) const {
   const std::size_t bins = config_.hog.bins;
   const std::size_t cell = config_.hog.cell_size;
   const std::size_t pixels_per_cell = cell * cell;
@@ -155,6 +244,196 @@ void HdHogExtractor::cell_raw_values(const image::Image& img, std::size_t x0,
                           static_cast<double>(pixels_per_cell);
       out[b] = ctx.decode(ctx.scale(bin_mean[b], rate));
     }
+  }
+}
+
+void HdHogExtractor::cell_raw_values_fused(const image::Image& img,
+                                           const LevelIndexPlane* levels,
+                                           std::size_t x0, std::size_t y0,
+                                           core::StochasticContext& ctx,
+                                           double* out) const {
+  // Every stochastic op of the reference chain reduced to its word-kernel
+  // core, with the algebraic folds the packed representation admits:
+  //
+  //   add_halved(a, ~b)        = select_words(a, b, m, ~0, ~0)
+  //   multiply(c_j, v)         = (c_j ^ V₁) ^ v        (precomputed cjb)
+  //   square(v)                = v ^ rot(mask)          (basis cancels)
+  //   compare / scale+decode   = popcount_select_xor against V₁
+  //
+  // Draw-for-draw parity with the reference chain is the correctness
+  // contract: each pooled_mask_view below stands where the reference draws
+  // its bernoulli_mask, in the same order with the same probability, so the
+  // RNG stream — and therefore every output double — is bit-identical.
+  const auto& kt = core::kernels::active();
+  const std::size_t bins = config_.hog.bins;
+  const std::size_t cell = config_.hog.cell_size;
+  const std::size_t pixels_per_cell = cell * cell;
+  const std::size_t n = ctx.basis().num_words();
+  const double dimd = static_cast<double>(ctx.dim());
+  const double eps = 2.0 / std::sqrt(dimd);
+  const std::uint64_t* basis = ctx.basis().words().data();
+  const int iters = ctx.effective_search_iters();
+
+  // Flat word workspace: gradient pair, boundary-multiply scratch, the sqrt
+  // iterate and its square, and the readout zero vector.
+  std::vector<std::uint64_t> ws(6 * n);
+  std::uint64_t* gx = ws.data();
+  std::uint64_t* gy = gx + n;
+  std::uint64_t* tmp = gy + n;
+  std::uint64_t* mid = tmp + n;
+  std::uint64_t* msq = mid + n;
+  std::uint64_t* zbuf = msq + n;
+  std::vector<std::uint64_t> bin_mean(bins * n);
+  std::vector<std::size_t> bin_count(bins, 0);
+  std::vector<bool> greater(boundary_consts_.size());
+
+  const auto pix = [&](std::ptrdiff_t x, std::ptrdiff_t y) {
+    if (levels != nullptr) {
+      return item_memory_.level(levels->at_clamped(x, y)).words().data();
+    }
+    return item_memory_.at_value(static_cast<double>(img.at_clamped(x, y)))
+        .words()
+        .data();
+  };
+
+  for (std::size_t py = 0; py < cell; ++py) {
+    for (std::size_t px = 0; px < cell; ++px) {
+      const auto xi = static_cast<std::ptrdiff_t>(x0 + px);
+      const auto yi = static_cast<std::ptrdiff_t>(y0 + py);
+      // Gradient: V_G = A ⊕ (−B); the operand/result complements of the
+      // halved difference fold into the select flips.
+      {
+        const auto m = ctx.pooled_mask_view(0.5);
+        select_rot(kt, pix(xi + 1, yi), pix(xi - 1, yi), m, ~0ULL, ~0ULL, gx,
+                   n);
+      }
+      {
+        const auto m = ctx.pooled_mask_view(0.5);
+        select_rot(kt, pix(xi, yi + 1), pix(xi, yi - 1), m, ~0ULL, ~0ULL, gy,
+                   n);
+      }
+
+      // Orientation bin: signs from the (draw-free) decode, then one fused
+      // compare per interior boundary.
+      const double dgx =
+          1.0 - 2.0 * static_cast<double>(kt.hamming_words(gx, basis, n)) /
+                    dimd;
+      const double dgy =
+          1.0 - 2.0 * static_cast<double>(kt.hamming_words(gy, basis, n)) /
+                    dimd;
+      const int sgx = dgx < -eps ? -1 : 1;
+      const int sgy = dgy < -eps ? -1 : 1;
+      const std::size_t q = AngleBinner::quadrant(sgx, sgy);
+      const bool gy_over = AngleBinner::ratio_is_gy_over_gx(q);
+      const std::uint64_t fgx = sgx < 0 ? ~0ULL : 0ULL;
+      const std::uint64_t fgy = sgy < 0 ? ~0ULL : 0ULL;
+      const std::uint64_t* num = gy_over ? gy : gx;
+      const std::uint64_t* den = gy_over ? gx : gy;
+      const std::uint64_t fnum = gy_over ? fgy : fgx;
+      const std::uint64_t fden = gy_over ? fgx : fgy;
+      for (std::size_t j = 0; j < boundary_consts_.size(); ++j) {
+        const std::uint64_t* cjb = boundary_consts_xor_basis_[j].words().data();
+        const std::uint64_t* lhs;
+        const std::uint64_t* rhs;
+        if (boundary_uses_cot_[j]) {
+          kt.xor_words(cjb, num, tmp, n);
+          lhs = tmp;
+          rhs = den;
+        } else {
+          kt.xor_words(cjb, den, tmp, n);
+          lhs = num;
+          rhs = tmp;
+        }
+        // compare(L ⊕ fL, R ⊕ fR): the ~rhs of the halved difference gives
+        // g = fR ^ ~0; a result flip of ~0 inverts every popcount word
+        // (H = 64n − P), exact because dim % 64 == 0 on this path.
+        const std::uint64_t g = fden ^ ~0ULL;
+        const std::uint64_t cf = fnum ^ g;
+        const auto m = ctx.pooled_mask_view(0.5);
+        const std::uint64_t p = popsel_rot(kt, lhs, rhs, m, basis, cf, n);
+        const std::uint64_t h = g == ~0ULL ? 64 * n - p : p;
+        const double d = 1.0 - 2.0 * static_cast<double>(h) / dimd;
+        greater[j] = d > eps / 2.0;
+      }
+      const std::size_t bin =
+          binner_.global_bin(q, binner_.local_bin_from_comparisons(greater));
+
+      // Magnitude: squares in place (multiply-by-regeneration is an XOR with
+      // the construction mask — the basis cancels; gy first, matching the
+      // reference chain's pinned order), halved sum into gx, then the
+      // binary-search sqrt.
+      {
+        const auto m = ctx.pooled_mask_view((1.0 - dgy) / 2.0);
+        xor_rot(kt, gy, m, gy, n);
+      }
+      {
+        const auto m = ctx.pooled_mask_view((1.0 - dgx) / 2.0);
+        xor_rot(kt, gx, m, gx, n);
+      }
+      {
+        const auto m = ctx.pooled_mask_view(0.5);
+        select_rot(kt, gx, gy, m, 0, 0, gx, n);
+      }
+      // sqrt's pre-loop construct(0.5) is overwritten on the first iteration
+      // but still advances the stream.
+      (void)ctx.pooled_mask_view(0.25);
+      double lo = 0.0;
+      double hi = 1.0;
+      for (int it = 0; it < iters; ++it) {
+        const double mval = (lo + hi) / 2.0;
+        {
+          const auto m = ctx.pooled_mask_view((1.0 - mval) / 2.0);
+          xor_rot(kt, basis, m, mid, n);
+        }
+        {
+          const auto m = ctx.pooled_mask_view((1.0 - mval) / 2.0);
+          xor_rot(kt, mid, m, msq, n);
+        }
+        const auto m = ctx.pooled_mask_view(0.5);
+        const std::uint64_t p = popsel_rot(kt, msq, gx, m, basis, ~0ULL, n);
+        const std::uint64_t h = 64 * n - p;
+        const double d = 1.0 - 2.0 * static_cast<double>(h) / dimd;
+        const int c = d > eps / 2.0 ? 1 : (d < -eps / 2.0 ? -1 : 0);
+        if (c > 0) {
+          hi = mval;
+        } else if (c < 0) {
+          lo = mval;
+        } else {
+          break;
+        }
+      }
+
+      // Running stochastic mean of the magnitudes matched to this bin.
+      std::uint64_t* mean = bin_mean.data() + bin * n;
+      auto& cnt = bin_count[bin];
+      if (cnt == 0) {
+        std::copy(mid, mid + n, mean);
+      } else {
+        const double keep =
+            static_cast<double>(cnt) / static_cast<double>(cnt + 1);
+        const auto m = ctx.pooled_mask_view(keep);
+        select_rot(kt, mean, mid, m, 0, 0, mean, n);
+      }
+      ++cnt;
+    }
+  }
+
+  // Readout: scale-by-rate (average with a fresh zero) fused with the decode.
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (bin_count[b] == 0) {
+      out[b] = 0.0;
+      continue;
+    }
+    const double rate = static_cast<double>(bin_count[b]) /
+                        static_cast<double>(pixels_per_cell);
+    {
+      const auto mz = ctx.pooled_mask_view(0.5);
+      xor_rot(kt, basis, mz, zbuf, n);
+    }
+    const auto ms = ctx.pooled_mask_view(rate);
+    const std::uint64_t p =
+        popsel_rot(kt, bin_mean.data() + b * n, zbuf, ms, basis, 0, n);
+    out[b] = 1.0 - 2.0 * static_cast<double>(p) / dimd;
   }
 }
 
@@ -264,6 +543,71 @@ void HdHogExtractor::gather_plane_slots(
   }
 }
 
+double HdHogExtractor::gather_plane_slots_prescreen(
+    const CellPlane& plane, std::size_t origin_x, std::size_t origin_y,
+    double norm_scale,
+    std::vector<const core::Hypervector*>& hvs,
+    std::vector<double>& values) const {
+  if (plane.bins != config_.hog.bins ||
+      plane.cell_size != config_.hog.cell_size) {
+    throw std::invalid_argument(
+        "HdHogExtractor: cell plane geometry mismatches this extractor");
+  }
+  if (plane.grid_step != config_.hog.cell_size) {
+    throw std::invalid_argument(
+        "HdHogExtractor: prescreen requires grid_step == cell_size (stride a "
+        "multiple of the cell size)");
+  }
+  if (!plane.window_on_grid(origin_x, origin_y, cells_x_, cells_y_)) {
+    throw std::invalid_argument(
+        "HdHogExtractor: window origin off the cell-plane grid");
+  }
+  const std::size_t bins = config_.hog.bins;
+  const std::size_t cell = config_.hog.cell_size;
+  const std::size_t n_slots = cells_x_ * cells_y_ * bins;
+
+  // Subset gather: only cells on the plane's even/even parity grid are read
+  // (under a lazy plane the others may not exist yet). Excluded slots keep a
+  // valid pointer — the bundler's min-weight skip runs before the
+  // dereference, but the pointer must not dangle — with weight exactly 0.0.
+  double vmax = config_.histogram_floor;
+  double spread = 0.0;
+  std::vector<double> raw(n_slots, -1.0);  // < 0 marks "excluded"
+  std::size_t s = 0;
+  for (std::size_t cy = 0; cy < cells_y_; ++cy) {
+    for (std::size_t cx = 0; cx < cells_x_; ++cx) {
+      const std::size_t gx = (origin_x + cx * cell) / plane.grid_step;
+      const std::size_t gy = (origin_y + cy * cell) / plane.grid_step;
+      if (gx % 2 != 0 || gy % 2 != 0) {
+        s += bins;
+        continue;
+      }
+      const double* cached = plane.cell(gx, gy);
+      for (std::size_t b = 0; b < bins; ++b, ++s) {
+        raw[s] = cached[b];
+        vmax = std::max(vmax, cached[b]);
+        if (b > 0) spread += std::abs(cached[b]);
+      }
+    }
+  }
+  hvs.resize(n_slots);
+  values.resize(n_slots);
+  const core::Hypervector* filler = &histogram_memory_.level(0);
+  for (std::size_t i = 0; i < n_slots; ++i) {
+    if (raw[i] < 0.0) {
+      values[i] = 0.0;
+      hvs[i] = filler;
+      continue;
+    }
+    const double scale = norm_scale > 0.0 ? norm_scale : vmax;
+    const double normalized =
+        std::min(1.0, std::max(0.0, raw[i]) / scale);
+    values[i] = normalized;
+    hvs[i] = &histogram_memory_.at_value(normalized);
+  }
+  return spread;
+}
+
 core::Hypervector HdHogExtractor::extract_from_plane(
     const CellPlane& plane, std::size_t origin_x, std::size_t origin_y,
     core::OpCounter* counter) const {
@@ -286,6 +630,16 @@ void HdHogExtractor::StagedWindow::reset(const CellPlane& plane,
   // Restarting the tie stream here is what keeps staged assembly
   // bit-identical to the one-shot bundle: ascending ranges sharing this Rng
   // consume the zero-dimension draws in exactly the full bundle's order.
+  tie_rng_ = core::Rng(extractor_.bundler_.tie_seed());
+  assembled_words_ = 0;
+}
+
+void HdHogExtractor::StagedWindow::reset_prescreen(const CellPlane& plane,
+                                                   std::size_t origin_x,
+                                                   std::size_t origin_y,
+                                                   double norm_scale) {
+  prescreen_spread_ = extractor_.gather_plane_slots_prescreen(
+      plane, origin_x, origin_y, norm_scale, hvs_, values_);
   tie_rng_ = core::Rng(extractor_.bundler_.tie_seed());
   assembled_words_ = 0;
 }

@@ -28,6 +28,7 @@
 #include "hog/angle_bins.hpp"
 #include "hog/cell_plane.hpp"
 #include "hog/feature_bundler.hpp"
+#include "hog/gradient.hpp"
 #include "hog/hog.hpp"
 #include "hog/hog_config.hpp"
 #include "image/image.hpp"
@@ -107,6 +108,27 @@ class HdHogExtractor {
   void cell_raw_values(const image::Image& img, std::size_t x0, std::size_t y0,
                        core::StochasticContext& ctx, double* out) const;
 
+  // Batched form of cell_raw_values: same RNG stream, same doubles, chosen
+  // per call between two bit-identical implementations.
+  //
+  //   * The fused kernel path collapses every per-pixel stochastic op into
+  //     one or two passes of the dispatched word kernels (select_words /
+  //     popcount_select_xor with the pooled-mask rotation applied as two
+  //     contiguous segments), allocating a handful of flat word buffers per
+  //     cell instead of hundreds of Hypervector temporaries. It requires the
+  //     faithful mode, no attached op counter (charges live on the reference
+  //     chain), and ctx.pooled_fast_path().
+  //   * Otherwise the reference per-pixel chain runs (also when
+  //     `force_reference` is set — the bench/ablation baseline knob).
+  //
+  // `levels` optionally supplies the scene's precomputed pixel→level indices
+  // (see build_level_index_plane); pass nullptr to quantize on the fly. The
+  // plane must match the image geometry (throws std::invalid_argument).
+  void cell_raw_values(const image::Image& img, const LevelIndexPlane* levels,
+                       std::size_t x0, std::size_t y0,
+                       core::StochasticContext& ctx, double* out,
+                       bool force_reference = false) const;
+
   // Window assembly from a scene-level cell-plane cache: slices the window's
   // cells out of `plane`, then runs only the cheap per-window tail of
   // slot_record (vmax normalization, histogram level lookup, weighted
@@ -146,6 +168,29 @@ class HdHogExtractor {
     void reset(const CellPlane& plane, std::size_t origin_x,
                std::size_t origin_y);
 
+    // Prescreen variant of reset: gathers ONLY the window's cells on the
+    // even/even parity subgrid of the plane (absolute grid coordinates, so
+    // overlapping windows share the same subset cells — what lets the lazy
+    // plane serve every prescreen from ~¼ of the cells). Excluded slots get
+    // weight 0.0 (dropped by the bundler's min-weight skip before any
+    // dereference). Subset values normalize by `norm_scale` when > 0 (the
+    // table's calibrated prescreen_vmax, clamped to 1.0 — a fixed scale keeps
+    // structureless windows at LOW histogram levels instead of inflating
+    // them by their own tiny maximum) or by the subset's own vmax when 0.
+    // The feature assembled after this call is the prescreen feature, NOT a
+    // prefix of the full window feature — a surviving window must be
+    // reset() again before staged cascade assembly. Never reads a cell off
+    // the parity subgrid (the lazy-plane safety contract). Requires
+    // plane.grid_step == cell_size (otherwise window-relative parity
+    // degenerates; throws std::invalid_argument).
+    void reset_prescreen(const CellPlane& plane, std::size_t origin_x,
+                         std::size_t origin_y, double norm_scale = 0.0);
+
+    // Orientation-spread energy of the parity subset gathered by the last
+    // reset_prescreen (raw histogram mass off bin 0 — see
+    // gather_plane_slots_prescreen). Meaningless after a plain reset().
+    double prescreen_spread() const { return prescreen_spread_; }
+
     // Extends the materialized feature to exactly `word_hi` words (no-op when
     // already there) and returns it. Only words [0, assembled_words()) of the
     // returned hypervector are meaningful; pass total_words() for the full
@@ -167,6 +212,7 @@ class HdHogExtractor {
     core::Rng tie_rng_;
     core::Hypervector feature_;
     std::size_t assembled_words_ = 0;
+    double prescreen_spread_ = 0.0;
   };
 
   // Single bundled feature hypervector (the HDC learner's input).
@@ -223,6 +269,28 @@ class HdHogExtractor {
                           std::vector<const core::Hypervector*>& hvs,
                           std::vector<double>& values) const;
 
+  // Parity-subset gather for StagedWindow::reset_prescreen (see its doc).
+  // Returns the subset's orientation-spread energy: Σ over included cells of
+  // Σ_{b ≥ 1} |raw_b|, i.e. the total raw histogram mass OFF bin 0. Zero
+  // gradient resolves to bin 0 (atan2(0, 0)), so a structureless cell parks
+  // its entire mass there and contributes ~nothing, while any oriented
+  // texture spreads mass across the other bins — which makes the spread a
+  // cheap scalar separator between empty background and faces that the
+  // prefix-Hamming margin alone cannot provide.
+  double gather_plane_slots_prescreen(
+      const CellPlane& plane, std::size_t origin_x, std::size_t origin_y,
+      double norm_scale, std::vector<const core::Hypervector*>& hvs,
+      std::vector<double>& values) const;
+
+  // The two cell_raw_values implementations (see the public overload doc).
+  void cell_raw_values_reference(const image::Image& img, std::size_t x0,
+                                 std::size_t y0, core::StochasticContext& ctx,
+                                 double* out) const;
+  void cell_raw_values_fused(const image::Image& img,
+                             const LevelIndexPlane* levels, std::size_t x0,
+                             std::size_t y0, core::StochasticContext& ctx,
+                             double* out) const;
+
   core::StochasticContext& ctx_;
   HdHogConfig config_;
   std::size_t cells_x_;
@@ -234,6 +302,9 @@ class HdHogExtractor {
   // tangent is ≤ 1, V_{cotθ_j} otherwise (paper's |r| > 1 case).
   std::vector<core::Hypervector> boundary_consts_;
   std::vector<bool> boundary_uses_cot_;
+  // boundary_consts_[j] ^ V₁, precomputed so the fused cell chain turns the
+  // boundary multiply into a single XOR pass (V_c ⊗ V_x = (V_c ^ V₁) ^ V_x).
+  std::vector<core::Hypervector> boundary_consts_xor_basis_;
   FeatureBundler bundler_;
 };
 

@@ -1,0 +1,98 @@
+#pragma once
+
+// Lazily materialized cell-plane cache (the cascade-driven encode floor
+// attack, DESIGN.md §14).
+//
+// The eager CellPlane pays the full per-cell stochastic chain for every grid
+// cell up front, but with an early-reject cascade most windows die on a
+// low-dimensional prefix over a small subset of their cells — the cells they
+// *don't* share with a survivor are encoded for nothing. A LazyCellPlane
+// wraps the same storage behind a once-per-cell materialization gate: a cell
+// is encoded the first time any window actually reads it, and cells read by
+// no window (because every window touching them was prescreen-rejected)
+// are never encoded at all.
+//
+// Bit-identity by construction: every cell's chain reseeds from the pure key
+// cell_plane_seed(seed, scale_index, gx, gy) — the SAME key the eager fill
+// uses — so a lazily materialized cell holds exactly the eager cell's bytes
+// regardless of which thread materializes it, in what order, or interleaved
+// with which other cells. Lazy vs eager is a pure scheduling choice; the
+// property suite pins map-hash equality across modes and thread counts.
+//
+// Concurrency: per-cell once-flags (acquire/release atomics) double-checked
+// under a sharded util::Mutex array. The release store of the ready flag
+// sequences the fill before any acquire-load reader, so TSan-clean readers
+// never see a half-written cell. A reader must call ensure_cell (or observe
+// materialized()) before touching the cell's values.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hog/cell_plane.hpp"
+#include "util/mutex.hpp"
+
+namespace hdface::hog {
+
+class LazyCellPlane {
+ public:
+  // Takes the (zero-filled) geometry from make_cell_plane_geometry.
+  explicit LazyCellPlane(CellPlane geometry)
+      : storage_(std::move(geometry)),
+        ready_(storage_.cells()),
+        mutexes_(kMutexShards) {}
+
+  // The underlying plane. Cell values are meaningful only for materialized
+  // cells; geometry fields are always valid.
+  const CellPlane& plane() const { return storage_; }
+
+  // Materializes cell (gx, gy) via `fill(double* cell_values)` if no thread
+  // has yet; returns true when THIS call ran the fill. fill must be a pure
+  // function of (gx, gy) — every caller passes the reseeded per-cell encode,
+  // so all racers would write identical bytes and only one runs.
+  template <typename Fill>
+  bool ensure_cell(std::size_t gx, std::size_t gy, Fill&& fill) {
+    const std::size_t idx = gy * storage_.grid_x + gx;
+    if (ready_[idx].load(std::memory_order_acquire) != 0) return false;
+    util::MutexLock lock(mutexes_[idx % kMutexShards]);
+    if (ready_[idx].load(std::memory_order_relaxed) != 0) return false;
+    fill(storage_.mutable_cell(gx, gy));
+    ready_[idx].store(1, std::memory_order_release);
+    return true;
+  }
+
+  // True when the cell is materialized (acquire: a true result also makes
+  // the cell's values visible to this thread).
+  bool materialized(std::size_t gx, std::size_t gy) const {
+    return ready_[gy * storage_.grid_x + gx].load(std::memory_order_acquire) !=
+           0;
+  }
+
+  // Post-scan accounting: number of materialized cells, optionally counting
+  // only the even/even parity subgrid the prescreen reads. Deterministic
+  // once all windows are processed (the materialized SET is a pure function
+  // of the scene + cascade verdicts, not of scheduling).
+  std::size_t count_materialized(bool parity_only = false) const {
+    std::size_t total = 0;
+    for (std::size_t gy = 0; gy < storage_.grid_y; ++gy) {
+      for (std::size_t gx = 0; gx < storage_.grid_x; ++gx) {
+        if (parity_only && (gx % 2 != 0 || gy % 2 != 0)) continue;
+        total += static_cast<std::size_t>(materialized(gx, gy));
+      }
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kMutexShards = 64;
+
+  CellPlane storage_;
+  std::vector<std::atomic<std::uint8_t>> ready_;
+  // Sharded fill locks (index % kMutexShards): cheap enough to keep fills of
+  // distinct cells mostly uncontended while bounding mutex storage.
+  std::vector<util::Mutex> mutexes_;
+};
+
+}  // namespace hdface::hog

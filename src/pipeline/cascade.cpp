@@ -27,6 +27,10 @@ namespace {
 constexpr std::uint64_t kCalibrationSceneSalt = 0xCA5CADE5ULL;
 
 constexpr std::uint32_t kCascadeTableVersion = 1;
+// v2 = v1 plus one "prescreen <words> <threshold> <vmax> <spread-floor>"
+// line; emitted only when the table carries a prescreen, so prescreen-free
+// tables stay byte-identical to every v1 reader/writer.
+constexpr std::uint32_t kCascadeTableVersionPrescreen = 2;
 
 void validate_stages(const CascadeTable& table, std::size_t total_words) {
   if (table.stages.empty()) {
@@ -43,6 +47,25 @@ void validate_stages(const CascadeTable& table, std::size_t total_words) {
       throw std::invalid_argument("Cascade: non-finite stage threshold");
     }
     prev = s.words;
+  }
+  if (table.prescreen_words > total_words) {
+    throw std::invalid_argument(
+        "Cascade: prescreen words exceed the feature words");
+  }
+  if (table.prescreen_words > 0) {
+    if (!std::isfinite(table.prescreen_reject_below)) {
+      throw std::invalid_argument("Cascade: non-finite prescreen threshold");
+    }
+    if (!std::isfinite(table.prescreen_vmax) || table.prescreen_vmax <= 0.0) {
+      throw std::invalid_argument(
+          "Cascade: prescreen normalization scale must be a positive finite "
+          "value");
+    }
+    if (!std::isfinite(table.prescreen_spread_below) ||
+        table.prescreen_spread_below < 0.0) {
+      throw std::invalid_argument(
+          "Cascade: prescreen spread floor must be finite and >= 0");
+    }
   }
 }
 
@@ -154,6 +177,50 @@ Cascade::Result Cascade::classify(const learn::HdcClassifier& classifier,
   return r;
 }
 
+Cascade::Result Cascade::prescreen(hog::HdHogExtractor::StagedWindow& window,
+                                   Scratch& scratch, CascadeStats& stats,
+                                   core::OpCounter* counter) const {
+  const std::size_t classes = prototypes_.count();
+  const auto pos = static_cast<std::size_t>(table_.positive_class);
+  scratch.cum.assign(classes, 0);
+  ++stats.prescreen_entered;
+
+  // The prescreen bundle (parity cells only) shares nothing with the staged
+  // feature, so the whole prefix scores in one range pass into cum directly.
+  const core::Hypervector& prefix =
+      window.assemble_to(table_.prescreen_words, counter);
+  prototypes_.hamming_many_range(prefix, 0, table_.prescreen_words,
+                                 scratch.cum, counter);
+  const std::size_t prefix_dims =
+      std::min(prototypes_.dim(), table_.prescreen_words * 64);
+  const double m = margin_of(scratch.cum, prefix_dims, table_.positive_class);
+  Result r;
+  // Union reject: the prefix-Hamming margin catches windows that resemble a
+  // rival class, the orientation-spread floor catches structureless windows
+  // whose bundle is far from EVERY prototype (their margin is uninformative —
+  // near zero — but their parity cells carry almost no mass off bin 0). Both
+  // thresholds are calibrated against the positive minima, so the union keeps
+  // the zero-false-reject contract.
+  if (m < table_.prescreen_reject_below ||
+      window.prescreen_spread() < table_.prescreen_spread_below) {
+    ++stats.prescreen_rejected;
+    r.rejected = true;
+    r.stage = 0;
+    // Same rejected-window reporting convention as a stage rejection: best
+    // rival by prefix distance (lowest index on exact ties), normalized
+    // positive similarity 1 − 2H/d as the score.
+    std::size_t best = pos == 0 ? 1 : 0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      if (c == pos) continue;
+      if (scratch.cum[c] < scratch.cum[best]) best = c;
+    }
+    r.prediction = static_cast<int>(best);
+    r.score = 1.0 - 2.0 * static_cast<double>(scratch.cum[pos]) /
+                        static_cast<double>(prefix_dims);
+  }
+  return r;
+}
+
 // --- offline calibration ----------------------------------------------------
 
 CascadeTable calibrate_cascade(HdFacePipeline& pipeline,
@@ -193,10 +260,37 @@ CascadeTable calibrate_cascade(HdFacePipeline& pipeline,
     }
   }
 
+  std::size_t prescreen_words = 0;
+  if (config.prescreen) {
+    if (!std::isfinite(config.prescreen_fraction) ||
+        config.prescreen_fraction <= 0.0 || config.prescreen_fraction > 1.0) {
+      throw std::invalid_argument(
+          "calibrate_cascade: prescreen fraction outside (0, 1]");
+    }
+    if (config.stride % extractor->config().hog.cell_size != 0) {
+      throw std::invalid_argument(
+          "calibrate_cascade: prescreen requires stride % cell_size == 0 so "
+          "the plane grid step equals the cell size");
+    }
+    if (!std::isfinite(config.prescreen_spread_headroom) ||
+        config.prescreen_spread_headroom < 0.0 ||
+        config.prescreen_spread_headroom > 1.0) {
+      throw std::invalid_argument(
+          "calibrate_cascade: prescreen spread headroom outside [0, 1]");
+    }
+    prescreen_words = std::min(
+        total_words,
+        static_cast<std::size_t>(std::max<long long>(
+            1, std::llround(config.prescreen_fraction *
+                            static_cast<double>(total_words)))));
+  }
+
   const core::PrototypeBlock block(classifier.binary_prototypes());
 
   std::vector<double> min_margin(stage_words.size(),
                                  std::numeric_limits<double>::infinity());
+  double min_prescreen_margin = std::numeric_limits<double>::infinity();
+  double min_prescreen_spread = std::numeric_limits<double>::infinity();
   std::size_t positive_windows = 0;
 
   ParallelDetectConfig engine;
@@ -207,22 +301,82 @@ CascadeTable calibrate_cascade(HdFacePipeline& pipeline,
   std::vector<std::size_t> cum(classes);
   std::vector<std::size_t> part(classes);
 
+  // Pass 1: golden maps + eager planes per scene (the exact cell-plane scan
+  // the cascade must not falsely reject from, bit-identical at any thread
+  // count), plus every positive window's parity-subset vmax. The prescreen
+  // normalization scale must be fixed BEFORE any prescreen margin exists, so
+  // the vmax statistics are collected up front.
+  std::vector<DetectionMap> maps;
+  std::vector<hog::CellPlane> planes;
+  std::vector<double> positive_subset_vmax;
+  const std::size_t cell = extractor->config().hog.cell_size;
+  const std::size_t cells_per_side = config.window / cell;
   for (const image::Image& scene : scenes) {
-    // Golden map: the exact cell-plane scan the cascade must not falsely
-    // reject from (bit-identical at any thread count).
-    const DetectionMap map =
-        detect_windows_parallel(pipeline, scene, config.window, config.stride,
-                                config.positive_class, engine);
-    const std::size_t grid_step =
-        std::gcd(config.stride, extractor->config().hog.cell_size);
-    const hog::CellPlane plane =
-        build_scene_cell_plane(pipeline, scene, grid_step, engine);
+    maps.push_back(detect_windows_parallel(pipeline, scene, config.window,
+                                           config.stride,
+                                           config.positive_class, engine));
+    const std::size_t grid_step = std::gcd(config.stride, cell);
+    planes.push_back(build_scene_cell_plane(pipeline, scene, grid_step, engine));
+    const DetectionMap& map = maps.back();
+    const hog::CellPlane& plane = planes.back();
+    const std::size_t total = map.steps_x * map.steps_y;
+    for (std::size_t idx = 0; idx < total; ++idx) {
+      if (map.predictions[idx] != config.positive_class) continue;
+      if (prescreen_words == 0) continue;
+      const std::size_t ox = (idx % map.steps_x) * config.stride;
+      const std::size_t oy = (idx / map.steps_x) * config.stride;
+      double vmax = extractor->config().histogram_floor;
+      for (std::size_t cy = 0; cy < cells_per_side; ++cy) {
+        for (std::size_t cx = 0; cx < cells_per_side; ++cx) {
+          const std::size_t gx = (ox + cx * cell) / plane.grid_step;
+          const std::size_t gy = (oy + cy * cell) / plane.grid_step;
+          if (gx % 2 != 0 || gy % 2 != 0) continue;
+          const double* cached = plane.cell(gx, gy);
+          for (std::size_t b = 0; b < plane.bins; ++b) {
+            vmax = std::max(vmax, cached[b]);
+          }
+        }
+      }
+      positive_subset_vmax.push_back(vmax);
+    }
+  }
+  // Median over the calibration positives: a fixed, deterministic scale that
+  // keeps structureless windows at low histogram levels (self-normalization
+  // would inflate a flat window's tiny values by their own tiny maximum and
+  // make empty background look maximal — inseparable from faces).
+  double prescreen_vmax = 0.0;
+  if (!positive_subset_vmax.empty()) {
+    std::sort(positive_subset_vmax.begin(), positive_subset_vmax.end());
+    prescreen_vmax = positive_subset_vmax[positive_subset_vmax.size() / 2];
+  }
+
+  // Pass 2: per-positive prescreen and staged margins.
+  for (std::size_t si = 0; si < scenes.size(); ++si) {
+    const DetectionMap& map = maps[si];
+    const hog::CellPlane& plane = planes[si];
     const std::size_t total = map.steps_x * map.steps_y;
     for (std::size_t idx = 0; idx < total; ++idx) {
       if (map.predictions[idx] != config.positive_class) continue;
       ++positive_windows;
       const std::size_t sx = idx % map.steps_x;
       const std::size_t sy = idx / map.steps_x;
+      if (prescreen_words > 0) {
+        // The prescreen feature (parity cells only) is disjoint from the
+        // staged feature, so its margin is computed from its own reset,
+        // normalized by the fixed scale the table will deploy.
+        win.reset_prescreen(plane, sx * config.stride, sy * config.stride,
+                            prescreen_vmax);
+        min_prescreen_spread =
+            std::min(min_prescreen_spread, win.prescreen_spread());
+        const core::Hypervector& prefix = win.assemble_to(prescreen_words);
+        std::fill(cum.begin(), cum.end(), 0);
+        block.hamming_many_range(prefix, 0, prescreen_words, cum);
+        const std::size_t prefix_dims = std::min(dim, prescreen_words * 64);
+        min_prescreen_margin =
+            std::min(min_prescreen_margin,
+                     Cascade::margin_of(cum, prefix_dims,
+                                        config.positive_class));
+      }
       win.reset(plane, sx * config.stride, sy * config.stride);
       std::fill(cum.begin(), cum.end(), 0);
       std::size_t prev = 0;
@@ -246,13 +400,29 @@ CascadeTable calibrate_cascade(HdFacePipeline& pipeline,
   }
 
   CascadeTable table;
-  table.version = kCascadeTableVersion;
+  table.version =
+      prescreen_words > 0 ? kCascadeTableVersionPrescreen : kCascadeTableVersion;
   table.seed = pipeline.config().seed;
   table.dim = dim;
   table.classes = classes;
   table.positive_class = config.positive_class;
   table.window = config.window;
   table.stride = config.stride;
+  if (prescreen_words > 0) {
+    table.prescreen_words = prescreen_words;
+    // Same zero-false-reject construction as the stages: strictly below every
+    // calibration positive's prescreen margin (computed at the deployed
+    // normalization scale).
+    table.prescreen_reject_below = min_prescreen_margin - config.slack;
+    table.prescreen_vmax = prescreen_vmax;
+    // Spread floor below every calibration positive's spread by a relative
+    // headroom (the spread is an unnormalized energy, so an absolute slack
+    // would not transfer across geometries). Empty background sits near zero,
+    // far under any positive, so the headroom costs almost no rejection.
+    table.prescreen_spread_below =
+        std::max(0.0, min_prescreen_spread *
+                          (1.0 - config.prescreen_spread_headroom));
+  }
   for (std::size_t s = 0; s < stage_words.size(); ++s) {
     CascadeStage stage;
     stage.words = stage_words[s];
@@ -272,8 +442,13 @@ std::string cascade_table_to_text(const CascadeTable& table) {
   // determinism tests diff these bytes directly.
   std::string out;
   char line[128];
-  std::snprintf(line, sizeof(line), "hdface-cascade-table v%u\n",
-                table.version);
+  // The emitted version tracks the content, not the struct field: a table
+  // without a prescreen always writes v1 bytes (back-compatible with every
+  // pre-prescreen reader), one with a prescreen always writes v2.
+  const std::uint32_t version = table.prescreen_words > 0
+                                    ? kCascadeTableVersionPrescreen
+                                    : kCascadeTableVersion;
+  std::snprintf(line, sizeof(line), "hdface-cascade-table v%u\n", version);
   out += line;
   std::snprintf(line, sizeof(line), "seed 0x%llx\n",
                 static_cast<unsigned long long>(table.seed));
@@ -288,6 +463,12 @@ std::string cascade_table_to_text(const CascadeTable& table) {
   out += line;
   std::snprintf(line, sizeof(line), "stride %zu\n", table.stride);
   out += line;
+  if (table.prescreen_words > 0) {
+    std::snprintf(line, sizeof(line), "prescreen %zu %a %a %a\n",
+                  table.prescreen_words, table.prescreen_reject_below,
+                  table.prescreen_vmax, table.prescreen_spread_below);
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "stages %zu\n", table.stages.size());
   out += line;
   for (const CascadeStage& s : table.stages) {
@@ -334,7 +515,8 @@ CascadeTable cascade_table_from_text(std::string_view text) {
   if (std::sscanf(header.c_str(), "hdface-cascade-table v%u", &version) != 1) {
     parse_fail("bad magic line '" + header + "'");
   }
-  if (version != kCascadeTableVersion) {
+  if (version != kCascadeTableVersion &&
+      version != kCascadeTableVersionPrescreen) {
     parse_fail("unsupported version " + std::to_string(version));
   }
   table.version = version;
@@ -345,6 +527,34 @@ CascadeTable cascade_table_from_text(std::string_view text) {
       static_cast<int>(parse_u64_field(text, "positive"));
   table.window = static_cast<std::size_t>(parse_u64_field(text, "window"));
   table.stride = static_cast<std::size_t>(parse_u64_field(text, "stride"));
+  if (version >= kCascadeTableVersionPrescreen) {
+    const std::string line = next_line(text);
+    if (line.rfind("prescreen ", 0) != 0) parse_fail("expected 'prescreen ...'");
+    const char* begin = line.c_str() + 10;
+    char* end = nullptr;
+    const unsigned long long words = std::strtoull(begin, &end, 10);
+    if (end == begin || *end != ' ') parse_fail("malformed prescreen words");
+    begin = end + 1;
+    const double threshold = std::strtod(begin, &end);
+    if (end == begin || *end != ' ') {
+      parse_fail("malformed prescreen threshold");
+    }
+    begin = end + 1;
+    const double vmax = std::strtod(begin, &end);
+    if (end == begin || *end != ' ') {
+      parse_fail("malformed prescreen normalization scale");
+    }
+    begin = end + 1;
+    const double spread_below = std::strtod(begin, &end);
+    if (end == begin || *end != '\0') {
+      parse_fail("malformed prescreen spread floor");
+    }
+    if (words == 0) parse_fail("v2 table with zero prescreen words");
+    table.prescreen_words = static_cast<std::size_t>(words);
+    table.prescreen_reject_below = threshold;
+    table.prescreen_vmax = vmax;
+    table.prescreen_spread_below = spread_below;
+  }
   const auto n_stages =
       static_cast<std::size_t>(parse_u64_field(text, "stages"));
   if (n_stages > 64) parse_fail("implausible stage count");

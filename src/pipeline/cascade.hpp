@@ -56,6 +56,7 @@ class Cascade {
   std::size_t num_stages() const { return table_.stages.size(); }
   std::size_t total_words() const { return total_words_; }
   const core::PrototypeBlock& prototypes() const { return prototypes_; }
+  bool has_prescreen() const { return table_.prescreen_words > 0; }
 
   struct Result {
     int prediction = 0;
@@ -80,6 +81,17 @@ class Cascade {
   Result classify(const learn::HdcClassifier& classifier,
                   hog::HdHogExtractor::StagedWindow& window, Scratch& scratch,
                   CascadeStats& stats, core::OpCounter* counter = nullptr) const;
+
+  // Cell-subset prescreen (valid only when has_prescreen()). `window` must
+  // have been reset_prescreen() on the window's plane origin — the feature is
+  // bundled from ONLY the window's even/even parity cells, so the prefix is
+  // NOT a prefix of the full feature and a survivor must reset() again before
+  // classify(). Rejected windows report the same (best rival, 1 − 2H/d)
+  // convention as a stage rejection, with stage = 0. Under a lazy plane this
+  // is what keeps non-parity cells of all-rejected regions unmaterialized.
+  Result prescreen(hog::HdHogExtractor::StagedWindow& window, Scratch& scratch,
+                   CascadeStats& stats,
+                   core::OpCounter* counter = nullptr) const;
 
   // The stage statistic: per-dimension lead of the positive class over its
   // best rival after a prefix of `prefix_dims` dimensions. Shared with
@@ -111,6 +123,22 @@ struct CascadeCalibrationConfig {
   // Threads for the golden-map scans (the margins themselves are computed
   // serially; results are identical at any setting).
   std::size_t threads = 1;
+  // Calibrate a cell-subset prescreen (CascadeTable::prescreen_words): score
+  // each window over only its even/even parity cells before stage 0. Requires
+  // stride % cell_size == 0 (so the plane's grid step equals the cell size
+  // and the parity subgrid is well defined); throws otherwise.
+  bool prescreen = false;
+  // Prefix width of the prescreen bundle as a fraction of the feature's
+  // words. The prescreen feature is NOT a prefix of the full feature, so this
+  // is independent of stage_fractions.
+  double prescreen_fraction = 0.25;
+  // Relative headroom for the orientation-spread floor
+  // (CascadeTable::prescreen_spread_below = (1 − headroom) · minimum positive
+  // spread). Relative, not absolute: the spread is an unnormalized energy
+  // whose magnitude scales with the window's parity cell count, so a fixed
+  // offset would not transfer across geometries. Must lie in [0, 1];
+  // 1 disables the floor (threshold 0), 0 pins it at the calibration minimum.
+  double prescreen_spread_headroom = 0.1;
 };
 
 // Deterministic offline calibration over golden detection maps: runs the

@@ -56,6 +56,32 @@ struct CascadeTable {
   int positive_class = 1;
   std::size_t window = 0;      // calibration scan window (provenance)
   std::size_t stride = 0;      // calibration scan stride (provenance)
+  // Optional cell-subset prescreen (the lazy-plane driver, DESIGN.md §14):
+  // before stage 0, each window is scored over ONLY its cells on the plane's
+  // even/even parity subgrid (≈¼ of its cells, shared across overlapping
+  // windows), bundled to a `prescreen_words` prefix and margin-thresholded
+  // like a stage. Under a lazy plane a prescreen-rejected window forces no
+  // cells beyond the parity subgrid, which is what keeps most of the plane
+  // unmaterialized. 0 = disabled (tables serialize byte-identically to v1).
+  std::size_t prescreen_words = 0;
+  double prescreen_reject_below = 0.0;
+  // Calibrated normalization constant for the prescreen gather: subset slot
+  // values are divided by THIS (clamped to 1.0) instead of the window's own
+  // subset vmax. Self-normalization would make structureless windows look
+  // maximal (a flat cell's tiny values divide by their own tiny max); a fixed
+  // scale keeps weak-gradient windows at low histogram levels, which is what
+  // separates empty background from faces at prescreen time. Calibrated as
+  // the median parity-subset vmax over the calibration positives; must be
+  // > 0 when prescreen_words > 0.
+  double prescreen_vmax = 0.0;
+  // Orientation-spread floor: a window whose parity subset carries less raw
+  // histogram mass off bin 0 than this is rejected by the prescreen even when
+  // its prefix margin survives. Zero gradient resolves to bin 0, so empty
+  // background scores near zero here while every calibration positive scores
+  // well above (faces are oriented texture); calibrated to the minimum
+  // positive spread scaled by a headroom factor, so the zero-false-reject
+  // contract extends to this test. 0.0 disables the test (spread ≥ 0 always).
+  double prescreen_spread_below = 0.0;
   std::vector<CascadeStage> stages;  // strictly ascending words
 };
 
@@ -78,8 +104,13 @@ struct CascadeStageCounters {
 // every thread count. Untouched by kExact scans.
 struct CascadeStats {
   std::vector<CascadeStageCounters> stages;
-  std::uint64_t windows = 0;       // windows entering the cascade
+  std::uint64_t windows = 0;       // windows entering the staged cascade
   std::uint64_t exact_scored = 0;  // survivors escalated to full-D scoring
+  // Prescreen accounting (zero unless the table carries a prescreen). A
+  // prescreen-rejected window never enters the staged cascade, so the total
+  // window count of a scan is windows + prescreen_rejected.
+  std::uint64_t prescreen_entered = 0;
+  std::uint64_t prescreen_rejected = 0;
 
   void merge(const CascadeStats& other) {
     if (stages.size() < other.stages.size()) stages.resize(other.stages.size());
@@ -89,6 +120,8 @@ struct CascadeStats {
     }
     windows += other.windows;
     exact_scored += other.exact_scored;
+    prescreen_entered += other.prescreen_entered;
+    prescreen_rejected += other.prescreen_rejected;
   }
 };
 

@@ -139,6 +139,26 @@ void DetectionServer::execute_job(Job job, Shard& shard) {
   api::Request request = std::move(job.request);
   request.options.threads = config_.engine_threads;
 
+  // Route the scan's cache/cascade accounting through job-local sinks so the
+  // server can aggregate plane behavior fleet-wide (ServerStats), while the
+  // caller's own sinks (telemetry or the deprecated aliases — whichever
+  // engine_config would have honored) still receive exactly the totals a
+  // direct Detector::detect call would have merged into them.
+  pipeline::EncodeCacheStats job_cache;
+  pipeline::CascadeStats job_cascade;
+  api::Telemetry telemetry;
+  if (request.options.telemetry) {
+    telemetry = *request.options.telemetry;
+  } else {
+    telemetry.feature_ops = request.options.feature_counter;
+    telemetry.encode_cache = request.options.encode_cache_stats;
+  }
+  pipeline::EncodeCacheStats* caller_cache = telemetry.encode_cache;
+  pipeline::CascadeStats* caller_cascade = telemetry.cascade;
+  telemetry.encode_cache = &job_cache;
+  telemetry.cascade = &job_cascade;
+  request.options.telemetry = telemetry;
+
   api::Outcome<api::Response> outcome = [&] {
     if (request.options.fault_plan.has_value()) {
       // FaultSession patches shared pipeline storage (item memories, mask
@@ -157,11 +177,15 @@ void DetectionServer::execute_job(Job job, Shard& shard) {
   if (outcome.ok()) {
     outcome.value().timing = {wait_ns, exec_ns, total_ns};
   }
+  if (caller_cache) caller_cache->merge(job_cache);
+  if (caller_cascade) caller_cascade->merge(job_cascade);
   {
     const util::MutexLock shard_lock(shard.mutex);
     shard.queue_wait.record(wait_ns);
     shard.execute.record(exec_ns);
     shard.e2e.record(total_ns);
+    shard.encode_cache.merge(job_cache);
+    shard.cascade.merge(job_cascade);
   }
   {
     const util::MutexLock lock(admission_mutex_);
@@ -215,6 +239,8 @@ ServerStats DetectionServer::stats() const {
     stats.queue_wait.merge(shard->queue_wait);
     stats.execute.merge(shard->execute);
     stats.e2e.merge(shard->e2e);
+    stats.encode_cache.merge(shard->encode_cache);
+    stats.cascade.merge(shard->cascade);
   }
   return stats;
 }

@@ -53,6 +53,8 @@
 #include <vector>
 
 #include "api/detector.hpp"
+#include "pipeline/cascade_types.hpp"
+#include "pipeline/encode_mode.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/latency_histogram.hpp"
 #include "util/mutex.hpp"
@@ -109,6 +111,16 @@ struct ServerStats {
   util::LatencyHistogram queue_wait;
   util::LatencyHistogram execute;
   util::LatencyHistogram e2e;
+  // Fleet-wide scan accounting, merged across worker shards exactly like the
+  // histograms (integer adds commute — totals are identical at any worker
+  // count and merge order). encode_cache carries the lazy-plane behavior the
+  // plane-encode work gates on: cells_computed / cells_total is the
+  // materialized fraction, cells_forced_prescreen the prescreen driver's
+  // share, 1 − cells_computed / ensure_checks the plane hit rate. cascade
+  // carries per-stage entered/rejected plus prescreen counters. Both stay
+  // zero when no served request ran the corresponding mode.
+  pipeline::EncodeCacheStats encode_cache;
+  pipeline::CascadeStats cascade;
 
   // Queue-accounting conservation: no request dropped-but-uncounted.
   bool conserved() const {
@@ -176,6 +188,8 @@ class DetectionServer {
     util::LatencyHistogram queue_wait HD_GUARDED_BY(mutex);
     util::LatencyHistogram execute HD_GUARDED_BY(mutex);
     util::LatencyHistogram e2e HD_GUARDED_BY(mutex);
+    pipeline::EncodeCacheStats encode_cache HD_GUARDED_BY(mutex);
+    pipeline::CascadeStats cascade HD_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t shard_index)
